@@ -1,0 +1,77 @@
+"""Extension — checkpointed initialization (the precomputation story).
+
+Section 7.1: initialization "possibly can be precomputed".  This bench
+quantifies it: for each analysis on pmd, compare from-scratch solve time
+against checkpoint save size / load time, and verify the restored solver
+keeps updating incrementally.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import format_table
+from repro.changes import alloc_site_changes, literal_to_zero_changes
+from repro.engines import LaddderSolver, load_checkpoint, save_checkpoint
+
+from common import ANALYSIS_SERIES, report, subject
+
+
+def _measure():
+    rows = []
+    speedups = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for analysis_name, (build, generator) in ANALYSIS_SERIES.items():
+            instance = build(subject("pmd"))
+            start = time.perf_counter()
+            solver = instance.make_solver(LaddderSolver)
+            init = time.perf_counter() - start
+
+            path = Path(tmp) / f"{analysis_name}.ckpt"
+            start = time.perf_counter()
+            size = save_checkpoint(solver, path)
+            save = time.perf_counter() - start
+
+            fresh = build(subject("pmd"))
+            start = time.perf_counter()
+            restored = load_checkpoint(LaddderSolver, fresh.program, path)
+            load = time.perf_counter() - start
+            assert restored.relations() == solver.relations()
+
+            # The restored solver must keep updating.
+            change = generator(fresh, 1, seed=2)[0]
+            restored.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            solver.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            assert restored.relations() == solver.relations()
+
+            rows.append(
+                [
+                    analysis_name,
+                    f"{init * 1e3:.0f}",
+                    f"{save * 1e3:.0f}",
+                    f"{load * 1e3:.0f}",
+                    f"{size / 1e6:.1f}",
+                    f"{init / max(load, 1e-9):.1f}x",
+                ]
+            )
+            speedups.append(init / max(load, 1e-9))
+    return rows, speedups
+
+
+def test_checkpoint_restore_beats_reinit(benchmark):
+    rows, speedups = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = format_table(
+        ["analysis", "init (ms)", "save (ms)", "load (ms)", "size (MB)",
+         "speedup"],
+        rows,
+        title="Checkpointing on pmd — restoring the precomputed initial "
+        "analysis vs re-solving",
+    )
+    report("checkpoint", table)
+    assert all(s > 1.0 for s in speedups)

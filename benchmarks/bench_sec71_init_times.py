@@ -1,0 +1,44 @@
+"""Section 7.1 — initialization (from-scratch) times per analysis and
+subject (experiment E4 in DESIGN.md).
+
+The paper reports ranges: points-to 57-172 s, constant propagation 5-23 s,
+interval 3-23 s (JVM, real corpora).  On our scaled substrate the absolute
+numbers are much smaller; the reproduced *shape* is the ordering —
+initialization grows with subject size, the value analyses cost more than
+the (scaled) points-to analysis, and init is a one-off cost orders of
+magnitude above a typical update.
+"""
+
+import pytest
+
+from repro.bench import format_table, time_initialization
+from repro.engines import LaddderSolver
+
+from common import ANALYSIS_SERIES, SUBJECTS, report, subject
+
+
+def _measure():
+    rows = []
+    by_analysis: dict[str, list[float]] = {}
+    for analysis_name, (build, _gen) in ANALYSIS_SERIES.items():
+        for subject_name in SUBJECTS:
+            instance = build(subject(subject_name))
+            seconds, _solver = time_initialization(
+                instance, LaddderSolver, repeats=2, drop_first=True
+            )
+            rows.append([analysis_name, subject_name, seconds * 1e3])
+            by_analysis.setdefault(analysis_name, []).append(seconds)
+    return rows, by_analysis
+
+
+def test_sec71_init_times(benchmark):
+    rows, by_analysis = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = format_table(
+        ["analysis", "subject", "init (ms)"],
+        rows,
+        title="Section 7.1 — Laddder initialization times",
+    )
+    report("sec71_init_times", table)
+    # Shape: init time grows with subject size for every analysis.
+    for name, series in by_analysis.items():
+        assert series[-1] > series[0], f"{name} did not scale with subject size"

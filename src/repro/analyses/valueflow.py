@@ -1,0 +1,79 @@
+"""Flow-sensitive inter-procedural value analyses over the ICFG.
+
+Shared machinery for constant propagation and interval analysis (Section 7:
+"Both of these analyses are flow-sensitive and inter-procedural, the only
+difference is in the lattice abstraction used to track values of
+integer-typed variables").
+
+The analysis computes ``val(node, var, v)`` — the abstract value of ``var``
+on entry to ``node`` — as a recursive lattice aggregation:
+
+* transfer along intra-procedural ``flow`` edges (literal assignment, copy,
+  abstract binary arithmetic, havoc for unmodelled statements),
+* a frame rule for variables the predecessor does not assign,
+* parameter passing into CHA call edges and return-value flow out of them.
+
+The lattice and the abstract transfer functions are injected by the
+concrete analyses; everything else is this one rule set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..datalog.parser import parse
+from ..datalog.program import Program
+from ..javalite.ast import JProgram
+from ..javalite.facts import extract_value_facts
+from ..lattices import Aggregator
+from .base import AnalysisInstance
+
+_VALUE_RULES = """
+    vcand(N2, V, C) :- flow(N1, N2), val(N1, V, C), !assigns(N1, V).
+    vcand(N2, V, C) :- flow(N1, N2), assignlit(N1, V, Lit), C := mkval(Lit).
+    vcand(N2, V, C) :- flow(N1, N2), assignmove(N1, V, W), val(N1, W, C).
+    vcand(N2, V, C) :- flow(N1, N2), assignbin(N1, V, Op, A, B),
+                       val(N1, A, CA), val(N1, B, CB), C := absbin(Op, CA, CB).
+    vcand(N2, V, C) :- flow(N1, N2), havoc(N1, V), C := topval().
+    vcand(N2, V, C) :- flow(N1, N2), callret(N1, V), calledge(N1, M),
+                       exitnode(M, X), returnvar(M, RV), val(X, RV, C).
+
+    vcand(EN, Frm, C) :- calledge(N, M), entrynode(M, EN),
+                         actualarg(N, I, Act), formalarg(M, I, Frm),
+                         val(N, Act, C).
+
+    assigns(N, V) :- assignlit(N, V, _).
+    assigns(N, V) :- assignmove(N, V, _).
+    assigns(N, V) :- assignbin(N, V, _, _, _).
+    assigns(N, V) :- havoc(N, V).
+    assigns(N, V) :- callret(N, V).
+
+    val(N, V, agg<C>) :- vcand(N, V, C).
+
+    .export val.
+"""
+
+
+def build_value_analysis(
+    subject: JProgram,
+    name: str,
+    aggregator: Aggregator,
+    mkval: Callable[[object], object],
+    absbin: Callable[[str, object, object], object],
+    topval: Callable[[], object],
+) -> AnalysisInstance:
+    """Instantiate the shared flow-sensitive rules with a value domain."""
+    facts, icfg = extract_value_facts(subject)
+    program: Program = parse(_VALUE_RULES)
+    program.register_function("mkval", mkval)
+    program.register_function("absbin", absbin)
+    program.register_function("topval", topval)
+    program.register_aggregator("agg", aggregator)
+    return AnalysisInstance(
+        name=name,
+        program=program,
+        facts=facts,
+        primary="val",
+        subject=subject,
+        context={"icfg": icfg, "lattice": aggregator.lattice},
+    )

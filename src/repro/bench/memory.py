@@ -1,0 +1,65 @@
+"""Memory measurement for RQ2 (Section 7.2).
+
+The paper measures reachable JVM heap before/after initializing the
+analysis.  We provide two equivalents:
+
+* :func:`deep_sizeof` — recursive ``sys.getsizeof`` over a solver's state
+  (the Python analogue of "reachable heap"),
+* :func:`traced_alloc` — ``tracemalloc`` delta across a callable.
+
+Plus the engine-reported :meth:`state_size` (abstract cells), which is
+allocator-independent and the most stable basis for engine comparisons.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from typing import Callable
+
+
+def deep_sizeof(obj: object, _seen: set[int] | None = None) -> int:
+    """Recursive ``sys.getsizeof`` with cycle protection.
+
+    Descends into containers and object ``__dict__``/``__slots__``; shared
+    objects are counted once (reachable-set semantics, like a heap dump).
+    """
+    if _seen is None:
+        _seen = set()
+    oid = id(obj)
+    if oid in _seen:
+        return 0
+    _seen.add(oid)
+    size = sys.getsizeof(obj, 0)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += deep_sizeof(key, _seen)
+            size += deep_sizeof(value, _seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_sizeof(item, _seen)
+    elif hasattr(obj, "__dict__"):
+        size += deep_sizeof(vars(obj), _seen)
+    elif hasattr(obj, "__slots__"):
+        for slot in obj.__slots__:
+            if hasattr(obj, slot):
+                size += deep_sizeof(getattr(obj, slot), _seen)
+    return size
+
+
+def traced_alloc(fn: Callable[[], object]) -> tuple[object, int]:
+    """Run ``fn`` and return (result, net allocated bytes)."""
+    tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    result = fn()
+    after, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, max(0, after - before)
+
+
+def solver_memory(solver) -> dict[str, float]:
+    """Both memory views of a solved solver."""
+    return {
+        "state_cells": solver.state_size(),
+        "deep_bytes": deep_sizeof(solver),
+    }

@@ -1,0 +1,60 @@
+"""Log-log regression of update time vs impact (Section 7.1).
+
+The paper fits a linear regression on log-log plots of update time against
+change impact and finds ``time ~ impact^1.5`` approximately.  We reproduce
+the fit with plain least squares (no numpy needed at this size).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .timing import UpdateMeasurement
+
+
+@dataclass
+class LogLogFit:
+    """``time = scale * impact^exponent`` fitted on log-log axes."""
+
+    exponent: float
+    scale: float
+    r_squared: float
+    points: int
+
+
+def fit_time_vs_impact(
+    measurements: Sequence[UpdateMeasurement],
+    min_impact: int = 1,
+) -> LogLogFit:
+    """Least-squares fit of log(time) against log(impact).
+
+    Zero-impact changes are excluded (log undefined; they are the
+    support-count-absorbed updates that cost near-constant time).
+    """
+    xs: list[float] = []
+    ys: list[float] = []
+    for m in measurements:
+        if m.impact >= min_impact and m.seconds > 0:
+            xs.append(math.log10(m.impact))
+            ys.append(math.log10(m.seconds))
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two positive-impact points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx < 1e-12:  # all impacts (numerically) equal
+        raise ValueError("all impacts equal; exponent undefined")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LogLogFit(
+        exponent=slope, scale=10 ** intercept, r_squared=r_squared, points=n
+    )

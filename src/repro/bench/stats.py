@@ -1,0 +1,69 @@
+"""Summary statistics for update-time distributions (Section 7 boxplots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    frac = rank - lower
+    return ordered[lower] * (1 - frac) + ordered[upper] * frac
+
+
+@dataclass
+class Distribution:
+    """A boxplot-style summary of a measurement series."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    p99: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Distribution":
+        if not values:
+            raise ValueError("empty distribution")
+        return cls(
+            count=len(values),
+            minimum=min(values),
+            q1=percentile(values, 25),
+            median=percentile(values, 50),
+            q3=percentile(values, 75),
+            p99=percentile(values, 99),
+            maximum=max(values),
+            mean=sum(values) / len(values),
+        )
+
+    def row(self, unit: float = 1e3) -> dict[str, float]:
+        """As a dict scaled to a unit (default: seconds -> milliseconds)."""
+        return {
+            "n": self.count,
+            "min": self.minimum * unit,
+            "q1": self.q1 * unit,
+            "median": self.median * unit,
+            "q3": self.q3 * unit,
+            "p99": self.p99 * unit,
+            "max": self.maximum * unit,
+            "mean": self.mean * unit,
+        }
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of measurements below ``threshold`` (same unit)."""
+    if not values:
+        return 1.0
+    return sum(1 for v in values if v < threshold) / len(values)

@@ -1,0 +1,56 @@
+"""ASCII tables for benchmark output (the harness prints the same rows and
+series the paper's tables/figures report)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def distribution_row(name: str, dist_row: Mapping[str, float]) -> list[object]:
+    """A table row from :meth:`repro.bench.stats.Distribution.row`."""
+    return [
+        name,
+        dist_row["n"],
+        dist_row["min"],
+        dist_row["q1"],
+        dist_row["median"],
+        dist_row["q3"],
+        dist_row["p99"],
+        dist_row["max"],
+    ]
+
+
+DISTRIBUTION_HEADERS = ["series", "n", "min", "q1", "median", "q3", "p99", "max"]

@@ -1,0 +1,24 @@
+"""Synthesized program changes (Section 7, "Program changes")."""
+
+from .base import Change, rng_for
+from .literals import literal_to_zero_changes
+from .pointsto import alloc_site_changes
+from .source_edits import (
+    IncrementalSourceEditor,
+    SourceEditor,
+    diff_facts,
+    pointsto_facts,
+    value_facts,
+)
+
+__all__ = [
+    "Change",
+    "IncrementalSourceEditor",
+    "SourceEditor",
+    "alloc_site_changes",
+    "diff_facts",
+    "literal_to_zero_changes",
+    "pointsto_facts",
+    "rng_for",
+    "value_facts",
+]

@@ -1,0 +1,42 @@
+"""Program-change synthesis (Section 7, "Program changes").
+
+There is no standard benchmark for incremental program changes, so — like
+the paper — we synthesize fact-level changes that are likely to affect the
+analysis results.  A :class:`Change` is one epoch's insertions/deletions
+plus a label; generators produce deterministic sequences from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+Facts = dict[str, set[tuple]]
+
+
+@dataclass(frozen=True)
+class Change:
+    """One epoch of input-fact changes."""
+
+    label: str
+    insertions: dict[str, frozenset] = field(default_factory=dict)
+    deletions: dict[str, frozenset] = field(default_factory=dict)
+
+    def inverse(self) -> "Change":
+        """The change that undoes this one."""
+        return Change(
+            label=f"undo({self.label})",
+            insertions=self.deletions,
+            deletions=self.insertions,
+        )
+
+    def apply_to(self, facts: Facts) -> None:
+        """Mutate a fact dict the way a solver update would."""
+        for pred, rows in self.deletions.items():
+            facts.setdefault(pred, set()).difference_update(rows)
+        for pred, rows in self.insertions.items():
+            facts.setdefault(pred, set()).update(rows)
+
+
+def rng_for(seed: int) -> random.Random:
+    return random.Random(seed)

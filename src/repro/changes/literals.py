@@ -1,0 +1,51 @@
+"""Numeric-literal changes for the value analyses.
+
+Section 7: *"For the constant propagation and interval analyses, we
+randomly replace 1000 numeric literals and field reads with the zero
+literal."*  A replacement is one epoch (delete the old ``assignlit``
+tuple, insert the zeroed one); each replacement is followed by its revert
+so every change is measured from the original state.
+
+"Field reads" are ``havoc`` nodes in our encoding; replacing one with a
+zero literal turns an unknown value into a constant — included with a
+configurable share.
+"""
+
+from __future__ import annotations
+
+from ..analyses.base import AnalysisInstance
+from .base import Change, rng_for
+
+
+def literal_to_zero_changes(
+    instance: AnalysisInstance,
+    count: int,
+    seed: int = 0,
+    field_read_share: float = 0.25,
+) -> list[Change]:
+    """``count`` replace/revert pairs (2 * count measured changes)."""
+    literals = sorted(
+        row for row in instance.facts["assignlit"] if row[2] != 0
+    )
+    havocs = sorted(instance.facts.get("havoc", ()))
+    rng = rng_for(seed)
+    changes: list[Change] = []
+    for i in range(count):
+        use_havoc = havocs and rng.random() < field_read_share
+        if use_havoc or not literals:
+            node, var = rng.choice(havocs)
+            replace = Change(
+                label=f"zero-fieldread[{i}] {node}",
+                deletions={"havoc": frozenset(((node, var),))},
+                insertions={"assignlit": frozenset(((node, var, 0),))},
+            )
+        else:
+            node, var, value = rng.choice(literals)
+            replace = Change(
+                label=f"zero-literal[{i}] {node}={value}",
+                deletions={"assignlit": frozenset(((node, var, value),))},
+                insertions={"assignlit": frozenset(((node, var, 0),))},
+            )
+        changes.append(replace)
+        changes.append(replace.inverse())
+    return changes

@@ -1,0 +1,39 @@
+"""Allocation-site changes for the points-to analyses.
+
+Section 7: *"For the points-to analysis, we randomly delete and re-insert
+1000 object allocation sites.  We chose to focus on allocation sites because
+these are simple atomic changes that directly affect the results of the
+points-to analysis."*
+
+Each sampled site yields two measured changes — the deletion and the
+re-insertion — and the sequence is state-restoring: after a delete/insert
+pair the input is back to the original, so changes are measured from
+comparable states.
+"""
+
+from __future__ import annotations
+
+from ..analyses.base import AnalysisInstance
+from .base import Change, rng_for
+
+
+def alloc_site_changes(
+    instance: AnalysisInstance, count: int, seed: int = 0
+) -> list[Change]:
+    """``count`` delete/re-insert pairs of random allocation sites
+    (2 * count measured changes)."""
+    allocs = sorted(instance.facts["alloc"])
+    if not allocs:
+        return []
+    rng = rng_for(seed)
+    changes: list[Change] = []
+    for i in range(count):
+        row = rng.choice(allocs)
+        var, obj, meth = row
+        delete = Change(
+            label=f"del-alloc[{i}] {obj}",
+            deletions={"alloc": frozenset((row,))},
+        )
+        changes.append(delete)
+        changes.append(delete.inverse())
+    return changes

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands mirroring the library's main workflows:
+
+* ``analyze``  — run one of the five analyses on a benchmark subject (or a
+  scaled variant) with a chosen engine; print exported relations.
+* ``impact``   — the Section 3 methodology: synthesize changes, measure
+  impacts, print the Figure 2 histogram.
+* ``bench``    — a one-shot update-time measurement (init + change series
+  distribution) without the pytest harness.
+
+Examples::
+
+    python -m repro analyze pointsto-kupdate minijavac
+    python -m repro analyze constprop antlr --engine seminaive --limit 10
+    python -m repro impact interval minijavac --changes 20
+    python -m repro bench pointsto-kupdate pmd --engine dredl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .analyses import ANALYSES
+from .bench import (
+    DISTRIBUTION_HEADERS,
+    Distribution,
+    distribution_row,
+    format_table,
+    run_update_benchmark,
+)
+from .changes import alloc_site_changes, literal_to_zero_changes
+from .corpus import PRESETS, load_subject
+from .engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver, explain
+from .methodology import bucket_impacts, format_histogram, measure_impacts
+
+ENGINES = {
+    "laddder": LaddderSolver,
+    "dredl": DRedLSolver,
+    "seminaive": SemiNaiveSolver,
+    "naive": NaiveSolver,
+}
+
+
+def _changes_for(instance, count: int, seed: int):
+    if instance.primary == "val":
+        return literal_to_zero_changes(instance, count, seed=seed)
+    return alloc_site_changes(instance, count, seed=seed)
+
+
+def _build(args):
+    subject = load_subject(args.subject, scale=args.scale)
+    instance = ANALYSES[args.analysis](subject)
+    return subject, instance
+
+
+def cmd_analyze(args) -> int:
+    """``analyze``: run and print an analysis result relation."""
+    subject, instance = _build(args)
+    engine = ENGINES[args.engine]
+    start = time.perf_counter()
+    solver = instance.make_solver(engine)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{instance.name} on {args.subject} "
+        f"({subject.statement_count()} stmts) via {engine.__name__}: "
+        f"{elapsed:.2f}s"
+    )
+    rows = sorted(solver.relation(instance.primary), key=repr)
+    shown = rows if args.limit is None else rows[: args.limit]
+    for row in shown:
+        print("  " + ", ".join(repr(v) for v in row))
+    if args.limit is not None and len(rows) > args.limit:
+        print(f"  ... ({len(rows) - args.limit} more)")
+    print(f"{len(rows)} tuples in {instance.primary}")
+    return 0
+
+
+def cmd_impact(args) -> int:
+    """``impact``: the Section 3 methodology as a one-shot report."""
+    _subject, instance = _build(args)
+    changes = _changes_for(instance, args.changes, args.seed)
+    records = measure_impacts(instance, changes)
+    print(f"impact of {len(records)} changes on {instance.primary}:")
+    print(format_histogram(bucket_impacts(records)))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """``bench``: init + update-time distribution for one configuration."""
+    _subject, instance = _build(args)
+    engine = ENGINES[args.engine]
+    changes = _changes_for(instance, args.changes, args.seed)
+    run = run_update_benchmark(instance, engine, changes)
+    dist = Distribution.of(run.update_times())
+    print(f"init: {run.init_seconds * 1e3:.1f} ms")
+    print(
+        format_table(
+            DISTRIBUTION_HEADERS,
+            [distribution_row(f"{args.analysis}@{args.subject}", dist.row())],
+            title=f"update times (ms), {engine.__name__}",
+        )
+    )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """``explain``: print one derivation of a selected result tuple."""
+    _subject, instance = _build(args)
+    solver = instance.make_solver(LaddderSolver)
+    pred = args.predicate or instance.primary
+    rows = sorted(solver.relation(pred), key=repr)
+    if args.match:
+        rows = [row for row in rows if args.match in repr(row)]
+    if not rows:
+        print(f"no tuples in {pred} matching {args.match!r}")
+        return 1
+    derivation = explain(solver, pred, rows[0])
+    print(f"why {pred}{rows[0]}:")
+    print(derivation.format(indent=1))
+    if len(rows) > 1:
+        print(f"({len(rows) - 1} more matching tuples; narrow with --match)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Laddder reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("analysis", choices=sorted(ANALYSES))
+        p.add_argument("subject", choices=sorted(PRESETS))
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="corpus scale factor")
+        p.add_argument("--seed", type=int, default=42)
+
+    analyze = sub.add_parser("analyze", help="run an analysis, print results")
+    common(analyze)
+    analyze.add_argument("--engine", choices=sorted(ENGINES), default="laddder")
+    analyze.add_argument("--limit", type=int, default=20,
+                         help="max tuples to print (use -1 for all)")
+    analyze.set_defaults(fn=cmd_analyze)
+
+    impact = sub.add_parser("impact", help="Section 3 impact methodology")
+    common(impact)
+    impact.add_argument("--changes", type=int, default=20,
+                        help="change pairs to synthesize")
+    impact.set_defaults(fn=cmd_impact)
+
+    bench = sub.add_parser("bench", help="one-shot update-time measurement")
+    common(bench)
+    bench.add_argument("--engine", choices=sorted(ENGINES), default="laddder")
+    bench.add_argument("--changes", type=int, default=20)
+    bench.set_defaults(fn=cmd_bench)
+
+    explain_cmd = sub.add_parser(
+        "explain", help="show one derivation of an analysis result"
+    )
+    common(explain_cmd)
+    explain_cmd.add_argument("--predicate", default=None,
+                             help="relation to explain (default: primary)")
+    explain_cmd.add_argument("--match", default=None,
+                             help="substring selecting the tuple")
+    explain_cmd.set_defaults(fn=cmd_explain)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = make_parser().parse_args(argv)
+    if getattr(args, "limit", None) == -1:
+        args.limit = None
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

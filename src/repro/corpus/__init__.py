@@ -1,0 +1,6 @@
+"""Synthetic subject programs standing in for the Qualitas Corpus."""
+
+from .generator import CorpusSpec, generate
+from .presets import PRESETS, SUBJECT_ORDER, load_subject
+
+__all__ = ["CorpusSpec", "PRESETS", "SUBJECT_ORDER", "generate", "load_subject"]

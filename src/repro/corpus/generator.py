@@ -1,0 +1,305 @@
+"""Seeded synthetic subject programs — the Qualitas Corpus stand-in.
+
+The paper benchmarks against real Java code bases (minijavac, antlr, emma,
+pmd, ant).  We cannot ship those, so this generator produces deterministic
+Java-like programs with the structural features that actually drive the
+three analyses (see DESIGN.md, substitutions):
+
+* **Library layer** — utility classes with widely-called static helpers.
+  High fan-in is what makes DRed's over-deletion hurt ("this shows up
+  especially when frequently used library functions are affected") and
+  stands in for the analyzed parts of the JRE.
+* **Class hierarchies with virtual dispatch** — abstract bases with several
+  overriding implementations, factory-style allocation patterns where one
+  local receives objects of different classes (driving lub joins to
+  ``C(cls)`` / k-set saturation, as in Figure 3).
+* **Call-chain drivers** — static methods chaining from ``main`` for
+  inter-procedural depth.
+* **Numeric code** — literals, arithmetic, branches, and counter loops for
+  the constant propagation and interval analyses (loops force widening).
+* **Field traffic** — occasional stores/loads for heap flow.
+
+Everything is drawn from ``random.Random(spec.seed)``: the same spec always
+yields the identical program, so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..javalite.ast import JProgram
+from ..javalite.builder import MethodBuilder, finalize, make_class
+
+LITERAL_POOL = (0, 1, 2, 3, 5, 7, 10, 16, 42, 100, 255)
+BINOPS = ("+", "-", "*")
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Size knobs for one synthetic subject program."""
+
+    name: str
+    seed: int
+    hierarchies: int
+    impls_per_hierarchy: int
+    util_classes: int
+    util_methods_per_class: int
+    driver_methods: int
+    stmts_per_method: int
+
+    def scaled(self, factor: float) -> "CorpusSpec":
+        """A proportionally resized copy (used for scaling experiments)."""
+
+        def s(n: int) -> int:
+            return max(1, round(n * factor))
+
+        return CorpusSpec(
+            name=f"{self.name}@{factor:g}x",
+            seed=self.seed,
+            hierarchies=s(self.hierarchies),
+            impls_per_hierarchy=max(2, round(self.impls_per_hierarchy * factor)),
+            util_classes=s(self.util_classes),
+            util_methods_per_class=s(self.util_methods_per_class),
+            driver_methods=s(self.driver_methods),
+            stmts_per_method=max(4, round(self.stmts_per_method * factor)),
+        )
+
+
+class _BodyGenerator:
+    """Generates one method body, tracking initialized locals."""
+
+    def __init__(self, rng: random.Random, spec: CorpusSpec, context: "_Context"):
+        self.rng = rng
+        self.spec = spec
+        self.ctx = context
+        self.num_locals: list[str] = []
+        self.obj_locals: dict[str, int] = {}  # local -> hierarchy index
+        self.counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def ensure_numeric(self, m: MethodBuilder) -> str:
+        if self.num_locals and self.rng.random() < 0.7:
+            return self.rng.choice(self.num_locals)
+        name = self.fresh("n")
+        m.const(name, self.rng.choice(LITERAL_POOL))
+        self.num_locals.append(name)
+        return name
+
+    def emit_statement(self, m: MethodBuilder) -> None:
+        roll = self.rng.random()
+        if roll < 0.22:
+            name = self.fresh("n")
+            m.const(name, self.rng.choice(LITERAL_POOL))
+            self.num_locals.append(name)
+        elif roll < 0.38:
+            a = self.ensure_numeric(m)
+            b = self.ensure_numeric(m)
+            name = self.fresh("n")
+            m.binop(name, self.rng.choice(BINOPS), a, b)
+            self.num_locals.append(name)
+        elif roll < 0.52:
+            self._emit_allocation(m)
+        elif roll < 0.62:
+            self._emit_move(m)
+        elif roll < 0.72:
+            self._emit_vcall(m)
+        elif roll < 0.80:
+            self._emit_util_call(m)
+        elif roll < 0.94:
+            self._emit_field_traffic(m)
+        elif roll < 0.97:
+            self._emit_branch(m)
+        else:
+            self._emit_loop(m)
+
+    def _emit_allocation(self, m: MethodBuilder) -> None:
+        h = self.rng.randrange(self.spec.hierarchies)
+        impl = self.rng.randrange(self.spec.impls_per_hierarchy)
+        # Re-assigning an existing local of the same hierarchy creates the
+        # Figure 3 factory pattern (one variable, several classes).
+        same = [v for v, hh in self.obj_locals.items() if hh == h]
+        if same and self.rng.random() < 0.4:
+            var = self.rng.choice(same)
+        else:
+            var = self.fresh("o")
+        m.new(var, self.ctx.impl_name(h, impl))
+        self.obj_locals[var] = h
+
+    def _emit_move(self, m: MethodBuilder) -> None:
+        if not self.obj_locals:
+            self._emit_allocation(m)
+            return
+        src = self.rng.choice(list(self.obj_locals))
+        dst = self.fresh("o")
+        m.move(dst, src)
+        self.obj_locals[dst] = self.obj_locals[src]
+
+    def _emit_vcall(self, m: MethodBuilder) -> None:
+        if not self.obj_locals:
+            self._emit_allocation(m)
+        recv = self.rng.choice(list(self.obj_locals))
+        h = self.obj_locals[recv]
+        arg = self.ensure_numeric(m)
+        ret = self.fresh("n")
+        m.vcall(ret, recv, self.ctx.sig_name(h), arg)
+        self.num_locals.append(ret)
+
+    def _emit_field_traffic(self, m: MethodBuilder) -> None:
+        """Store an object into a per-hierarchy shared field, or load one
+        back.  The analyses are field-based, so these fields act as heap
+        hubs that accumulate allocation sites — the collection pattern that
+        saturates k-update sets on real code."""
+        if not self.obj_locals:
+            self._emit_allocation(m)
+        var = self.rng.choice(list(self.obj_locals))
+        h = self.obj_locals[var]
+        # A program-wide "cache" field mixes hierarchies (the collection
+        # pattern); per-hierarchy "sharedN" fields stay typed.
+        fieldname = "cache" if self.rng.random() < 0.3 else f"shared{h}"
+        if self.rng.random() < 0.6:
+            m.store(var, fieldname, var)
+        else:
+            dst = self.fresh("o")
+            m.load(dst, var, fieldname)
+            self.obj_locals[dst] = h
+
+    def _emit_util_call(self, m: MethodBuilder) -> None:
+        cls, sig = self.ctx.random_util(self.rng)
+        arg = self.ensure_numeric(m)
+        ret = self.fresh("n")
+        m.scall(ret, cls, sig, arg)
+        self.num_locals.append(ret)
+
+    def _emit_branch(self, m: MethodBuilder) -> None:
+        cond = self.ensure_numeric(m)
+        target = self.fresh("n")
+        m.if_(cond)
+        m.const(target, self.rng.choice(LITERAL_POOL))
+        m.else_()
+        m.const(target, self.rng.choice(LITERAL_POOL))
+        m.end()
+        self.num_locals.append(target)
+
+    def _emit_loop(self, m: MethodBuilder) -> None:
+        i = self.fresh("n")
+        step = self.fresh("n")
+        m.const(i, 0)
+        m.const(step, 1)
+        m.while_(i)
+        m.binop(i, "+", i, step)
+        m.end()
+        self.num_locals.append(i)
+
+
+class _Context:
+    """Names and cross-references shared by all generated bodies."""
+
+    def __init__(self, spec: CorpusSpec):
+        self.spec = spec
+        prefix = "".join(ch for ch in spec.name.title() if ch.isalnum())
+        self.prefix = prefix or "Gen"
+
+    def base_name(self, h: int) -> str:
+        return f"{self.prefix}Base{h}"
+
+    def impl_name(self, h: int, j: int) -> str:
+        return f"{self.prefix}Impl{h}x{j}"
+
+    def sig_name(self, h: int) -> str:
+        return f"op{h}"
+
+    def util_name(self, u: int) -> str:
+        return f"{self.prefix}Util{u}"
+
+    def util_sig(self, k: int) -> str:
+        return f"helper{k}"
+
+    def random_util(self, rng: random.Random) -> tuple[str, str]:
+        u = rng.randrange(self.spec.util_classes)
+        k = rng.randrange(self.spec.util_methods_per_class)
+        return self.util_name(u), self.util_sig(k)
+
+
+def generate(spec: CorpusSpec) -> JProgram:
+    """Generate the deterministic subject program described by ``spec``."""
+    rng = random.Random(spec.seed)
+    ctx = _Context(spec)
+    program = JProgram(entry="Main.main")
+
+    # A common root so lattice joins across hierarchies stay defined
+    # (java.lang.Object).
+    program.add_class(make_class("Object"))
+
+    # Library layer: static numeric helpers with internal call chains.
+    for u in range(spec.util_classes):
+        cls = make_class(ctx.util_name(u), superclass="Object")
+        for k in range(spec.util_methods_per_class):
+            m = MethodBuilder(ctx.util_sig(k), params=("p",), is_static=True)
+            gen = _BodyGenerator(rng, spec, ctx)
+            gen.num_locals.append("p")
+            m.binop("acc", rng.choice(BINOPS), "p", "p")
+            gen.num_locals.append("acc")
+            for _ in range(max(2, spec.stmts_per_method // 2)):
+                roll = rng.random()
+                if roll < 0.5:
+                    a = gen.ensure_numeric(m)
+                    m.binop("acc", rng.choice(BINOPS), "acc", a)
+                elif roll < 0.8 and k > 0:
+                    # chain into a lower helper of the same class
+                    m.scall("acc", ctx.util_name(u), ctx.util_sig(rng.randrange(k)), "acc")
+                else:
+                    gen.emit_statement(m)
+            m.ret("acc")
+            cls.add_method(m.build())
+        program.add_class(cls)
+
+    # Hierarchies: abstract base + overriding implementations.
+    for h in range(spec.hierarchies):
+        base = make_class(ctx.base_name(h), superclass="Object", is_abstract=True)
+        program.add_class(base)
+        for j in range(spec.impls_per_hierarchy):
+            impl = make_class(ctx.impl_name(h, j), superclass=ctx.base_name(h))
+            m = MethodBuilder(ctx.sig_name(h), params=("p",))
+            gen = _BodyGenerator(rng, spec, ctx)
+            gen.num_locals.append("p")
+            for _ in range(spec.stmts_per_method):
+                gen.emit_statement(m)
+            m.ret(gen.ensure_numeric(m))
+            impl.add_method(m.build())
+            program.add_class(impl)
+
+    # Drivers: a chain of static methods from main.
+    main_cls = make_class("Main", superclass="Object")
+    for d in range(spec.driver_methods):
+        m = MethodBuilder(f"driver{d}", params=("p",), is_static=True)
+        gen = _BodyGenerator(rng, spec, ctx)
+        gen.num_locals.append("p")
+        for _ in range(spec.stmts_per_method):
+            gen.emit_statement(m)
+        if d + 1 < spec.driver_methods:
+            m.scall("chain", "Main", f"driver{d + 1}", gen.ensure_numeric(m))
+        m.ret(gen.ensure_numeric(m))
+        main_cls.add_method(m.build())
+
+    main = MethodBuilder("main", is_static=True)
+    gen = _BodyGenerator(rng, spec, ctx)
+    seed_var = gen.fresh("n")
+    main.const(seed_var, 1)
+    gen.num_locals.append(seed_var)
+    # main allocates at least one object per hierarchy so dispatch resolves.
+    for h in range(spec.hierarchies):
+        var = gen.fresh("o")
+        main.new(var, ctx.impl_name(h, rng.randrange(spec.impls_per_hierarchy)))
+        gen.obj_locals[var] = h
+    for _ in range(spec.stmts_per_method):
+        gen.emit_statement(main)
+    if spec.driver_methods:
+        main.scall("r", "Main", "driver0", gen.ensure_numeric(main))
+    main_cls.add_method(main.build())
+    program.add_class(main_cls)
+
+    return finalize(program)

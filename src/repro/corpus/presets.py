@@ -1,0 +1,62 @@
+"""The five benchmark subjects, named after the paper's code bases.
+
+Relative sizes track the paper (minijavac 6.5k < antlr 22k < emma 26k <
+pmd 61k < ant 105k LOC), scaled down for a pure-Python solver substrate
+(see DESIGN.md, substitutions).  ``SCALE`` applies a global factor so the
+whole evaluation can be grown or shrunk uniformly (benchmarks default to
+1.0; quick tests use smaller factors).
+"""
+
+from __future__ import annotations
+
+from ..javalite.ast import JProgram
+from .generator import CorpusSpec, generate
+
+PRESETS: dict[str, CorpusSpec] = {
+    "minijavac": CorpusSpec(
+        name="minijavac", seed=101,
+        hierarchies=2, impls_per_hierarchy=3,
+        util_classes=2, util_methods_per_class=3,
+        driver_methods=4, stmts_per_method=8,
+    ),
+    "antlr": CorpusSpec(
+        name="antlr", seed=202,
+        hierarchies=4, impls_per_hierarchy=4,
+        util_classes=3, util_methods_per_class=4,
+        driver_methods=8, stmts_per_method=10,
+    ),
+    "emma": CorpusSpec(
+        name="emma", seed=303,
+        hierarchies=5, impls_per_hierarchy=4,
+        util_classes=4, util_methods_per_class=4,
+        driver_methods=9, stmts_per_method=10,
+    ),
+    "pmd": CorpusSpec(
+        name="pmd", seed=404,
+        hierarchies=7, impls_per_hierarchy=5,
+        util_classes=5, util_methods_per_class=5,
+        driver_methods=12, stmts_per_method=12,
+    ),
+    "ant": CorpusSpec(
+        name="ant", seed=505,
+        hierarchies=9, impls_per_hierarchy=6,
+        util_classes=7, util_methods_per_class=5,
+        driver_methods=16, stmts_per_method=13,
+    ),
+}
+
+#: Benchmark subject order used throughout Section 7.
+SUBJECT_ORDER = ["minijavac", "antlr", "emma", "pmd", "ant"]
+
+_cache: dict[tuple[str, float], JProgram] = {}
+
+
+def load_subject(name: str, scale: float = 1.0) -> JProgram:
+    """Generate (and memoize) a preset subject program."""
+    key = (name, scale)
+    if key not in _cache:
+        spec = PRESETS[name]
+        if scale != 1.0:
+            spec = spec.scaled(scale)
+        _cache[key] = generate(spec)
+    return _cache[key]

@@ -1,0 +1,48 @@
+"""Datalog with lattice aggregation: AST, parser, and static pipeline.
+
+The public surface mirrors IncA's front end: write rules as text
+(:func:`parse`) or via the AST helpers (:func:`atom`, :func:`head`,
+:func:`agg`, ...), register lattices/aggregators/functions on the
+:class:`Program`, then hand it to any solver in :mod:`repro.engines`.
+"""
+
+from .ast import (
+    AggTerm,
+    Atom,
+    BodyItem,
+    Constant,
+    Eval,
+    Head,
+    Literal,
+    Rule,
+    Term,
+    Test,
+    Variable,
+    agg,
+    atom,
+    const,
+    head,
+    let,
+    negated,
+    test,
+    var,
+    vars,
+)
+from .errors import DatalogError, ParseError, SolverError, ValidationError
+from .normalize import collecting_name, factor_aggregations, normalize
+from .parser import parse
+from .planning import delta_plans, plan_body
+from .pretty import format_program, format_relation, format_relations, format_strata
+from .program import Program
+from .stratify import Component, stratify
+from .validate import validate
+
+__all__ = [
+    "AggTerm", "Atom", "BodyItem", "Component", "Constant", "DatalogError",
+    "Eval", "Head", "Literal", "ParseError", "Program", "Rule", "SolverError",
+    "Term", "Test", "ValidationError", "Variable", "agg", "atom",
+    "collecting_name", "const", "delta_plans", "factor_aggregations",
+    "format_program", "format_relation", "format_relations", "format_strata",
+    "head", "let", "negated", "normalize", "parse", "plan_body", "stratify",
+    "test", "validate", "var", "vars",
+]

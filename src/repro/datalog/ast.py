@@ -1,0 +1,298 @@
+"""Abstract syntax of Datalog with lattice aggregation.
+
+A rule is ``head :- body`` where the body mixes:
+
+* positive and negated relational literals,
+* ``Eval`` atoms ``X := fn(args)`` binding a fresh variable to the result of
+  a registered function (the paper's expression evaluation, e.g.
+  ``lat = O(obj)`` in Figure 1),
+* ``Test`` atoms — boolean filters over bound variables (comparisons and
+  arbitrary registered predicates).
+
+Aggregation is expressed in the *head*: exactly one argument position may be
+an :class:`AggTerm` ``op<Var>``, grouping on the remaining arguments —
+mirroring Figure 1's ``PTlub(var, lub(lat)) :- PT(var, lat)``.
+
+Terms are either :class:`Variable` or :class:`Constant`; constants carry
+plain hashable Python values (which may be lattice elements).  Relation
+tuples as stored by the solvers are tuples of such plain values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable.  Names starting with ``_`` are wildcards."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True iff this variable is anonymous (joins nothing)."""
+        return self.name.startswith("_")
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term wrapping any hashable Python value."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class AggTerm:
+    """An aggregation slot ``op<Var>`` in a rule head.
+
+    ``op`` names an :class:`repro.lattices.Aggregator` registered on the
+    program; ``var`` is the aggregated (lattice-valued) body variable.
+    """
+
+    op: str
+    var: Variable
+
+    def __repr__(self) -> str:
+        return f"{self.op}<{self.var.name}>"
+
+
+HeadTerm = Union[Variable, Constant, AggTerm]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``pred(t1, ..., tn)``."""
+
+    pred: str
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.args)
+
+    def variables(self) -> set[Variable]:
+        """The variables occurring in the arguments."""
+        return {a for a in self.args if isinstance(a, Variable)}
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated relational body atom."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return f"!{self.atom!r}" if self.negated else repr(self.atom)
+
+    @property
+    def pred(self) -> str:
+        """The predicate name of the wrapped atom."""
+        return self.atom.pred
+
+
+@dataclass(frozen=True)
+class Eval:
+    """``var := fn(args)`` — bind ``var`` to the value of a registered
+    function applied to already-bound arguments."""
+
+    var: Variable
+    fn: str
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.var.name} := {self.fn}({inner})"
+
+
+@dataclass(frozen=True)
+class Test:
+    """``?fn(args)`` or a comparison — keep the binding iff ``fn`` holds."""
+
+    __test__ = False  # not a pytest test class
+
+    fn: str
+    args: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"?{self.fn}({inner})"
+
+
+BodyItem = Union[Literal, Eval, Test]
+
+
+@dataclass(frozen=True)
+class Head:
+    """A rule head: predicate plus argument terms, at most one AggTerm."""
+
+    pred: str
+    args: tuple[HeadTerm, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+    @property
+    def arity(self) -> int:
+        """Number of head argument positions."""
+        return len(self.args)
+
+    def agg_positions(self) -> list[int]:
+        """Indexes of aggregation slots (at most one after validation)."""
+        return [i for i, a in enumerate(self.args) if isinstance(a, AggTerm)]
+
+    @property
+    def agg_term(self) -> AggTerm | None:
+        """The aggregation slot, if this head has one."""
+        positions = self.agg_positions()
+        if not positions:
+            return None
+        return self.args[positions[0]]
+
+    @property
+    def is_aggregation(self) -> bool:
+        """True iff the head contains an aggregation slot."""
+        return bool(self.agg_positions())
+
+    def group_terms(self) -> tuple[Term, ...]:
+        """The non-aggregated head terms (the aggregation group)."""
+        return tuple(a for a in self.args if not isinstance(a, AggTerm))
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``  A fact is a rule with an empty body and ground head."""
+
+    head: Head
+    body: tuple[BodyItem, ...] = field(default_factory=tuple)
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        inner = ", ".join(repr(b) for b in self.body)
+        return f"{self.head!r} :- {inner}."
+
+    @property
+    def is_fact(self) -> bool:
+        """True iff the rule has an empty body (a ground fact)."""
+        return not self.body
+
+    @property
+    def is_aggregation(self) -> bool:
+        """True iff the head aggregates (see :class:`AggTerm`)."""
+        return self.head.is_aggregation
+
+    def body_literals(self) -> list[Literal]:
+        """All relational body atoms (positive and negated)."""
+        return [b for b in self.body if isinstance(b, Literal)]
+
+    def positive_literals(self) -> list[Literal]:
+        """The positive relational body atoms."""
+        return [b for b in self.body if isinstance(b, Literal) and not b.negated]
+
+    def negative_literals(self) -> list[Literal]:
+        """The negated relational body atoms."""
+        return [b for b in self.body if isinstance(b, Literal) and b.negated]
+
+    def head_variables(self) -> set[Variable]:
+        """Variables the head mentions (including aggregated ones)."""
+        out: set[Variable] = set()
+        for arg in self.head.args:
+            if isinstance(arg, Variable):
+                out.add(arg)
+            elif isinstance(arg, AggTerm):
+                out.add(arg.var)
+        return out
+
+    def body_variables(self) -> set[Variable]:
+        """Variables any body item mentions or binds."""
+        out: set[Variable] = set()
+        for item in self.body:
+            if isinstance(item, Literal):
+                out |= item.atom.variables()
+            elif isinstance(item, Eval):
+                out.add(item.var)
+                out |= {a for a in item.args if isinstance(a, Variable)}
+            elif isinstance(item, Test):
+                out |= {a for a in item.args if isinstance(a, Variable)}
+        return out
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor for a variable."""
+    return Variable(name)
+
+
+def vars(names: str) -> tuple[Variable, ...]:
+    """Split a whitespace-separated name list into variables:
+    ``V, O, M = vars("V O M")``."""
+    return tuple(Variable(n) for n in names.split())
+
+
+def const(value: object) -> Constant:
+    """Shorthand constructor for a constant term."""
+    return Constant(value)
+
+
+def _to_term(value: object) -> Term:
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)
+
+
+def atom(pred: str, *args: object) -> Literal:
+    """Build a positive body literal; bare Python values become constants."""
+    return Literal(Atom(pred, tuple(_to_term(a) for a in args)))
+
+
+def negated(pred: str, *args: object) -> Literal:
+    """Build a negated body literal."""
+    return Literal(Atom(pred, tuple(_to_term(a) for a in args)), negated=True)
+
+
+def head(pred: str, *args: object) -> Head:
+    """Build a rule head; bare Python values become constants and
+    :class:`AggTerm` objects pass through."""
+    out: list[HeadTerm] = []
+    for a in args:
+        if isinstance(a, AggTerm):
+            out.append(a)
+        else:
+            out.append(_to_term(a))
+    return Head(pred, tuple(out))
+
+
+def agg(op: str, variable: Variable | str) -> AggTerm:
+    """Build an aggregation head slot ``op<variable>``."""
+    if isinstance(variable, str):
+        variable = Variable(variable)
+    return AggTerm(op, variable)
+
+
+def let(variable: Variable | str, fn: str, *args: object) -> Eval:
+    """Build an Eval body item ``variable := fn(args)``."""
+    if isinstance(variable, str):
+        variable = Variable(variable)
+    return Eval(variable, fn, tuple(_to_term(a) for a in args))
+
+
+def test(fn: str, *args: object) -> Test:
+    """Build a Test body item ``?fn(args)``."""
+    return Test(fn, tuple(_to_term(a) for a in args))

@@ -1,0 +1,25 @@
+"""Error hierarchy for the Datalog front end and solvers."""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for every front-end and solver error."""
+
+
+class ParseError(DatalogError):
+    """Syntax error in Datalog source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(DatalogError):
+    """The program violates a structural assumption (safety, stratification,
+    ASM1–ASM3, unresolved aggregator or function names, ...)."""
+
+
+class SolverError(DatalogError):
+    """Runtime failure inside a solver (divergence guard, bad input facts)."""

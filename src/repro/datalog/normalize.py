@@ -1,0 +1,186 @@
+"""Normalization passes run before solving.
+
+Two passes, both semantics-preserving:
+
+* :func:`rename_wildcards_apart` — every occurrence of the anonymous
+  variable ``_`` becomes a fresh variable so accidental joins cannot happen.
+  (The text parser already does this; the pass covers builder-made rules.)
+
+* :func:`factor_aggregations` — rewrite every aggregation rule so that its
+  body is a single positive literal over a *collecting relation*
+  (ASM1.1: "each predicate in [the cut] is the aggregation of a collecting
+  relation").  ``P(g, op<V>) :- BODY`` becomes::
+
+      P$collect(g, V) :- BODY.
+      P(g, op<V>)     :- P$collect(g, V).
+
+  Multiple aggregation rules for the same head feed the same collecting
+  relation; the aggregation rule itself becomes unique.  Mixing aggregation
+  and plain rules for one predicate is rejected.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .ast import AggTerm, Atom, Constant, Eval, Head, Literal, Rule, Term, Test, Variable
+from .errors import ValidationError
+from .program import Program
+
+COLLECT_SUFFIX = "$collect"
+
+
+def collecting_name(pred: str) -> str:
+    """Name of the auxiliary collecting relation for aggregated ``pred``."""
+    return pred + COLLECT_SUFFIX
+
+
+def rename_wildcards_apart(program: Program) -> Program:
+    """Replace each occurrence of the variable ``_`` by a fresh variable."""
+    counter = itertools.count()
+    new_rules = []
+    for rule in program.rules:
+        new_rules.append(_rename_rule(rule, counter))
+    program.rules = new_rules
+    return program
+
+
+def _rename_rule(rule: Rule, counter) -> Rule:
+    def fix_term(term: Term) -> Term:
+        if isinstance(term, Variable) and term.name == "_":
+            return Variable(f"_a{next(counter)}")
+        return term
+
+    def fix_body(item):
+        if isinstance(item, Literal):
+            return Literal(
+                Atom(item.atom.pred, tuple(fix_term(t) for t in item.atom.args)),
+                item.negated,
+            )
+        if isinstance(item, Eval):
+            return Eval(item.var, item.fn, tuple(fix_term(t) for t in item.args))
+        if isinstance(item, Test):
+            return Test(item.fn, tuple(fix_term(t) for t in item.args))
+        return item
+
+    head_args = []
+    for arg in rule.head.args:
+        if isinstance(arg, (Variable, Constant)):
+            head_args.append(fix_term(arg))
+        else:
+            head_args.append(arg)
+    return Rule(Head(rule.head.pred, tuple(head_args)), tuple(fix_body(b) for b in rule.body))
+
+
+def factor_aggregations(program: Program) -> Program:
+    """Ensure every aggregated predicate is defined by exactly one
+    aggregation rule over a dedicated collecting relation."""
+    by_pred: dict[str, list[Rule]] = {}
+    for rule in program.rules:
+        by_pred.setdefault(rule.head.pred, []).append(rule)
+
+    new_rules: list[Rule] = []
+    for pred, rules in by_pred.items():
+        agg_rules = [r for r in rules if r.is_aggregation]
+        if not agg_rules:
+            new_rules.extend(rules)
+            continue
+        if len(agg_rules) != len(rules):
+            raise ValidationError(
+                f"predicate {pred} mixes aggregation and plain rules"
+            )
+        _check_consistent_aggregation(pred, agg_rules)
+
+        first = agg_rules[0]
+        if len(agg_rules) == 1 and _is_simple_collecting_body(first):
+            new_rules.append(first)
+            continue
+
+        collect = collecting_name(pred)
+        group_vars, agg_pos, agg_term = _head_shape(first)
+        # One collecting rule per original aggregation rule.
+        for rule in agg_rules:
+            _, _, term = _head_shape(rule)
+            collect_args: list[Term] = []
+            for i, arg in enumerate(rule.head.args):
+                if isinstance(arg, AggTerm):
+                    collect_args.append(arg.var)
+                else:
+                    collect_args.append(arg)
+            new_rules.append(Rule(Head(collect, tuple(collect_args)), rule.body))
+        # A single canonical aggregation over the collecting relation.
+        fresh = [Variable(f"G{i}") for i in range(len(first.head.args))]
+        agg_head_args: list = []
+        collect_body_args: list[Term] = []
+        for i in range(len(first.head.args)):
+            if i == agg_pos:
+                agg_head_args.append(AggTerm(agg_term.op, fresh[i]))
+            else:
+                agg_head_args.append(fresh[i])
+            collect_body_args.append(fresh[i])
+        new_rules.append(
+            Rule(
+                Head(pred, tuple(agg_head_args)),
+                (Literal(Atom(collect, tuple(collect_body_args))),),
+            )
+        )
+    program.rules = new_rules
+    return program
+
+
+def _is_simple_collecting_body(rule: Rule) -> bool:
+    """True iff the aggregation rule's body is already a single positive
+    literal and the head mentions only variables (a direct collecting shape)."""
+    if len(rule.body) != 1:
+        return False
+    item = rule.body[0]
+    if not isinstance(item, Literal) or item.negated:
+        return False
+    head_ok = all(
+        isinstance(a, (Variable, AggTerm)) for a in rule.head.args
+    )
+    # Group variables must be distinct and the aggregated variable must not
+    # double as a group variable; otherwise factoring is required to give
+    # the aggregation machinery a plain (group..., value) collecting shape.
+    seen: set[str] = set()
+    for arg in rule.head.args:
+        name = arg.var.name if isinstance(arg, AggTerm) else getattr(arg, "name", None)
+        if name is None or name in seen:
+            return False
+        seen.add(name)
+    return head_ok
+
+
+def _head_shape(rule: Rule) -> tuple[list, int, AggTerm]:
+    positions = rule.head.agg_positions()
+    if len(positions) != 1:
+        raise ValidationError(
+            f"rule for {rule.head.pred} must have exactly one aggregation "
+            f"slot, found {len(positions)}"
+        )
+    pos = positions[0]
+    return list(rule.head.group_terms()), pos, rule.head.args[pos]
+
+
+def _check_consistent_aggregation(pred: str, rules: list[Rule]) -> None:
+    shapes = set()
+    for rule in rules:
+        positions = rule.head.agg_positions()
+        if len(positions) != 1:
+            raise ValidationError(
+                f"rule for {pred} must have exactly one aggregation slot"
+            )
+        term = rule.head.args[positions[0]]
+        shapes.add((rule.head.arity, positions[0], term.op))
+    if len(shapes) != 1:
+        raise ValidationError(
+            f"aggregation rules for {pred} disagree on arity, slot, or "
+            f"operator: {sorted(shapes)}"
+        )
+
+
+def normalize(program: Program) -> Program:
+    """Run all normalization passes (in place; returns the program)."""
+    rename_wildcards_apart(program)
+    factor_aggregations(program)
+    return program

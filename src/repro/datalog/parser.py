@@ -1,0 +1,309 @@
+"""A hand-rolled lexer and recursive-descent parser for Datalog text.
+
+Grammar (informal)::
+
+    program   := (directive | rule)*
+    directive := ".export" IDENT ("," IDENT)* "."
+    rule      := head (":-" body)? "."
+    head      := IDENT "(" headterm ("," headterm)* ")"
+    headterm  := IDENT "<" VAR ">"          -- aggregation slot, e.g. lub<L>
+               | term
+    body      := bodyitem ("," bodyitem)*
+    bodyitem  := "!" atom                   -- negated literal
+               | VAR ":=" IDENT "(" terms ")"   -- Eval
+               | "?" IDENT "(" terms ")"    -- Test
+               | term CMP term              -- comparison sugar (lt/le/...)
+               | atom
+    term      := VAR | NUMBER | STRING | IDENT   -- bare idents are symbols
+
+Identifiers starting with an uppercase letter or ``_`` are variables
+(Prolog convention); ``_`` alone is a wildcard and is renamed apart.
+Comments run from ``//`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .ast import (
+    AggTerm,
+    Atom,
+    Constant,
+    Eval,
+    Head,
+    HeadTerm,
+    Literal,
+    Rule,
+    Term,
+    Test,
+    Variable,
+)
+from .errors import ParseError
+from .program import Program
+
+_SYMBOLS = [":-", ":=", "<=", ">=", "==", "!=", "(", ")", ",", ".", "!", "?", "<", ">"]
+_COMPARISONS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # IDENT, VAR, NUMBER, STRING, SYM, EOF
+    text: str
+    line: int
+    column: int
+
+
+class _Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[_Token]:
+        out = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.kind == "EOF":
+                return out
+
+    def _advance(self, n: int) -> None:
+        for ch in self.source[self.pos : self.pos + n]:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += n
+
+    def _next(self) -> _Token:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+            elif ch == "#" or src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance(1)
+            else:
+                break
+        if self.pos >= len(src):
+            return _Token("EOF", "", self.line, self.column)
+
+        line, column = self.line, self.column
+        ch = src[self.pos]
+
+        if ch in "\"'":
+            quote = ch
+            end = self.pos + 1
+            while end < len(src) and src[end] != quote:
+                if src[end] == "\n":
+                    raise ParseError("unterminated string", line, column)
+                end += 1
+            if end >= len(src):
+                raise ParseError("unterminated string", line, column)
+            text = src[self.pos + 1 : end]
+            self._advance(end + 1 - self.pos)
+            return _Token("STRING", text, line, column)
+
+        if ch.isdigit() or (
+            ch == "-" and self.pos + 1 < len(src) and src[self.pos + 1].isdigit()
+        ):
+            end = self.pos + 1
+            while end < len(src) and (src[end].isdigit() or src[end] == "."):
+                # A "." only continues the number if followed by a digit,
+                # so rule-terminating periods lex correctly after numbers.
+                if src[end] == "." and not (end + 1 < len(src) and src[end + 1].isdigit()):
+                    break
+                end += 1
+            text = src[self.pos : end]
+            self._advance(end - self.pos)
+            return _Token("NUMBER", text, line, column)
+
+        if ch.isalpha() or ch == "_":
+            end = self.pos
+            while end < len(src) and (src[end].isalnum() or src[end] in "_$"):
+                end += 1
+            text = src[self.pos : end]
+            self._advance(end - self.pos)
+            kind = "VAR" if (text[0].isupper() or text[0] == "_") else "IDENT"
+            return _Token(kind, text, line, column)
+
+        for sym in _SYMBOLS:
+            if src.startswith(sym, self.pos):
+                self._advance(len(sym))
+                return _Token("SYM", sym, line, column)
+
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.index = 0
+        self._wildcards = itertools.count()
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def _take(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._take()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or token.kind!r}",
+                token.line,
+                token.column,
+            )
+        return token
+
+    def _at_sym(self, text: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == "SYM" and token.text == text
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self, program: Program) -> Program:
+        while self._peek().kind != "EOF":
+            if self._at_sym("."):
+                self._parse_directive(program)
+            else:
+                program.add_rule(self._parse_rule())
+        return program
+
+    def _parse_directive(self, program: Program) -> None:
+        self._expect("SYM", ".")
+        keyword = self._expect("IDENT")
+        if keyword.text != "export":
+            raise ParseError(
+                f"unknown directive .{keyword.text}", keyword.line, keyword.column
+            )
+        names = [self._expect("IDENT").text]
+        while self._at_sym(","):
+            self._take()
+            names.append(self._expect("IDENT").text)
+        self._expect("SYM", ".")
+        if program.exports is None:
+            program.exports = set()
+        program.exports.update(names)
+
+    def _parse_rule(self) -> Rule:
+        head = self._parse_head()
+        body: tuple = ()
+        if self._at_sym(":-"):
+            self._take()
+            items = [self._parse_body_item()]
+            while self._at_sym(","):
+                self._take()
+                items.append(self._parse_body_item())
+            body = tuple(items)
+        self._expect("SYM", ".")
+        return Rule(head, body)
+
+    def _parse_head(self) -> Head:
+        name = self._expect("IDENT")
+        self._expect("SYM", "(")
+        args: list[HeadTerm] = [self._parse_head_term()]
+        while self._at_sym(","):
+            self._take()
+            args.append(self._parse_head_term())
+        self._expect("SYM", ")")
+        return Head(name.text, tuple(args))
+
+    def _parse_head_term(self) -> HeadTerm:
+        # "op<Var>" — aggregation slot.
+        if self._peek().kind == "IDENT" and self._at_sym("<", 1):
+            op = self._take().text
+            self._take()  # "<"
+            variable = self._expect("VAR")
+            self._expect("SYM", ">")
+            return AggTerm(op, Variable(variable.text))
+        return self._parse_term()
+
+    def _parse_body_item(self):
+        if self._at_sym("!"):
+            self._take()
+            return Literal(self._parse_atom(), negated=True)
+        if self._at_sym("?"):
+            self._take()
+            name = self._expect("IDENT")
+            args = self._parse_paren_terms()
+            return Test(name.text, args)
+        if self._peek().kind == "VAR" and self._at_sym(":=", 1):
+            variable = self._take()
+            self._take()  # ":="
+            name = self._expect("IDENT")
+            args = self._parse_paren_terms()
+            return Eval(Variable(variable.text), name.text, args)
+        # Comparison sugar: term CMP term.
+        if self._looks_like_comparison():
+            left = self._parse_term()
+            op = self._take().text
+            right = self._parse_term()
+            return Test(_COMPARISONS[op], (left, right))
+        return Literal(self._parse_atom())
+
+    def _looks_like_comparison(self) -> bool:
+        token = self._peek()
+        if token.kind in ("VAR", "NUMBER", "STRING"):
+            nxt = self._peek(1)
+            return nxt.kind == "SYM" and nxt.text in _COMPARISONS
+        return False
+
+    def _parse_atom(self) -> Atom:
+        name = self._expect("IDENT")
+        args = self._parse_paren_terms()
+        return Atom(name.text, args)
+
+    def _parse_paren_terms(self) -> tuple[Term, ...]:
+        self._expect("SYM", "(")
+        if self._at_sym(")"):
+            self._take()
+            return ()
+        args = [self._parse_term()]
+        while self._at_sym(","):
+            self._take()
+            args.append(self._parse_term())
+        self._expect("SYM", ")")
+        return tuple(args)
+
+    def _parse_term(self) -> Term:
+        token = self._take()
+        if token.kind == "VAR":
+            if token.text == "_":
+                return Variable(f"_w{next(self._wildcards)}")
+            return Variable(token.text)
+        if token.kind == "NUMBER":
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == "STRING":
+            return Constant(token.text)
+        if token.kind == "IDENT":
+            return Constant(token.text)  # bare symbol constant
+        raise ParseError(
+            f"expected a term, found {token.text or token.kind!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str, program: Program | None = None) -> Program:
+    """Parse Datalog source text into a (new or existing) :class:`Program`.
+
+    Registered functions, tests, and aggregators are *not* part of the text;
+    register them on the program before or after parsing.
+    """
+    if program is None:
+        program = Program()
+    tokens = _Lexer(source).tokens()
+    return _Parser(tokens).parse_program(program)

@@ -1,0 +1,143 @@
+"""Body planning: order body items so evaluation is well-defined.
+
+All engines evaluate rule bodies left to right, binding variables as they
+go.  :func:`plan_body` reorders the body so that:
+
+* positive literals come in a greedy most-bound-first order (a simple join
+  heuristic that prefers atoms sharing variables with what is already bound),
+* ``Eval`` atoms run as soon as their arguments are bound,
+* ``Test`` atoms and negated literals run as soon as their arguments are
+  bound (negation is safe only on fully bound atoms).
+
+:func:`plan_body_around` pins one chosen positive-literal occurrence first —
+the *delta* position used by semi-naïve and incremental evaluation.
+
+Both raise :class:`ValidationError` if no admissible order exists
+(an unbound Eval argument, unsafe negation, ...).
+"""
+
+from __future__ import annotations
+
+from .ast import BodyItem, Eval, Literal, Rule, Test, Variable
+from .errors import ValidationError
+
+
+def _term_vars(args) -> set[Variable]:
+    return {a for a in args if isinstance(a, Variable)}
+
+
+def _ready(item: BodyItem, bound: set[Variable]) -> bool:
+    if isinstance(item, Literal):
+        if item.negated:
+            return _term_vars(item.atom.args) <= bound
+        return True  # a positive literal can always be scanned
+    if isinstance(item, Eval):
+        return _term_vars(item.args) <= bound
+    if isinstance(item, Test):
+        return _term_vars(item.args) <= bound
+    raise TypeError(f"unknown body item {item!r}")
+
+
+def _binds(item: BodyItem) -> set[Variable]:
+    if isinstance(item, Literal) and not item.negated:
+        return _term_vars(item.atom.args)
+    if isinstance(item, Eval):
+        return {item.var}
+    return set()
+
+
+def _overlap(item: BodyItem, bound: set[Variable]) -> int:
+    if isinstance(item, Literal):
+        return len(_term_vars(item.atom.args) & bound)
+    return 0
+
+
+def plan_body(
+    rule: Rule,
+    pinned: int | None = None,
+    initially_bound: set[Variable] | None = None,
+) -> list[BodyItem]:
+    """Return the body items of ``rule`` in an admissible evaluation order.
+
+    ``pinned`` (an index into ``rule.body``) forces that item first — it must
+    be a relational literal.  ``initially_bound`` variables count as bound
+    before the first item (used for head-bound re-derivation checks in
+    DRed).  Raises :class:`ValidationError` if no admissible order exists.
+    """
+    remaining = list(enumerate(rule.body))
+    ordered: list[BodyItem] = []
+    bound: set[Variable] = set(initially_bound or ())
+
+    if pinned is not None:
+        item = rule.body[pinned]
+        if not isinstance(item, Literal):
+            raise ValidationError(
+                f"cannot pin non-relational body item {item!r} in {rule!r}"
+            )
+        # The pinned occurrence is instantiated from a ground (delta) tuple,
+        # so its variables count as bound even when the literal is negated.
+        ordered.append(item)
+        bound |= _term_vars(item.atom.args)
+        remaining = [(i, b) for i, b in remaining if i != pinned]
+
+    while remaining:
+        # Priority: ready Eval/Test/negation first (cheap filters), then the
+        # positive literal sharing the most bound variables.
+        filter_idx = next(
+            (
+                k
+                for k, (_, item) in enumerate(remaining)
+                if not _is_positive(item) and _ready(item, bound)
+            ),
+            None,
+        )
+        if filter_idx is not None:
+            _, item = remaining.pop(filter_idx)
+            ordered.append(item)
+            bound |= _binds(item)
+            continue
+        positives = [
+            (k, item) for k, (_, item) in enumerate(remaining) if _is_positive(item)
+        ]
+        if not positives:
+            stuck = [item for _, item in remaining]
+            raise ValidationError(
+                f"no admissible body order for {rule!r}: unbound {stuck!r}"
+            )
+        k, item = max(positives, key=lambda pair: _overlap(pair[1], bound))
+        remaining.pop(k)
+        ordered.append(item)
+        bound |= _binds(item)
+
+    _check_head_bound(rule, bound)
+    return ordered
+
+
+def _is_positive(item: BodyItem) -> bool:
+    return isinstance(item, Literal) and not item.negated
+
+
+def _check_head_bound(rule: Rule, bound: set[Variable]) -> None:
+    unbound = {v for v in rule.head_variables() if v not in bound}
+    if unbound:
+        raise ValidationError(
+            f"head variables {sorted(v.name for v in unbound)} of {rule!r} "
+            f"are not bound by the body (unsafe rule)"
+        )
+
+
+def delta_plans(
+    rule: Rule, include_negated: bool = False
+) -> list[tuple[int, list[BodyItem]]]:
+    """One plan per relational body occurrence, pinned first.
+
+    Semi-naïve and incremental evaluation instantiate the pinned occurrence
+    with delta tuples and join the rest against full relations.  Negated
+    occurrences are included only on request (incremental engines need them:
+    inserting into a negated relation *deletes* derivations and vice versa).
+    """
+    plans = []
+    for i, item in enumerate(rule.body):
+        if isinstance(item, Literal) and (include_negated or not item.negated):
+            plans.append((i, plan_body(rule, pinned=i)))
+    return plans

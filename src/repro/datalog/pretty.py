@@ -1,0 +1,60 @@
+"""Pretty printing of programs, rules, and relation contents.
+
+The AST ``__repr__`` methods already produce readable single-rule text;
+this module adds whole-program rendering and tabular relation dumps used by
+examples and debugging output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .program import Program
+from .stratify import stratify
+
+
+def format_program(program: Program) -> str:
+    """Render the rules of a program as Datalog-ish source text."""
+    lines = [repr(rule) for rule in program.rules]
+    if program.exports is not None:
+        lines.append(".export " + ", ".join(sorted(program.exports)) + ".")
+    return "\n".join(lines)
+
+
+def format_strata(program: Program) -> str:
+    """Render the dependency components bottom-up with their rules."""
+    blocks = []
+    for component in stratify(program):
+        kind = "recursive" if component.recursive else "non-recursive"
+        extras = []
+        if component.aggregated:
+            extras.append("aggregates " + ", ".join(sorted(component.aggregated)))
+        suffix = f" ({', '.join([kind] + extras)})"
+        header = f"-- component #{component.index}{suffix}"
+        body = "\n".join("  " + repr(rule) for rule in component.rules)
+        blocks.append(header + ("\n" + body if body else ""))
+    return "\n".join(blocks)
+
+
+def format_relation(
+    name: str, tuples: Iterable[tuple], limit: int | None = None
+) -> str:
+    """Render a relation as sorted ``name(a, b, c)`` lines."""
+    rows = sorted(tuples, key=repr)
+    shown = rows if limit is None else rows[:limit]
+    lines = [f"{name}({', '.join(repr(v) for v in row)})" for row in shown]
+    if limit is not None and len(rows) > limit:
+        lines.append(f"... ({len(rows) - limit} more)")
+    return "\n".join(lines)
+
+
+def format_relations(
+    relations: Mapping[str, Iterable[tuple]], limit: int | None = None
+) -> str:
+    """Render several relations, alphabetically, with counts."""
+    blocks = []
+    for name in sorted(relations):
+        rows = list(relations[name])
+        header = f"== {name} ({len(rows)} tuples) =="
+        blocks.append(header + "\n" + format_relation(name, rows, limit=limit))
+    return "\n\n".join(blocks)

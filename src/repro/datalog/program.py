@@ -1,0 +1,149 @@
+"""The :class:`Program` container: rules plus name registries.
+
+A program owns:
+
+* ``rules`` — the Datalog rules (facts included),
+* ``functions`` — registered Python callables usable from ``Eval`` atoms,
+* ``tests`` — registered Python predicates usable from ``Test`` atoms
+  (a standard library of comparisons/arithmetic is pre-registered),
+* ``aggregators`` — :class:`repro.lattices.Aggregator` objects by name,
+* ``exports`` — predicates visible to downstream consumers (``Exp(D)`` in
+  Section 6.1); defaults to every IDB predicate.
+
+Predicates never appearing in any head are *extensional* (EDB): the solvers
+take their tuples as input facts.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..lattices import Aggregator
+from .ast import Rule
+from .errors import ValidationError
+
+#: Test predicates every program understands out of the box.
+BUILTIN_TESTS: dict[str, Callable[..., bool]] = {
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "eq": operator.eq,
+    "ne": operator.ne,
+}
+
+#: Functions every program understands out of the box.
+BUILTIN_FUNCTIONS: dict[str, Callable] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "neg": operator.neg,
+    "min": min,
+    "max": max,
+    "id": lambda x: x,
+    "pair": lambda a, b: (a, b),
+    "first": lambda p: p[0],
+    "second": lambda p: p[1],
+}
+
+
+@dataclass
+class Program:
+    """An analysis specification: rules plus the registries they reference."""
+
+    rules: list[Rule] = field(default_factory=list)
+    functions: dict[str, Callable] = field(default_factory=dict)
+    tests: dict[str, Callable[..., bool]] = field(default_factory=dict)
+    aggregators: dict[str, Aggregator] = field(default_factory=dict)
+    exports: set[str] | None = None
+
+    def __post_init__(self) -> None:
+        self.functions = {**BUILTIN_FUNCTIONS, **self.functions}
+        self.tests = {**BUILTIN_TESTS, **self.tests}
+
+    # -- registries ------------------------------------------------------
+
+    def register_function(self, name: str, fn: Callable) -> "Program":
+        self.functions[name] = fn
+        return self
+
+    def register_test(self, name: str, fn: Callable[..., bool]) -> "Program":
+        self.tests[name] = fn
+        return self
+
+    def register_aggregator(self, name: str, aggregator: Aggregator) -> "Program":
+        self.aggregators[name] = aggregator
+        return self
+
+    # -- predicate classification ----------------------------------------
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by at least one rule head."""
+        return {rule.head.pred for rule in self.rules}
+
+    def edb_predicates(self) -> set[str]:
+        """Predicates only ever used in bodies — the input relations."""
+        used: set[str] = set()
+        for rule in self.rules:
+            for literal in rule.body_literals():
+                used.add(literal.pred)
+        return used - self.idb_predicates()
+
+    def all_predicates(self) -> set[str]:
+        used: set[str] = set()
+        for rule in self.rules:
+            used.add(rule.head.pred)
+            for literal in rule.body_literals():
+                used.add(literal.pred)
+        return used
+
+    def exported_predicates(self) -> set[str]:
+        """``Exp`` — what downstream consumers may observe."""
+        if self.exports is None:
+            return self.idb_predicates()
+        return set(self.exports)
+
+    def arities(self) -> dict[str, int]:
+        """Predicate arities; raises if a predicate is used inconsistently."""
+        seen: dict[str, int] = {}
+
+        def check(pred: str, arity: int) -> None:
+            if pred in seen and seen[pred] != arity:
+                raise ValidationError(
+                    f"predicate {pred} used with arities {seen[pred]} and {arity}"
+                )
+            seen[pred] = arity
+
+        for rule in self.rules:
+            check(rule.head.pred, rule.head.arity)
+            for literal in rule.body_literals():
+                check(literal.pred, literal.atom.arity)
+        return seen
+
+    def rules_for(self, pred: str) -> list[Rule]:
+        return [rule for rule in self.rules if rule.head.pred == pred]
+
+    # -- construction helpers --------------------------------------------
+
+    def add_rule(self, rule: Rule) -> "Program":
+        self.rules.append(rule)
+        return self
+
+    def extend(self, rules: Iterable[Rule]) -> "Program":
+        self.rules.extend(rules)
+        return self
+
+    def copy(self) -> "Program":
+        clone = Program(
+            rules=list(self.rules),
+            exports=None if self.exports is None else set(self.exports),
+        )
+        clone.functions = dict(self.functions)
+        clone.tests = dict(self.tests)
+        clone.aggregators = dict(self.aggregators)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Program with {len(self.rules)} rules>"

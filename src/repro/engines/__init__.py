@@ -1,0 +1,32 @@
+"""Datalog solvers: two reference engines and two incremental engines.
+
+* :class:`NaiveSolver` — executable semantics (Section 6.3); oracle.
+* :class:`SemiNaiveSolver` — from-scratch performance baseline (Soufflé
+  stand-in).
+* :class:`DRedLSolver` — IncA's DRed-based incremental solver (Section 7.3
+  baseline) with Ross–Sagiv-style aggregation.
+* :class:`LaddderSolver` — the paper's contribution: DDF timestamps with
+  inflationary lattice aggregation.
+"""
+
+from .base import FactChanges, Solver, UpdateStats
+from .checkpoint import load_checkpoint, save_checkpoint
+from .dred import DRedLSolver
+from .explain import Derivation, explain
+from .naive import NaiveSolver
+from .laddder import LaddderSolver
+from .seminaive import SemiNaiveSolver
+
+__all__ = [
+    "DRedLSolver",
+    "Derivation",
+    "FactChanges",
+    "explain",
+    "LaddderSolver",
+    "NaiveSolver",
+    "SemiNaiveSolver",
+    "Solver",
+    "load_checkpoint",
+    "save_checkpoint",
+    "UpdateStats",
+]

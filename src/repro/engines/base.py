@@ -1,0 +1,183 @@
+"""The common solver interface.
+
+All four engines (naive, semi-naive, DRedL, Laddder) are drop-in
+replacements behind this interface, mirroring how Laddder replaced DRedL
+inside IncA/Viatra (paper Section 7: "the measurements of DRedL and Laddder
+use the same analysis specification and back end library, except that we
+configured different fixpoint algorithms").
+
+Lifecycle::
+
+    solver = SomeSolver(program)
+    solver.add_facts("alloc", [("s", "S", "run"), ...])
+    solver.solve()                      # initial (from-scratch) analysis
+    solver.relation("ptlub")            # pruned, timeless exported view
+    stats = solver.update(insertions={...}, deletions={...})   # one epoch
+
+``relation`` returns the *exported* view: aggregated predicates are pruned
+to the final aggregate per group; intermediate inflationary results and
+timestamps are never visible (paper Section 4.1, postprocessing).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..datalog.errors import SolverError, ValidationError
+from ..datalog.normalize import normalize
+from ..datalog.program import Program
+from ..datalog.stratify import Component
+from ..datalog.validate import validate
+
+FactChanges = Mapping[str, Iterable[tuple]]
+
+
+@dataclass
+class UpdateStats:
+    """What one epoch cost and touched — the measurements of Section 7."""
+
+    #: Exported tuples inserted/deleted by this update, per predicate.
+    inserted: dict[str, set[tuple]] = field(default_factory=dict)
+    deleted: dict[str, set[tuple]] = field(default_factory=dict)
+    #: Internal work counter (derivation deltas processed); engine-specific
+    #: but comparable between runs of the same engine.
+    work: int = 0
+
+    @property
+    def impact(self) -> int:
+        """Section 3's impact measure: number of affected output tuples."""
+        return sum(len(s) for s in self.inserted.values()) + sum(
+            len(s) for s in self.deleted.values()
+        )
+
+
+class Solver(ABC):
+    """Base class: program compilation, fact management, exported views."""
+
+    #: Fixpoint guard: iterations per component before declaring divergence.
+    MAX_ITERATIONS = 100_000
+
+    def __init__(self, program: Program):
+        self.program = program.copy()
+        normalize(self.program)
+        self.components: list[Component] = validate(self.program)
+        self.arities = self.program.arities()
+        self.edb = self.program.edb_predicates()
+        self.idb = self.program.idb_predicates()
+        self._facts: dict[str, set[tuple]] = {}
+        self._solved = False
+
+    # -- fact management ---------------------------------------------------
+
+    def add_facts(self, pred: str, rows: Iterable[tuple]) -> None:
+        """Stage input facts before :meth:`solve` (set semantics)."""
+        self._check_edb(pred)
+        bucket = self._facts.setdefault(pred, set())
+        for row in rows:
+            self._check_row(pred, row)
+            bucket.add(tuple(row))
+
+    def facts(self, pred: str) -> frozenset[tuple]:
+        return frozenset(self._facts.get(pred, ()))
+
+    def _check_edb(self, pred: str) -> None:
+        if pred in self.idb:
+            raise SolverError(f"{pred} is derived; only input relations take facts")
+
+    def _check_row(self, pred: str, row: tuple) -> None:
+        expected = self.arities.get(pred)
+        if expected is not None and len(row) != expected:
+            raise SolverError(
+                f"{pred} expects arity {expected}, got {len(row)}: {row!r}"
+            )
+
+    def _normalize_changes(
+        self, insertions: FactChanges | None, deletions: FactChanges | None
+    ) -> tuple[dict[str, set[tuple]], dict[str, set[tuple]]]:
+        """Validate an epoch's fact diff against the current EDB state and
+        apply it to ``self._facts``.  Returns the effective (ins, del) sets —
+        inserting a present fact or deleting an absent one is a no-op."""
+        ins: dict[str, set[tuple]] = {}
+        dels: dict[str, set[tuple]] = {}
+        for pred, rows in (deletions or {}).items():
+            self._check_edb(pred)
+            bucket = self._facts.setdefault(pred, set())
+            for row in rows:
+                row = tuple(row)
+                self._check_row(pred, row)
+                if row in bucket:
+                    bucket.discard(row)
+                    dels.setdefault(pred, set()).add(row)
+        for pred, rows in (insertions or {}).items():
+            self._check_edb(pred)
+            bucket = self._facts.setdefault(pred, set())
+            for row in rows:
+                row = tuple(row)
+                self._check_row(pred, row)
+                if row not in bucket:
+                    bucket.add(row)
+                    ins.setdefault(pred, set()).add(row)
+        return ins, dels
+
+    # -- solving -------------------------------------------------------------
+
+    @abstractmethod
+    def solve(self) -> None:
+        """Run the initial from-scratch analysis over the staged facts."""
+
+    @abstractmethod
+    def update(
+        self,
+        insertions: FactChanges | None = None,
+        deletions: FactChanges | None = None,
+    ) -> UpdateStats:
+        """Process one epoch of input changes; returns the exported diff."""
+
+    @abstractmethod
+    def relation(self, pred: str) -> frozenset[tuple]:
+        """The exported (pruned, timeless) content of a predicate."""
+
+    def relations(self) -> dict[str, frozenset[tuple]]:
+        """All exported predicates."""
+        return {
+            pred: self.relation(pred) for pred in self.program.exported_predicates()
+        }
+
+    def state_size(self) -> int:
+        """Engine-specific count of stored entries, for memory comparisons."""
+        return 0
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _require_solved(self) -> None:
+        if not self._solved:
+            raise SolverError("call solve() before querying or updating")
+
+    def _aggregation_rule(self, pred: str):
+        """The unique aggregation rule defining ``pred``, or None."""
+        for rule in self.program.rules:
+            if rule.head.pred == pred and rule.is_aggregation:
+                return rule
+        return None
+
+    def _exported_diff(
+        self,
+        before: Mapping[str, frozenset[tuple]],
+        after: Mapping[str, frozenset[tuple]],
+    ) -> UpdateStats:
+        stats = UpdateStats()
+        for pred in set(before) | set(after):
+            old = before.get(pred, frozenset())
+            new = after.get(pred, frozenset())
+            added = new - old
+            removed = old - new
+            if added:
+                stats.inserted[pred] = added
+            if removed:
+                stats.deleted[pred] = removed
+        return stats
+
+
+__all__ = ["FactChanges", "Solver", "SolverError", "UpdateStats", "ValidationError"]

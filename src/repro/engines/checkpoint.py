@@ -1,0 +1,112 @@
+"""Solver checkpointing: persist the initial analysis, resume in the IDE.
+
+Section 7.1 argues initialization delays "are acceptable because they are
+(i) one-off costs only and (ii) possibly can be precomputed".  This module
+is the precomputation story: pickle a solved solver's state to disk (e.g.
+in CI), then restore it instantly when the IDE opens and keep updating
+incrementally.
+
+Programs carry registered Python callables (functions, tests, aggregator
+operations), which pickle cannot serialize in general (lambdas, closures).
+Checkpointing therefore snapshots only the solver's *data* state and
+re-attaches it to a freshly constructed solver for the same program — the
+caller rebuilds the program (cheap) and the checkpoint supplies the
+expensive fixpoint.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import pickletools
+from pathlib import Path
+from typing import Type
+
+from ..datalog.errors import SolverError
+from .base import Solver
+
+#: Format marker stored in every checkpoint.
+MAGIC = "repro-checkpoint-v1"
+
+#: Attributes captured per solver class (data only — no compiled plans,
+#: no registered callables).
+_STATE_ATTRS = {
+    "LaddderSolver": ["_facts", "_exported", "_solved"],
+    "DRedLSolver": ["_facts", "_exported", "_solved"],
+    "SemiNaiveSolver": ["_facts", "_exported", "_raw", "_totals", "_solved"],
+    "NaiveSolver": ["_facts", "_exported", "_raw", "_solved"],
+}
+
+
+def _component_state(solver) -> list | None:
+    states = getattr(solver, "_states", None)
+    if states is None:
+        return None
+    captured = []
+    for state in states:
+        entry = {"relations": state.relations}
+        if hasattr(state, "groups"):
+            entry["groups"] = state.groups
+        if hasattr(state, "totals"):
+            entry["totals"] = state.totals
+        captured.append(entry)
+    return captured
+
+
+def save_checkpoint(solver: Solver, path: str | Path) -> int:
+    """Serialize a solved solver's state; returns the byte size written."""
+    if not solver._solved:
+        raise SolverError("cannot checkpoint an unsolved solver")
+    cls_name = type(solver).__name__
+    if cls_name not in _STATE_ATTRS:
+        raise SolverError(f"checkpointing not supported for {cls_name}")
+    payload = {
+        "magic": MAGIC,
+        "solver": cls_name,
+        "rules": [repr(rule) for rule in solver.program.rules],  # fingerprint
+        "attrs": {name: getattr(solver, name) for name in _STATE_ATTRS[cls_name]},
+        "components": _component_state(solver),
+    }
+    buffer = io.BytesIO()
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    data = pickletools.optimize(buffer.getvalue())
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_checkpoint(
+    solver_cls: Type[Solver], program, path: str | Path
+) -> Solver:
+    """Reconstruct a solved solver from ``program`` plus a checkpoint.
+
+    ``program`` must be (rule-for-rule) the program the checkpoint was taken
+    from; registered callables come from it, the fixpoint state from disk.
+    """
+    payload = pickle.loads(Path(path).read_bytes())
+    if payload.get("magic") != MAGIC:
+        raise SolverError(f"{path} is not a repro checkpoint")
+    if payload["solver"] != solver_cls.__name__:
+        raise SolverError(
+            f"checkpoint was taken from {payload['solver']}, "
+            f"not {solver_cls.__name__}"
+        )
+    solver = solver_cls(program)
+    if [repr(rule) for rule in solver.program.rules] != payload["rules"]:
+        raise SolverError(
+            "checkpoint does not match the program (rules differ); "
+            "re-run the initial analysis"
+        )
+    for name, value in payload["attrs"].items():
+        setattr(solver, name, value)
+    components = payload["components"]
+    if components is not None:
+        states = solver._states
+        if len(states) != len(components):
+            raise SolverError("checkpoint component count mismatch")
+        for state, entry in zip(states, components):
+            state.relations = entry["relations"]
+            if "groups" in entry:
+                state.groups = entry["groups"]
+            if "totals" in entry:
+                state.totals = entry["totals"]
+    return solver

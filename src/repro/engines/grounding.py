@@ -1,0 +1,172 @@
+"""Rule grounding: enumerate variable bindings satisfying a planned body.
+
+The planner (:mod:`repro.datalog.planning`) orders body items so that by the
+time an ``Eval``, ``Test``, or negated literal runs, its inputs are bound.
+:func:`run_plan` walks that order, consulting a caller-supplied
+``lookup(pred) -> IndexedRelation`` for relational atoms, and yields complete
+bindings.  :func:`instantiate` turns head terms into concrete tuples.
+
+Bindings are plain dicts from variable name to value — small and cheap to
+copy at the leaf only (we mutate one dict along the search path and undo on
+backtrack to avoid quadratic copying).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from ..datalog.ast import (
+    Atom,
+    BodyItem,
+    Constant,
+    Eval,
+    Head,
+    Literal,
+    Term,
+    Test,
+    Variable,
+)
+from ..datalog.errors import SolverError
+from ..datalog.program import Program
+from .relation import IndexedRelation
+
+Lookup = Callable[[str], IndexedRelation]
+Binding = dict[str, object]
+
+
+def pattern_for(atom: Atom, binding: Binding) -> tuple:
+    """Build a matching pattern: bound values in place, None for free."""
+    out = []
+    for term in atom.args:
+        if isinstance(term, Constant):
+            out.append(term.value)
+        else:
+            out.append(binding.get(term.name))
+    return tuple(out)
+
+
+def unify_tuple(atom: Atom, row: tuple, binding: Binding) -> list[str] | None:
+    """Extend ``binding`` so ``atom`` matches ``row``.
+
+    Returns the list of newly bound variable names (for undo), or ``None``
+    if the row conflicts with existing bindings/constants (only possible for
+    repeated variables — indexed lookups already filtered bound positions).
+    """
+    added: list[str] = []
+    for term, value in zip(atom.args, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                _undo(binding, added)
+                return None
+        else:
+            existing = binding.get(term.name, _MISSING)
+            if existing is _MISSING:
+                binding[term.name] = value
+                added.append(term.name)
+            elif existing != value:
+                _undo(binding, added)
+                return None
+    return added
+
+
+_MISSING = object()
+
+
+def _undo(binding: Binding, added: list[str]) -> None:
+    for name in added:
+        del binding[name]
+
+
+def term_value(term: Term, binding: Binding) -> object:
+    if isinstance(term, Constant):
+        return term.value
+    try:
+        return binding[term.name]
+    except KeyError:
+        raise SolverError(f"unbound variable {term.name} at evaluation time") from None
+
+
+def run_plan(
+    plan: list[BodyItem],
+    program: Program,
+    lookup: Lookup,
+    binding: Binding,
+    start: int = 0,
+    neg_skip: tuple[str, tuple] | None = None,
+) -> Iterator[Binding]:
+    """Yield every binding satisfying ``plan[start:]``, extending ``binding``.
+
+    The yielded dict is the live search binding — callers must consume the
+    values they need (e.g. instantiate the head) before advancing the
+    iterator.
+
+    ``neg_skip`` names one ``(pred, row)`` whose negation check is waived:
+    incremental engines enumerating the consequences of that row's own
+    presence change need the superset of substitutions live in either the
+    old or the new world.
+    """
+    if start >= len(plan):
+        yield binding
+        return
+    item = plan[start]
+    if isinstance(item, Literal):
+        if item.negated:
+            pattern = pattern_for(item.atom, binding)
+            if None in pattern:
+                raise SolverError(f"negated atom {item!r} not fully bound")
+            row = tuple(pattern)
+            waived = neg_skip is not None and neg_skip == (item.pred, row)
+            if waived or row not in lookup(item.pred):
+                yield from run_plan(
+                    plan, program, lookup, binding, start + 1, neg_skip
+                )
+            return
+        relation = lookup(item.pred)
+        pattern = pattern_for(item.atom, binding)
+        for row in list(relation.matching(pattern)):
+            added = unify_tuple(item.atom, row, binding)
+            if added is None:
+                continue
+            yield from run_plan(plan, program, lookup, binding, start + 1, neg_skip)
+            _undo(binding, added)
+        return
+    if isinstance(item, Eval):
+        fn = program.functions[item.fn]
+        args = [term_value(a, binding) for a in item.args]
+        value = fn(*args)
+        existing = binding.get(item.var.name, _MISSING)
+        if existing is _MISSING:
+            binding[item.var.name] = value
+            yield from run_plan(plan, program, lookup, binding, start + 1, neg_skip)
+            del binding[item.var.name]
+        elif existing == value:
+            yield from run_plan(plan, program, lookup, binding, start + 1, neg_skip)
+        return
+    if isinstance(item, Test):
+        fn = program.tests[item.fn]
+        args = [term_value(a, binding) for a in item.args]
+        if fn(*args):
+            yield from run_plan(plan, program, lookup, binding, start + 1, neg_skip)
+        return
+    raise TypeError(f"unknown body item {item!r}")
+
+
+def bind_pinned(literal: Literal, row: tuple) -> Binding | None:
+    """Bind a delta row against the pinned occurrence; None on mismatch."""
+    binding: Binding = {}
+    if unify_tuple(literal.atom, row, binding) is None:
+        return None
+    return binding
+
+
+def instantiate(head: Head, binding: Mapping[str, object]) -> tuple:
+    """Ground a non-aggregation head under a complete binding."""
+    out = []
+    for term in head.args:
+        if isinstance(term, Constant):
+            out.append(term.value)
+        elif isinstance(term, Variable):
+            out.append(binding[term.name])
+        else:  # AggTerm — aggregation heads are instantiated by the engine
+            raise SolverError(f"cannot directly instantiate aggregation head {head!r}")
+    return tuple(out)

@@ -1,0 +1,19 @@
+"""Laddder: the paper's incremental Datalog solver (Sections 4-6)."""
+
+from .aggtree import AggTree
+from .groups import GroupState, NaiveGroupState
+from .solver import LaddderSolver
+from .state import TimedRelation
+from .timeline import NEVER, Timeline
+from .traceview import format_trace
+
+__all__ = [
+    "AggTree",
+    "GroupState",
+    "LaddderSolver",
+    "NEVER",
+    "NaiveGroupState",
+    "TimedRelation",
+    "Timeline",
+    "format_trace",
+]

@@ -1,0 +1,468 @@
+"""The Laddder solver (Sections 4–6): incremental Datalog with inflationary
+lattice aggregation over differential-dataflow iteration timestamps.
+
+Evaluation model
+----------------
+
+Per dependency component, every tuple carries a differential count timeline
+over *iteration timestamps*: a derivation via substitution θ fires at
+``max(first-existence of θ's body atoms) + 1`` and contributes ``+1`` to the
+head tuple's count at that timestamp (Figure 4's support counts — e.g.
+``2×Reach(proc)`` at timestamp 7).  A tuple *exists* from its first
+timestamp with positive cumulative count; inflationary semantics guarantees
+settled existence is a single upward step (Section 4.1).
+
+Epochs and compensation (Section 4.2)
+-------------------------------------
+
+An input change opens a new epoch.  Its fact diffs enter the affected
+component as count deltas at timestamp 0 and are processed in ascending
+timestamp order from a priority queue.  Applying a delta may move a tuple's
+first-existence; if it does not (a support count absorbed it, as in the
+``s2.proc()`` deletion walk-through), propagation stops right there.  If it
+does, the solver enumerates — once per substitution, deduplicated across
+occurrences — every rule instantiation involving the tuple and emits the
+exact firing-time corrections ``-1@t_old`` / ``+1@t_new``.  Processing one
+delta at a time against current partner state makes the per-input
+differences telescope to the exact total change, with no bilinearity
+bookkeeping even for self-joins.
+
+Aggregation uses the sequential architecture of Section 5
+(:mod:`repro.engines.laddder.groups`): per group, balanced aggregand trees
+per timestamp with rolled-up totals and early-stopping roll-up; the
+aggregating relation's inflationary output tuples are driven by diffs of the
+value → first-appearance runs.
+
+Exports are pruned and timeless (Section 4.1's postprocessing): downstream
+components receive only final aggregates per group, at timestamp 0.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from operator import itemgetter
+
+from ...datalog.ast import Literal, Rule
+from ...datalog.errors import SolverError
+from ...datalog.planning import delta_plans, plan_body
+from ...datalog.program import Program
+from ...datalog.stratify import Component
+from ..aggspec import AggSpec, compile_agg_specs
+from ..base import FactChanges, Solver, UpdateStats
+from ..grounding import bind_pinned, instantiate, run_plan, term_value
+from ..relation import RelationStore
+from .groups import GroupState
+from .state import TimedRelation
+from .timeline import NEVER
+
+_MISSING = object()
+
+
+class _ComponentState:
+    """Compiled plans plus runtime state for one dependency component."""
+
+    def __init__(self, component: Component, program: Program, arities: dict):
+        self.component = component
+        self.program = program
+        self.arities = arities
+        self.specs: dict[str, AggSpec] = compile_agg_specs(component.rules, program)
+        self.specs_by_collecting: dict[str, list[AggSpec]] = {}
+        for spec in self.specs.values():
+            self.specs_by_collecting.setdefault(spec.collecting_pred, []).append(spec)
+
+        plain_rules = [r for r in component.rules if not r.is_aggregation]
+        #: pred -> [(rule, pinned literal, plan)] for every body occurrence.
+        self.occurrence_plans: dict[str, list[tuple[Rule, Literal, list]]] = {}
+        for rule in plain_rules:
+            for occ, plan in delta_plans(rule, include_negated=True):
+                literal: Literal = rule.body[occ]
+                self.occurrence_plans.setdefault(literal.pred, []).append(
+                    (rule, literal, plan)
+                )
+        #: Rules with no relational body atom fire once, during solve().
+        self.static_rules = [
+            (rule, plan_body(rule))
+            for rule in plain_rules
+            if not rule.body_literals()
+        ]
+        reads: set[str] = set()
+        for rule in component.rules:
+            for literal in rule.body_literals():
+                reads.add(literal.pred)
+        self.reads = reads
+        self.upstream_reads = frozenset(reads - component.predicates)
+
+        self.relations: dict[str, TimedRelation] = {}
+        self.groups: dict[str, dict[tuple, GroupState]] = {p: {} for p in self.specs}
+
+    def reset(self) -> None:
+        self.relations = {}
+        self.groups = {p: {} for p in self.specs}
+
+    def rel(self, pred: str) -> TimedRelation:
+        relation = self.relations.get(pred)
+        if relation is None:
+            relation = TimedRelation(self.arities.get(pred, 0))
+            self.relations[pred] = relation
+        return relation
+
+    def state_size(self) -> int:
+        cells = sum(rel.state_size() for rel in self.relations.values())
+        cells += sum(
+            group.state_size()
+            for per_pred in self.groups.values()
+            for group in per_pred.values()
+        )
+        return cells
+
+
+class LaddderSolver(Solver):
+    """Incremental solver with DDF timestamps and inflationary aggregation."""
+
+    #: Iteration-timestamp ceiling: a well-behaved analysis stabilizes far
+    #: below this; exceeding it indicates divergence (see Section 4.3).
+    MAX_TIMESTAMP = 100_000
+
+    def __init__(self, program: Program):
+        super().__init__(program)
+        self._states = [
+            _ComponentState(c, self.program, self.arities) for c in self.components
+        ]
+        self._exported = RelationStore(self.arities)
+        self.last_stats: UpdateStats | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(self) -> None:
+        self._exported = RelationStore(self.arities)
+        for state in self._states:
+            state.reset()
+        for pred, rows in self._facts.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.add(row)
+        for state in self._states:
+            deltas = []
+            for pred in sorted(state.upstream_reads):
+                for row in self._exported.get(pred).tuples:
+                    deltas.append((pred, row, 0, 1))
+            for rule, plan in state.static_rules:
+                for binding in run_plan(plan, self.program, state.rel, {}):
+                    deltas.append((rule.head.pred, instantiate(rule.head, binding), 0, 1))
+            self._compensate(state, deltas)
+        self._solved = True
+
+    def update(
+        self,
+        insertions: FactChanges | None = None,
+        deletions: FactChanges | None = None,
+    ) -> UpdateStats:
+        self._require_solved()
+        ins, dels = self._normalize_changes(insertions, deletions)
+        pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
+        for pred, rows in ins.items():
+            pending.setdefault(pred, (set(), set()))[0].update(rows)
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.add(row)
+        for pred, rows in dels.items():
+            pending.setdefault(pred, (set(), set()))[1].update(rows)
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.discard(row)
+
+        stats = UpdateStats()
+        for state in self._states:
+            deltas = []
+            for pred in sorted(state.upstream_reads & pending.keys()):
+                added, removed = pending[pred]
+                for row in added:
+                    deltas.append((pred, row, 0, 1))
+                for row in removed:
+                    deltas.append((pred, row, 0, -1))
+            if not deltas:
+                continue
+            diff, work = self._compensate(state, deltas)
+            stats.work += work
+            for pred, (added, removed) in diff.items():
+                bucket = pending.setdefault(pred, (set(), set()))
+                for row in added:
+                    bucket[1].discard(row)
+                    bucket[0].add(row)
+                for row in removed:
+                    bucket[0].discard(row)
+                    bucket[1].add(row)
+        exports = self.program.exported_predicates()
+        for pred, (added, removed) in pending.items():
+            if pred not in exports or pred in self.edb:
+                continue
+            if added:
+                stats.inserted[pred] = set(added)
+            if removed:
+                stats.deleted[pred] = set(removed)
+        self.last_stats = stats
+        return stats
+
+    def relation(self, pred: str) -> frozenset[tuple]:
+        self._require_solved()
+        return frozenset(self._exported.get(pred).tuples)
+
+    def state_size(self) -> int:
+        return self._exported.state_size() + sum(
+            state.state_size() for state in self._states
+        )
+
+    # -- timelines introspection (tests, Figure 4/5 reproduction) -------------
+
+    def timeline(self, pred: str, row: tuple):
+        """The differential count timeline of a tuple (Figure 5), if any."""
+        for state in self._states:
+            if pred in state.component.predicates or pred in state.reads:
+                relation = state.relations.get(pred)
+                if relation is not None and row in relation.timelines:
+                    return relation.timelines[row].copy()
+        return None
+
+    def trace(self, preds: set[str] | None = None) -> dict[int, list[tuple[str, tuple, int]]]:
+        """Group current tuples by first-existence timestamp — the Figure 4
+        evaluation trace view.  Counts are the support counts at the
+        first-appearance timestamp (Figure 4's ``2x`` prefixes)."""
+        out: dict[int, list[tuple[str, tuple, int]]] = {}
+        seen: set[tuple[str, tuple]] = set()
+        for state in self._states:
+            for pred, relation in state.relations.items():
+                if preds is not None and pred not in preds:
+                    continue
+                for row, timeline in relation.timelines.items():
+                    if (pred, row) in seen:
+                        continue  # upstream copies appear in many components
+                    seen.add((pred, row))
+                    first = timeline.first()
+                    if first == NEVER:
+                        continue
+                    out.setdefault(int(first), []).append(
+                        (pred, row, timeline.cumulative(int(first)))
+                    )
+        return {t: sorted(rows, key=repr) for t, rows in sorted(out.items())}
+
+    # -- compensation core -----------------------------------------------
+
+    def _compensate(
+        self, state: _ComponentState, deltas: list[tuple[str, tuple, int, int]]
+    ) -> tuple[dict[str, tuple[set[tuple], set[tuple]]], int]:
+        """Drain one component's queue; returns (exported diff, work)."""
+        counter = itertools.count()
+        queue: list[tuple[int, int, str, tuple, int]] = []
+        for pred, row, t, d in deltas:
+            heapq.heappush(queue, (t, next(counter), pred, row, d))
+
+        presence_before: dict[str, dict[tuple, bool]] = {}
+        groups_before: dict[str, dict[tuple, object]] = {}
+        work = 0
+
+        while queue:
+            t = queue[0][0]
+            if t > self.MAX_TIMESTAMP:
+                raise SolverError(
+                    f"timestamp {t} exceeds MAX_TIMESTAMP in component "
+                    f"{sorted(state.component.predicates)} — diverging "
+                    f"analysis? (check eventual ⊑-monotonicity / widening)"
+                )
+            # Consolidate the whole timestamp batch first: opposite-sign
+            # corrections for the same tuple cancel here, which is what
+            # keeps compensation of cyclic derivations from chasing itself
+            # up the timestamp axis (no push ever targets the current
+            # batch, so consolidation is complete).
+            batch: dict[tuple[str, tuple], int] = {}
+            while queue and queue[0][0] == t:
+                _, _, pred, row, delta = heapq.heappop(queue)
+                key = (pred, row)
+                batch[key] = batch.get(key, 0) + delta
+            for (pred, row), delta in batch.items():
+                if delta == 0:
+                    continue
+                work += 1
+                relation = state.rel(pred)
+                old_first = relation.first(row)
+                if pred in state.component.predicates:
+                    presence_before.setdefault(pred, {}).setdefault(
+                        row, old_first != NEVER
+                    )
+                relation.add_delta(row, t, delta)
+                new_first = relation.timelines[row].first()
+                if old_first != new_first:
+                    self._propagate(
+                        state, pred, row, old_first, new_first, queue, counter
+                    )
+                    self._feed_aggregations(
+                        state, pred, row, old_first, new_first, queue, counter,
+                        groups_before,
+                    )
+                relation.cleanup(row)
+
+        return self._exported_component_diff(state, presence_before, groups_before), work
+
+    def _propagate(
+        self, state, pred, row, old_first, new_first, queue, counter
+    ) -> None:
+        """Emit firing-time corrections for every rule instantiation that
+        involves ``row``, whose existence moved ``old_first -> new_first``."""
+        plans = state.occurrence_plans.get(pred)
+        if not plans:
+            return
+        by_rule: dict[int, set] = {}
+        neg_skip = (pred, row)
+        for rule, literal, plan in plans:
+            seen = by_rule.setdefault(id(rule), set())
+            binding = bind_pinned(literal, row)
+            if binding is None:
+                continue
+            for theta in run_plan(
+                plan, self.program, state.rel, binding, start=1, neg_skip=neg_skip
+            ):
+                canon = tuple(sorted(theta.items(), key=itemgetter(0)))
+                if canon in seen:
+                    continue
+                seen.add(canon)
+                t_old, t_new = self._firing_times(
+                    state, rule, theta, pred, row, old_first, new_first
+                )
+                if t_old == t_new:
+                    continue
+                head_row = instantiate(rule.head, theta)
+                if t_old != NEVER:
+                    heapq.heappush(
+                        queue,
+                        (int(t_old), next(counter), rule.head.pred, head_row, -1),
+                    )
+                if t_new != NEVER:
+                    heapq.heappush(
+                        queue,
+                        (int(t_new), next(counter), rule.head.pred, head_row, 1),
+                    )
+
+    def _firing_times(
+        self, state, rule: Rule, theta: dict, pred: str, row: tuple,
+        old_first, new_first,
+    ) -> tuple[float, float]:
+        """The firing timestamps of θ in the old and new worlds.
+
+        All occurrences grounding to the changed ``row`` use its old/new
+        first-existence respectively; everything else uses current state.
+        A ``NEVER`` body atom makes the whole firing ``NEVER`` in that world.
+        """
+        t_old: float = -1.0
+        t_new: float = -1.0
+        for item in rule.body:
+            if not isinstance(item, Literal):
+                continue  # Eval/Test are timeless (timestamp 0 <= any max)
+            grounded = tuple(term_value(term, theta) for term in item.atom.args)
+            is_changed = item.pred == pred and grounded == row
+            if item.negated:
+                # Factor exists (at 0) while the atom is ABSENT.
+                if is_changed:
+                    f_old = 0.0 if old_first == NEVER else NEVER
+                    f_new = 0.0 if new_first == NEVER else NEVER
+                else:
+                    present = state.rel(item.pred).first(grounded) != NEVER
+                    f_old = f_new = NEVER if present else 0.0
+            else:
+                if is_changed:
+                    f_old, f_new = old_first, new_first
+                else:
+                    f_old = f_new = state.rel(item.pred).first(grounded)
+            t_old = max(t_old, f_old)
+            t_new = max(t_new, f_new)
+        return (
+            NEVER if t_old == NEVER else t_old + 1,
+            NEVER if t_new == NEVER else t_new + 1,
+        )
+
+    def _feed_aggregations(
+        self, state, pred, row, old_first, new_first, queue, counter,
+        groups_before,
+    ) -> None:
+        """Route a collecting tuple's existence change into the sequential
+        aggregator architecture and queue the resulting output-run diffs."""
+        for spec in state.specs_by_collecting.get(pred, ()):
+            literal: Literal = spec.plan[0]
+            binding = bind_pinned(literal, row)
+            if binding is None:
+                continue
+            key, value = spec.key_and_value(binding)
+            per_pred = state.groups[spec.pred]
+            group = per_pred.get(key)
+            if group is None:
+                group = per_pred[key] = GroupState(spec.aggregator.combine)
+            before = groups_before.setdefault(spec.pred, {})
+            if key not in before:
+                before[key] = group.final() if group else _MISSING
+            old_runs = group.output_runs()
+            if old_first != NEVER:
+                group.remove(int(old_first), value)
+            if new_first != NEVER:
+                group.insert(int(new_first), value)
+            new_runs = group.output_runs()
+            for out_value in old_runs.keys() | new_runs.keys():
+                t_out_old = old_runs.get(out_value, NEVER)
+                t_out_new = new_runs.get(out_value, NEVER)
+                if t_out_old == t_out_new:
+                    continue
+                out_row = spec.tuple_for(key, out_value)
+                if t_out_old != NEVER:
+                    heapq.heappush(
+                        queue, (int(t_out_old), next(counter), spec.pred, out_row, -1)
+                    )
+                if t_out_new != NEVER:
+                    heapq.heappush(
+                        queue, (int(t_out_new), next(counter), spec.pred, out_row, 1)
+                    )
+
+    # -- export --------------------------------------------------------------
+
+    def _exported_component_diff(
+        self, state, presence_before, groups_before
+    ) -> dict[str, tuple[set[tuple], set[tuple]]]:
+        """Compare pre-epoch exported views with the settled state, update
+        the global exported store, and return per-pred (added, removed)."""
+        diff: dict[str, tuple[set[tuple], set[tuple]]] = {}
+        for pred, entries in groups_before.items():
+            spec = state.specs[pred]
+            added: set[tuple] = set()
+            removed: set[tuple] = set()
+            per_pred = state.groups[pred]
+            for key, old_final in entries.items():
+                group = per_pred.get(key)
+                new_final = group.final() if group else _MISSING
+                if old_final == new_final:
+                    continue
+                if old_final is not _MISSING:
+                    removed.add(spec.tuple_for(key, old_final))
+                if new_final is not _MISSING:
+                    added.add(spec.tuple_for(key, new_final))
+                if group is not None and not group:
+                    del per_pred[key]
+            if added or removed:
+                diff[pred] = (added, removed)
+        for pred, entries in presence_before.items():
+            if pred in state.specs:
+                continue  # aggregated preds export through group finals
+            relation = state.rel(pred)
+            added = set()
+            removed = set()
+            for row, was in entries.items():
+                now = relation.first(row) != NEVER
+                if was and not now:
+                    removed.add(row)
+                elif now and not was:
+                    added.add(row)
+            if added or removed:
+                diff[pred] = (added, removed)
+        for pred, (added, removed) in diff.items():
+            exported = self._exported.get(pred)
+            for row in removed:
+                exported.discard(row)
+            for row in added:
+                exported.add(row)
+        return diff

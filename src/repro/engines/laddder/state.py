@@ -1,0 +1,111 @@
+"""Timestamped relation storage for Laddder components.
+
+A :class:`TimedRelation` maps tuples to their differential count
+:class:`~repro.engines.laddder.timeline.Timeline` and maintains the same
+lazy column indexes as :class:`repro.engines.relation.IndexedRelation`, so
+the shared grounding machinery (:func:`repro.engines.grounding.run_plan`)
+works unchanged — a tuple participates in joins while its timeline is
+non-empty.
+
+Physical removal of emptied tuples is *deferred*: epoch compensation needs
+a just-deleted tuple to stay findable while its disappearance is being
+propagated (its old derivations must be enumerated to retract their
+consequences).  The solver calls :meth:`cleanup` after each propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .timeline import NEVER, Timeline
+
+
+class TimedRelation:
+    """Tuples with differential count timelines and lazy column indexes."""
+
+    __slots__ = ("arity", "timelines", "_indexes")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self.timelines: dict[tuple, Timeline] = {}
+        self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
+
+    # -- the IndexedRelation protocol used by run_plan ---------------------
+
+    def __len__(self) -> int:
+        return len(self.timelines)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.timelines)
+
+    def __contains__(self, item: tuple) -> bool:
+        return item in self.timelines
+
+    def matching(self, pattern: tuple) -> Iterable[tuple]:
+        cols = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not cols:
+            return list(self.timelines)
+        if len(cols) == self.arity:
+            exact = tuple(pattern)
+            return (exact,) if exact in self.timelines else ()
+        index = self._index(cols)
+        key = tuple(pattern[c] for c in cols)
+        return index.get(key, ())
+
+    def _index(self, cols: tuple[int, ...]) -> dict[tuple, set[tuple]]:
+        index = self._indexes.get(cols)
+        if index is None:
+            index = {}
+            for item in self.timelines:
+                key = tuple(item[c] for c in cols)
+                index.setdefault(key, set()).add(item)
+            self._indexes[cols] = index
+        return index
+
+    # -- timeline maintenance ----------------------------------------------
+
+    def add_delta(self, item: tuple, timestamp: int, delta: int) -> Timeline:
+        """Merge a count delta; registers the tuple in indexes if new."""
+        timeline = self.timelines.get(item)
+        if timeline is None:
+            timeline = Timeline()
+            self.timelines[item] = timeline
+            for cols, index in self._indexes.items():
+                key = tuple(item[c] for c in cols)
+                index.setdefault(key, set()).add(item)
+        timeline.add(timestamp, delta)
+        return timeline
+
+    def first(self, item: tuple) -> float:
+        """First-existence timestamp of ``item``, or ``NEVER``."""
+        timeline = self.timelines.get(item)
+        if timeline is None:
+            return NEVER
+        return timeline.first()
+
+    def cleanup(self, item: tuple) -> None:
+        """Physically drop ``item`` if its timeline became empty."""
+        timeline = self.timelines.get(item)
+        if timeline is None or timeline:
+            return
+        del self.timelines[item]
+        for cols, index in self._indexes.items():
+            key = tuple(item[c] for c in cols)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del index[key]
+
+    def present_tuples(self) -> set[tuple]:
+        """Tuples that exist at the fixpoint (positive total count)."""
+        return {item for item, tl in self.timelines.items() if tl.total() > 0}
+
+    def state_size(self) -> int:
+        timeline_cells = sum(tl.state_size() for tl in self.timelines.values())
+        postings = sum(
+            len(bucket)
+            for index in self._indexes.values()
+            for bucket in index.values()
+        )
+        return len(self.timelines) + timeline_cells + postings

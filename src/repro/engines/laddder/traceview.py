@@ -1,0 +1,42 @@
+"""Render a Laddder solver's state as a Figure 4-style evaluation trace.
+
+Groups every derived tuple by first-appearance timestamp and prints
+``T -> tuples`` lines with ``NxTuple`` support-count prefixes — the exact
+presentation of the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from .solver import LaddderSolver
+
+
+def format_trace(
+    solver: LaddderSolver,
+    preds: set[str] | None = None,
+    hide_facts: bool = True,
+) -> str:
+    """The Figure 4 view of the current epoch's iteration trace.
+
+    ``preds`` restricts the shown predicates; ``hide_facts`` collapses
+    timestamp 0 (the input facts) into a summary line.
+    """
+    trace = solver.trace(preds=preds)
+    lines = ["T  -> tuples first derived at timestamp T"]
+    for timestamp, rows in trace.items():
+        if timestamp == 0 and hide_facts:
+            lines.append(f"0  -> ({len(rows)} input/upstream tuples)")
+            continue
+        rendered = []
+        for pred, row, count in rows:
+            inner = ", ".join(_short(v) for v in row)
+            prefix = f"{count}x" if count > 1 else ""
+            rendered.append(f"{prefix}{pred}({inner})")
+        lines.append(f"{timestamp:<2} -> " + ", ".join(rendered))
+    return "\n".join(lines)
+
+
+def _short(value: object) -> str:
+    text = repr(value) if not isinstance(value, str) else value
+    if isinstance(value, str) and "/" in text:
+        return text.rsplit("/", 1)[-1]
+    return text

@@ -1,0 +1,146 @@
+"""The naive reference solver — the executable semantics of Section 6.3.
+
+Per dependency component, iterate the *inflationary consequence operator*
+``T̂`` on full relations until fixpoint (``D_raw = T̂ω``), then prune
+aggregated predicates to their final aggregate per group (``D_prune``) and
+export (``D_exp``).  No deltas, no timestamps: this engine is deliberately
+simple and serves as the correctness oracle for every other engine.
+
+``update`` re-solves from scratch (the Soufflé-style non-incremental
+behaviour the paper contrasts with) and reports the exported diff — exactly
+what the impact methodology of Section 3 measures.
+"""
+
+from __future__ import annotations
+
+from ..datalog.errors import SolverError
+from ..datalog.planning import plan_body
+from ..datalog.program import Program
+from ..datalog.stratify import Component
+from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
+from .base import FactChanges, Solver, UpdateStats
+from .grounding import instantiate, run_plan
+from .relation import IndexedRelation, RelationStore
+
+
+class NaiveSolver(Solver):
+    """Iterate ``T̂`` to fixpoint on full relations; prune; export."""
+
+    def __init__(self, program: Program):
+        super().__init__(program)
+        self._exported = RelationStore(self.arities)
+        self._raw = RelationStore(self.arities)
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(self) -> None:
+        self._exported = RelationStore(self.arities)
+        self._raw = RelationStore(self.arities)
+        for pred, rows in self._facts.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.add(row)
+        for component in self.components:
+            self._solve_component(component)
+        self._solved = True
+
+    def update(
+        self,
+        insertions: FactChanges | None = None,
+        deletions: FactChanges | None = None,
+    ) -> UpdateStats:
+        self._require_solved()
+        before = {
+            pred: self.relation(pred) for pred in self.program.exported_predicates()
+        }
+        self._normalize_changes(insertions, deletions)
+        self.solve()
+        after = {
+            pred: self.relation(pred) for pred in self.program.exported_predicates()
+        }
+        return self._exported_diff(before, after)
+
+    def relation(self, pred: str) -> frozenset[tuple]:
+        self._require_solved()
+        return frozenset(self._exported.get(pred).tuples)
+
+    def raw_relation(self, pred: str) -> frozenset[tuple]:
+        """The un-pruned inflationary fixpoint content (``D_raw``)."""
+        self._require_solved()
+        if pred in self.edb:
+            return frozenset(self._exported.get(pred).tuples)
+        return frozenset(self._raw.get(pred).tuples)
+
+    def state_size(self) -> int:
+        return self._exported.state_size() + self._raw.state_size()
+
+    # -- component evaluation --------------------------------------------
+
+    def _solve_component(self, component: Component) -> None:
+        local = RelationStore(self.arities)
+        plans = [
+            (rule, plan_body(rule))
+            for rule in component.rules
+            if not rule.is_aggregation
+        ]
+        specs = compile_agg_specs(component.rules, self.program)
+
+        def lookup(pred: str) -> IndexedRelation:
+            if pred in component.predicates:
+                return local.get(pred)
+            return self._exported.get(pred)
+
+        for iteration in range(self.MAX_ITERATIONS):
+            changed = False
+            for rule, plan in plans:
+                target = local.get(rule.head.pred)
+                for binding in run_plan(plan, self.program, lookup, {}):
+                    if target.add(instantiate(rule.head, binding)):
+                        changed = True
+            for spec in specs.values():
+                if self._apply_aggregation(spec, lookup, local):
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise SolverError(
+                f"component {sorted(component.predicates)} exceeded "
+                f"{self.MAX_ITERATIONS} iterations — diverging analysis? "
+                f"(check eventual ⊑-monotonicity and widening)"
+            )
+
+        self._export_component(component, local, specs)
+
+    def _apply_aggregation(self, spec: AggSpec, lookup, local: RelationStore) -> bool:
+        """One inflationary application: derive the current total per group
+        (keeping previously derived totals — inflation)."""
+        groups: dict[tuple, object] = {}
+        combine = spec.aggregator.combine
+        for binding in run_plan(spec.plan, self.program, lookup, {}):
+            key, value = spec.key_and_value(binding)
+            if key in groups:
+                groups[key] = combine(groups[key], value)
+            else:
+                groups[key] = value
+        target = local.get(spec.pred)
+        changed = False
+        for key, total in groups.items():
+            if target.add(spec.tuple_for(key, total)):
+                changed = True
+        return changed
+
+    def _export_component(
+        self, component: Component, local: RelationStore, specs: dict[str, AggSpec]
+    ) -> None:
+        for pred in component.predicates:
+            raw = self._raw.get(pred)
+            for row in local.get(pred).tuples:
+                raw.add(row)
+            exported = self._exported.get(pred)
+            exported.clear()
+            if pred in specs:
+                rows = prune_aggregated(local.get(pred).tuples, specs[pred])
+            else:
+                rows = local.get(pred).tuples
+            for row in rows:
+                exported.add(row)

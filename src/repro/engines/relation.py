@@ -1,0 +1,119 @@
+"""Indexed tuple storage shared by all solvers.
+
+An :class:`IndexedRelation` is a set of tuples with lazily built, then
+incrementally maintained, hash indexes on arbitrary column subsets.  Joins
+probe :meth:`matching` with a pattern (``None`` marks a free column); the
+first probe on a column set builds the index, later mutations keep every
+existing index current.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class IndexedRelation:
+    """A mutable set of same-arity tuples with column indexes."""
+
+    __slots__ = ("arity", "tuples", "_indexes")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self.tuples: set[tuple] = set()
+        # cols (sorted tuple of column positions) -> key tuple -> set of tuples
+        self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.tuples)
+
+    def __contains__(self, item: tuple) -> bool:
+        return item in self.tuples
+
+    def add(self, item: tuple) -> bool:
+        """Insert; returns True iff the tuple was new."""
+        if item in self.tuples:
+            return False
+        self.tuples.add(item)
+        for cols, index in self._indexes.items():
+            key = tuple(item[c] for c in cols)
+            index.setdefault(key, set()).add(item)
+        return True
+
+    def discard(self, item: tuple) -> bool:
+        """Remove; returns True iff the tuple was present."""
+        if item not in self.tuples:
+            return False
+        self.tuples.discard(item)
+        for cols, index in self._indexes.items():
+            key = tuple(item[c] for c in cols)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def clear(self) -> None:
+        self.tuples.clear()
+        self._indexes.clear()
+
+    def matching(self, pattern: tuple) -> Iterable[tuple]:
+        """All tuples agreeing with ``pattern`` on its non-None positions."""
+        cols = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not cols:
+            return self.tuples
+        if len(cols) == self.arity:
+            exact = tuple(pattern)
+            return (exact,) if exact in self.tuples else ()
+        index = self._index(cols)
+        key = tuple(pattern[c] for c in cols)
+        return index.get(key, ())
+
+    def _index(self, cols: tuple[int, ...]) -> dict[tuple, set[tuple]]:
+        index = self._indexes.get(cols)
+        if index is None:
+            index = {}
+            for item in self.tuples:
+                key = tuple(item[c] for c in cols)
+                index.setdefault(key, set()).add(item)
+            self._indexes[cols] = index
+        return index
+
+    def state_size(self) -> int:
+        """Rough count of stored entries (tuples plus index postings), used
+        by the memory benchmarks."""
+        postings = sum(
+            len(bucket)
+            for index in self._indexes.values()
+            for bucket in index.values()
+        )
+        return len(self.tuples) + postings
+
+
+class RelationStore:
+    """A name -> :class:`IndexedRelation` map with on-demand creation."""
+
+    __slots__ = ("relations", "arities")
+
+    def __init__(self, arities: dict[str, int]):
+        self.arities = arities
+        self.relations: dict[str, IndexedRelation] = {}
+
+    def get(self, pred: str) -> IndexedRelation:
+        relation = self.relations.get(pred)
+        if relation is None:
+            relation = IndexedRelation(self.arities.get(pred, 0))
+            self.relations[pred] = relation
+        return relation
+
+    def __contains__(self, pred: str) -> bool:
+        return pred in self.relations
+
+    def snapshot(self) -> dict[str, frozenset[tuple]]:
+        return {name: frozenset(rel.tuples) for name, rel in self.relations.items()}
+
+    def state_size(self) -> int:
+        return sum(rel.state_size() for rel in self.relations.values())

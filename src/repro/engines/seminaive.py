@@ -1,0 +1,203 @@
+"""Semi-naive bottom-up solver — the non-incremental performance baseline.
+
+Section 4.1: *"Laddder follows a semi-naïve evaluation strategy: in each
+iteration of the fixpoint computation, Laddder only considers new tuples
+from the previous iteration instead of re-applying rules on the whole set of
+tuples computed thus far."*  This engine is that strategy *without* the
+incremental timeline machinery: per component it seeds from upstream, then
+propagates per-round deltas through delta-pinned join plans, maintaining
+running aggregation totals per group (inflationary — totals only advance
+during an initial run, so a single running value per group suffices).
+
+It computes the same ``D_raw``/``D_prune``/``D_exp`` as
+:class:`repro.engines.naive.NaiveSolver` and stands in for Soufflé as the
+from-scratch engine in the impact methodology (Section 3) and for DRedL's
+initialization phase (Section 7.3: "its from-scratch initialization phase is
+essentially a standard bottom-up Datalog fixpoint evaluation").
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Literal
+from ..datalog.errors import SolverError
+from ..datalog.planning import delta_plans, plan_body
+from ..datalog.program import Program
+from ..datalog.stratify import Component
+from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
+from .base import FactChanges, Solver, UpdateStats
+from .grounding import bind_pinned, instantiate, run_plan
+from .relation import IndexedRelation, RelationStore
+
+
+class SemiNaiveSolver(Solver):
+    """Delta-driven from-scratch evaluation with running aggregation totals."""
+
+    def __init__(self, program: Program):
+        super().__init__(program)
+        self._exported = RelationStore(self.arities)
+        self._raw = RelationStore(self.arities)
+        #: aggregated pred -> group key -> running total (valid per solve()).
+        self._totals: dict[str, dict[tuple, object]] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(self) -> None:
+        self._exported = RelationStore(self.arities)
+        self._raw = RelationStore(self.arities)
+        self._totals = {}
+        for pred, rows in self._facts.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.add(row)
+        for component in self.components:
+            self._solve_component(component)
+        self._solved = True
+
+    def update(
+        self,
+        insertions: FactChanges | None = None,
+        deletions: FactChanges | None = None,
+    ) -> UpdateStats:
+        self._require_solved()
+        before = {
+            pred: self.relation(pred) for pred in self.program.exported_predicates()
+        }
+        self._normalize_changes(insertions, deletions)
+        self.solve()
+        after = {
+            pred: self.relation(pred) for pred in self.program.exported_predicates()
+        }
+        return self._exported_diff(before, after)
+
+    def relation(self, pred: str) -> frozenset[tuple]:
+        self._require_solved()
+        return frozenset(self._exported.get(pred).tuples)
+
+    def raw_relation(self, pred: str) -> frozenset[tuple]:
+        self._require_solved()
+        if pred in self.edb:
+            return frozenset(self._exported.get(pred).tuples)
+        return frozenset(self._raw.get(pred).tuples)
+
+    def state_size(self) -> int:
+        totals = sum(len(g) for g in self._totals.values())
+        return self._exported.state_size() + self._raw.state_size() + totals
+
+    # -- component evaluation --------------------------------------------
+
+    def _solve_component(self, component: Component) -> None:
+        local = RelationStore(self.arities)
+        specs = compile_agg_specs(component.rules, self.program)
+        plain_rules = [r for r in component.rules if not r.is_aggregation]
+        full_plans = [(rule, plan_body(rule)) for rule in plain_rules]
+        # Delta plans pinned on component-local positive occurrences, grouped
+        # by the pinned predicate.
+        pinned: dict[str, list[tuple]] = {}
+        for rule in plain_rules:
+            for i, plan in delta_plans(rule):
+                pred = rule.body[i].pred
+                if pred in component.predicates:
+                    pinned.setdefault(pred, []).append((rule, plan))
+
+        def lookup(pred: str) -> IndexedRelation:
+            if pred in component.predicates:
+                return local.get(pred)
+            return self._exported.get(pred)
+
+        delta: dict[str, set[tuple]] = {}
+
+        def derive(pred: str, row: tuple, next_delta: dict) -> None:
+            if local.get(pred).add(row):
+                next_delta.setdefault(pred, set()).add(row)
+
+        # Seed round: full evaluation (local relations are empty, so this
+        # only fires rules satisfiable from upstream alone).
+        for rule, plan in full_plans:
+            for binding in run_plan(plan, self.program, lookup, {}):
+                derive(rule.head.pred, instantiate(rule.head, binding), delta)
+        for spec in specs.values():
+            if spec.collecting_pred not in component.predicates:
+                self._seed_upstream_aggregation(spec, lookup, derive, delta)
+
+        for _ in range(self.MAX_ITERATIONS):
+            if not delta:
+                break
+            next_delta: dict[str, set[tuple]] = {}
+            for pred, rows in delta.items():
+                for rule, plan in pinned.get(pred, ()):
+                    literal: Literal = plan[0]
+                    for row in rows:
+                        binding = bind_pinned(literal, row)
+                        if binding is None:
+                            continue
+                        for full in run_plan(
+                            plan, self.program, lookup, binding, start=1
+                        ):
+                            derive(
+                                rule.head.pred,
+                                instantiate(rule.head, full),
+                                next_delta,
+                            )
+                for spec in specs.values():
+                    if spec.collecting_pred == pred:
+                        self._advance_aggregation(spec, rows, derive, next_delta)
+            delta = next_delta
+        else:
+            raise SolverError(
+                f"component {sorted(component.predicates)} exceeded "
+                f"{self.MAX_ITERATIONS} rounds — diverging analysis?"
+            )
+
+        self._export_component(component, local, specs)
+
+    def _seed_upstream_aggregation(self, spec, lookup, derive, delta) -> None:
+        """Aggregate a collecting relation that lives upstream: its content
+        is static during this component, so a single full pass suffices."""
+        totals = self._totals.setdefault(spec.pred, {})
+        combine = spec.aggregator.combine
+        for binding in run_plan(spec.plan, self.program, lookup, {}):
+            key, value = spec.key_and_value(binding)
+            if key in totals:
+                totals[key] = combine(totals[key], value)
+            else:
+                totals[key] = value
+        for key, total in totals.items():
+            derive(spec.pred, spec.tuple_for(key, total), delta)
+
+    def _advance_aggregation(self, spec, collect_rows, derive, next_delta) -> None:
+        """Fold newly collected aggregands into running group totals; emit a
+        new inflationary total tuple when a group's total advances."""
+        totals = self._totals.setdefault(spec.pred, {})
+        combine = spec.aggregator.combine
+        literal: Literal = spec.plan[0]
+        touched: set[tuple] = set()
+        for row in collect_rows:
+            binding = bind_pinned(literal, row)
+            if binding is None:
+                continue
+            key, value = spec.key_and_value(binding)
+            if key in totals:
+                new_total = combine(totals[key], value)
+            else:
+                new_total = value
+            if key not in totals or new_total != totals[key]:
+                totals[key] = new_total
+                touched.add(key)
+        for key in touched:
+            derive(spec.pred, spec.tuple_for(key, totals[key]), next_delta)
+
+    def _export_component(
+        self, component: Component, local: RelationStore, specs: dict[str, AggSpec]
+    ) -> None:
+        for pred in component.predicates:
+            raw = self._raw.get(pred)
+            for row in local.get(pred).tuples:
+                raw.add(row)
+            exported = self._exported.get(pred)
+            exported.clear()
+            if pred in specs:
+                rows = prune_aggregated(local.get(pred).tuples, specs[pred])
+            else:
+                rows = local.get(pred).tuples
+            for row in rows:
+                exported.add(row)

@@ -1,0 +1,42 @@
+"""javalite: the Java front-end substrate (Soot/Jimple + Doop stand-in).
+
+A small Java-like IR with class hierarchies and virtual dispatch, a
+class-hierarchy analysis, Doop-style fact extraction, and CFG/ICFG
+construction — everything the paper's analyses consume as input relations.
+"""
+
+from .ast import (
+    BinOp,
+    ConstAssign,
+    If,
+    JClass,
+    JMethod,
+    JProgram,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    Stmt,
+    Store,
+    VirtualCall,
+    While,
+)
+from .builder import MethodBuilder, finalize, make_class
+from .cfg import CFG, ICFG, build_cfg, build_icfg
+from .facts import extract_pointsto_facts, extract_value_facts
+from .incremental import IncrementalExtractor
+from .interp import HeapObject, Interpreter, Trace, run_program
+from .parser import parse_source
+from .pretty import format_class, format_method, format_program, format_stmt
+from .types import ClassHierarchy
+
+__all__ = [
+    "BinOp", "CFG", "ClassHierarchy", "ConstAssign", "ICFG", "If", "JClass",
+    "JMethod", "JProgram", "Load", "MethodBuilder", "Move", "New", "Return",
+    "StaticCall", "Stmt", "Store", "VirtualCall", "While", "build_cfg",
+    "build_icfg", "extract_pointsto_facts", "extract_value_facts",
+    "finalize", "format_class", "format_method", "format_program",
+    "format_stmt", "make_class", "parse_source",
+    "HeapObject", "IncrementalExtractor", "Interpreter", "Trace", "run_program",
+]

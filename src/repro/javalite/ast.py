@@ -1,0 +1,231 @@
+"""A Java-like intermediate representation ("javalite").
+
+This is the substrate that stands in for Soot's Jimple IR and Doop's input
+programs (see DESIGN.md, substitutions).  A :class:`JProgram` is a set of
+classes; classes have fields and methods; method bodies are three-address
+statements over local variables, close to Jimple:
+
+* ``New(var, cls)``                — ``var = new cls()`` (an allocation site)
+* ``Move(to, src)``                — ``to = src``
+* ``ConstAssign(var, value)``      — ``var = literal``
+* ``BinOp(var, op, left, right)``  — ``var = left op right``
+* ``Load(var, base, field)`` / ``Store(base, field, src)``
+* ``VirtualCall(ret, recv, sig, args)`` — dynamically dispatched call
+* ``StaticCall(ret, cls, sig, args)``   — statically bound call
+* ``Return(var)``
+* ``If(cond_var, then_block, else_block)`` / ``While(cond_var, body)``
+
+Control flow is structured (blocks), which keeps the generator and the CFG
+builder simple; the CFG flattens it into nodes and edges, and the ICFG links
+call/return edges using class-hierarchy dispatch (:mod:`repro.javalite.types`).
+
+Statement identity: every statement gets a stable ``label`` assigned by the
+builder (``cls.method/idx``) used as the node id in facts and CFGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+@dataclass
+class New:
+    """``var = new cls()`` — an allocation site."""
+
+    var: str
+    cls: str
+    label: str = ""
+
+
+@dataclass
+class Move:
+    """``to = src`` between locals (also used for parameter passing)."""
+
+    to: str
+    src: str
+    label: str = ""
+
+
+@dataclass
+class ConstAssign:
+    """``var = literal`` with an integer (or other) literal."""
+
+    var: str
+    value: object
+    label: str = ""
+
+
+@dataclass
+class BinOp:
+    """``var = left op right`` with ``op`` in ``+ - *``."""
+
+    var: str
+    op: str
+    left: str
+    right: str
+    label: str = ""
+
+
+@dataclass
+class Load:
+    """``var = base.field``."""
+
+    var: str
+    base: str
+    fieldname: str
+    label: str = ""
+
+
+@dataclass
+class Store:
+    """``base.field = src``."""
+
+    base: str
+    fieldname: str
+    src: str
+    label: str = ""
+
+
+@dataclass
+class VirtualCall:
+    """``ret = recv.sig(args)`` — dispatched on recv's runtime type."""
+
+    ret: str | None
+    recv: str
+    sig: str
+    args: tuple[str, ...] = ()
+    label: str = ""
+
+
+@dataclass
+class StaticCall:
+    """``ret = cls.sig(args)`` — statically bound."""
+
+    ret: str | None
+    cls: str
+    sig: str
+    args: tuple[str, ...] = ()
+    label: str = ""
+
+
+@dataclass
+class Return:
+    """``return var`` (or a bare return when ``var`` is None)."""
+
+    var: str | None = None
+    label: str = ""
+
+
+@dataclass
+class If:
+    """``if (cond) { then_block } else { else_block }``."""
+
+    cond: str
+    then_block: list["Stmt"] = field(default_factory=list)
+    else_block: list["Stmt"] = field(default_factory=list)
+    label: str = ""
+
+
+@dataclass
+class While:
+    """``while (cond) { body }``."""
+
+    cond: str
+    body: list["Stmt"] = field(default_factory=list)
+    label: str = ""
+
+
+Stmt = Union[
+    New, Move, ConstAssign, BinOp, Load, Store,
+    VirtualCall, StaticCall, Return, If, While,
+]
+
+SIMPLE_STMTS = (New, Move, ConstAssign, BinOp, Load, Store,
+                VirtualCall, StaticCall, Return)
+
+
+@dataclass
+class JMethod:
+    """A method: name, parameter locals, body statements.
+
+    ``qualified`` (``Cls.name``) is the method id used in facts, call
+    graphs, and CFGs; ``this_var`` is the implicit receiver local for
+    instance methods.
+    """
+
+    name: str
+    params: tuple[str, ...] = ()
+    body: list[Stmt] = field(default_factory=list)
+    is_static: bool = False
+    owner: str = ""
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.owner}.{self.name}"
+
+    @property
+    def this_var(self) -> str:
+        return f"{self.qualified}/this"
+
+    def local(self, name: str) -> str:
+        """Method-qualified local variable id."""
+        return f"{self.qualified}/{name}"
+
+    def statements(self) -> Iterator[Stmt]:
+        """All statements, recursing into structured control flow."""
+        yield from _walk(self.body)
+
+
+def _walk(block: list[Stmt]) -> Iterator[Stmt]:
+    for stmt in block:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from _walk(stmt.then_block)
+            yield from _walk(stmt.else_block)
+        elif isinstance(stmt, While):
+            yield from _walk(stmt.body)
+
+
+@dataclass
+class JClass:
+    """A class: optional superclass, fields, methods."""
+
+    name: str
+    superclass: str | None = None
+    fields: list[str] = field(default_factory=list)
+    methods: dict[str, JMethod] = field(default_factory=dict)
+    is_abstract: bool = False
+
+    def add_method(self, method: JMethod) -> JMethod:
+        method.owner = self.name
+        self.methods[method.name] = method
+        return method
+
+
+@dataclass
+class JProgram:
+    """A whole program: classes plus the entry method."""
+
+    classes: dict[str, JClass] = field(default_factory=dict)
+    entry: str = "Main.main"
+
+    def add_class(self, cls: JClass) -> JClass:
+        self.classes[cls.name] = cls
+        return cls
+
+    def methods(self) -> Iterator[JMethod]:
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+    def method(self, qualified: str) -> JMethod:
+        cls, _, name = qualified.rpartition(".")
+        return self.classes[cls].methods[name]
+
+    def statement_count(self) -> int:
+        return sum(1 for m in self.methods() for _ in m.statements())
+
+    def loc_estimate(self) -> int:
+        """Rough source-LOC equivalent (statements + declarations)."""
+        decls = len(self.classes) + sum(len(c.methods) for c in self.classes.values())
+        return self.statement_count() + decls * 2

@@ -1,0 +1,205 @@
+"""Construction helpers for javalite programs.
+
+:func:`finalize` assigns stable statement labels (``Cls.meth/0``,
+``Cls.meth/1``, ...) and rewrites *local* variable names in statements to
+their method-qualified form (``Cls.meth/x``) so facts from different methods
+never collide.  Receiver/base variables named ``this`` map to the method's
+``this_var``.  The structured blocks of ``If``/``While`` are labelled in
+pre-order, matching :meth:`JMethod.statements`.
+
+The :class:`MethodBuilder` offers a compact fluent API used by tests, the
+examples, and the corpus generator::
+
+    m = MethodBuilder("run", params=("env",))
+    m.new("s", "Session").move("s1", "s").vcall(None, "s1", "proc")
+    cls.add_method(m.build())
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    BinOp,
+    ConstAssign,
+    If,
+    JClass,
+    JMethod,
+    JProgram,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    Store,
+    Stmt,
+    VirtualCall,
+    While,
+)
+
+
+def finalize(program: JProgram) -> JProgram:
+    """Label all statements and qualify local variable names, in place."""
+    for method in program.methods():
+        counter = [0]
+        _finalize_block(method, method.body, counter)
+    return program
+
+
+def _qualify(method: JMethod, name: str | None) -> str | None:
+    if name is None:
+        return None
+    if name == "this":
+        return method.this_var
+    return method.local(name)
+
+
+def _finalize_block(method: JMethod, block: list[Stmt], counter: list[int]) -> None:
+    for stmt in block:
+        stmt.label = f"{method.qualified}/{counter[0]}"
+        counter[0] += 1
+        if isinstance(stmt, New):
+            stmt.var = _qualify(method, stmt.var)
+        elif isinstance(stmt, Move):
+            stmt.to = _qualify(method, stmt.to)
+            stmt.src = _qualify(method, stmt.src)
+        elif isinstance(stmt, ConstAssign):
+            stmt.var = _qualify(method, stmt.var)
+        elif isinstance(stmt, BinOp):
+            stmt.var = _qualify(method, stmt.var)
+            stmt.left = _qualify(method, stmt.left)
+            stmt.right = _qualify(method, stmt.right)
+        elif isinstance(stmt, Load):
+            stmt.var = _qualify(method, stmt.var)
+            stmt.base = _qualify(method, stmt.base)
+        elif isinstance(stmt, Store):
+            stmt.base = _qualify(method, stmt.base)
+            stmt.src = _qualify(method, stmt.src)
+        elif isinstance(stmt, VirtualCall):
+            stmt.ret = _qualify(method, stmt.ret)
+            stmt.recv = _qualify(method, stmt.recv)
+            stmt.args = tuple(_qualify(method, a) for a in stmt.args)
+        elif isinstance(stmt, StaticCall):
+            stmt.ret = _qualify(method, stmt.ret)
+            stmt.args = tuple(_qualify(method, a) for a in stmt.args)
+        elif isinstance(stmt, Return):
+            stmt.var = _qualify(method, stmt.var)
+        elif isinstance(stmt, If):
+            stmt.cond = _qualify(method, stmt.cond)
+            _finalize_block(method, stmt.then_block, counter)
+            _finalize_block(method, stmt.else_block, counter)
+        elif isinstance(stmt, While):
+            stmt.cond = _qualify(method, stmt.cond)
+            _finalize_block(method, stmt.body, counter)
+
+
+class MethodBuilder:
+    """Fluent construction of a method body with unqualified local names."""
+
+    def __init__(self, name: str, params: tuple[str, ...] = (), is_static: bool = False):
+        self._method = JMethod(name=name, params=params, is_static=is_static)
+        self._blocks: list[list[Stmt]] = [self._method.body]
+
+    @property
+    def _top(self) -> list[Stmt]:
+        return self._blocks[-1]
+
+    def new(self, var: str, cls: str) -> "MethodBuilder":
+        """Append ``var = new cls()``."""
+        self._top.append(New(var, cls))
+        return self
+
+    def move(self, to: str, src: str) -> "MethodBuilder":
+        """Append ``to = src``."""
+        self._top.append(Move(to, src))
+        return self
+
+    def const(self, var: str, value: object) -> "MethodBuilder":
+        """Append ``var = value`` (a literal assignment)."""
+        self._top.append(ConstAssign(var, value))
+        return self
+
+    def binop(self, var: str, op: str, left: str, right: str) -> "MethodBuilder":
+        """Append ``var = left op right``."""
+        self._top.append(BinOp(var, op, left, right))
+        return self
+
+    def load(self, var: str, base: str, fieldname: str) -> "MethodBuilder":
+        """Append ``var = base.fieldname``."""
+        self._top.append(Load(var, base, fieldname))
+        return self
+
+    def store(self, base: str, fieldname: str, src: str) -> "MethodBuilder":
+        """Append ``base.fieldname = src``."""
+        self._top.append(Store(base, fieldname, src))
+        return self
+
+    def vcall(self, ret: str | None, recv: str, sig: str, *args: str) -> "MethodBuilder":
+        """Append a virtual call ``ret = recv.sig(args)``."""
+        self._top.append(VirtualCall(ret, recv, sig, tuple(args)))
+        return self
+
+    def scall(self, ret: str | None, cls: str, sig: str, *args: str) -> "MethodBuilder":
+        """Append a static call ``ret = cls.sig(args)``."""
+        self._top.append(StaticCall(ret, cls, sig, tuple(args)))
+        return self
+
+    def ret(self, var: str | None = None) -> "MethodBuilder":
+        """Append ``return var`` (or a bare return)."""
+        self._top.append(Return(var))
+        return self
+
+    def if_(self, cond: str) -> "MethodBuilder":
+        """Open ``if (cond) { ...`` — close with else_()/end()."""
+        stmt = If(cond)
+        self._top.append(stmt)
+        self._blocks.append(stmt.then_block)
+        return self
+
+    def else_(self) -> "MethodBuilder":
+        """Switch from the then-block to the else-block."""
+        if len(self._blocks) < 2:
+            raise ValueError("else_() without an open if_() block")
+        self._blocks.pop()
+        stmt = self._enclosing_if()
+        self._blocks.append(stmt.else_block)
+        return self
+
+    def while_(self, cond: str) -> "MethodBuilder":
+        """Open ``while (cond) { ...`` — close with end()."""
+        stmt = While(cond)
+        self._top.append(stmt)
+        self._blocks.append(stmt.body)
+        return self
+
+    def end(self) -> "MethodBuilder":
+        """Close the innermost open block."""
+        if len(self._blocks) == 1:
+            raise ValueError("end() without an open block")
+        self._blocks.pop()
+        return self
+
+    def _enclosing_if(self) -> If:
+        for stmt in reversed(self._blocks[-1]):
+            if isinstance(stmt, If):
+                return stmt
+        raise ValueError("else_() without a preceding if_()")
+
+    def build(self) -> JMethod:
+        """Finish construction; raises on unclosed blocks."""
+        if len(self._blocks) != 1:
+            raise ValueError("unclosed block(s) at build()")
+        return self._method
+
+
+def make_class(
+    name: str,
+    superclass: str | None = None,
+    fields: tuple[str, ...] = (),
+    is_abstract: bool = False,
+) -> JClass:
+    """Convenience constructor mirroring :class:`MethodBuilder`."""
+    return JClass(
+        name=name,
+        superclass=superclass,
+        fields=list(fields),
+        is_abstract=is_abstract,
+    )

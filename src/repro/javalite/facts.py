@@ -1,0 +1,168 @@
+"""Doop-style fact extraction (the Doop fact extractor + Soot stand-in).
+
+Two extractors, matching the two analysis families of Section 7:
+
+* :func:`extract_pointsto_facts` — the relational view the Figure 1 family
+  of points-to analyses consumes: ``alloc``, ``move``, ``vcall``, ``otype``,
+  ``lookup``, ``lookupsub``, ``thisvar``, ``funcname``, plus
+  parameter/return plumbing (``formalarg``, ``actualarg``, ``returnvar``,
+  ``callret``) and field accesses (``loadf``, ``storef``).  Static calls are
+  desugared into direct ``scall`` facts.
+
+* :func:`extract_value_facts` — the ICFG view the flow-sensitive constant
+  propagation and interval analyses consume: per-node transfer facts
+  (``assignlit``, ``assignmove``, ``assignbin``, ``havoc``), intra-
+  procedural ``flow`` edges, CHA ``calledge``s, and parameter/return
+  plumbing keyed by call node.
+
+Both return plain ``dict[pred -> set[tuple]]`` ready for
+:meth:`repro.engines.base.Solver.add_facts`.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    BinOp,
+    ConstAssign,
+    JProgram,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    VirtualCall,
+    Store,
+)
+from .cfg import ICFG, build_icfg
+from .types import ClassHierarchy
+
+Facts = dict[str, set[tuple]]
+
+
+def _fresh(facts: Facts, *preds: str) -> None:
+    for pred in preds:
+        facts.setdefault(pred, set())
+
+
+def extract_pointsto_facts(
+    program: JProgram, hierarchy: ClassHierarchy | None = None
+) -> tuple[Facts, ClassHierarchy]:
+    """Extract the Doop-style relational facts for points-to analyses.
+
+    Also populates ``hierarchy.obj_types`` (allocation site -> class), which
+    the singleton lattice needs, and returns the hierarchy alongside the
+    facts.
+    """
+    if hierarchy is None:
+        hierarchy = ClassHierarchy(program)
+    facts: Facts = {}
+    _fresh(
+        facts,
+        "alloc", "move", "vcall", "scall", "otype", "lookup", "lookupsub",
+        "thisvar", "funcname", "formalarg", "actualarg", "returnvar",
+        "callret", "loadf", "storef",
+    )
+
+    for method in program.methods():
+        meth = method.qualified
+        facts["thisvar"].add((meth, method.this_var))
+        for i, param in enumerate(method.params):
+            facts["formalarg"].add((meth, i, method.local(param)))
+        for stmt in method.statements():
+            if isinstance(stmt, New):
+                obj = stmt.label  # allocation sites are named by their label
+                facts["alloc"].add((stmt.var, obj, meth))
+                facts["otype"].add((obj, stmt.cls))
+                hierarchy.obj_types[obj] = stmt.cls
+            elif isinstance(stmt, Move):
+                facts["move"].add((stmt.to, stmt.src))
+            elif isinstance(stmt, VirtualCall):
+                facts["vcall"].add((stmt.recv, stmt.sig, stmt.label, meth))
+                for i, arg in enumerate(stmt.args):
+                    facts["actualarg"].add((stmt.label, i, arg))
+                if stmt.ret is not None:
+                    facts["callret"].add((stmt.label, stmt.ret))
+            elif isinstance(stmt, StaticCall):
+                target = hierarchy.lookup(stmt.cls, stmt.sig)
+                if target is not None:
+                    facts["scall"].add((stmt.label, target, meth))
+                    for i, arg in enumerate(stmt.args):
+                        facts["actualarg"].add((stmt.label, i, arg))
+                    if stmt.ret is not None:
+                        facts["callret"].add((stmt.label, stmt.ret))
+            elif isinstance(stmt, Return) and stmt.var is not None:
+                facts["returnvar"].add((meth, stmt.var))
+            elif isinstance(stmt, Load):
+                facts["loadf"].add((stmt.var, stmt.base, stmt.fieldname))
+            elif isinstance(stmt, Store):
+                facts["storef"].add((stmt.base, stmt.fieldname, stmt.src))
+
+    sigs = {sig for cls in program.classes.values() for sig in cls.methods}
+    for cls_name in program.classes:
+        for sig in sigs:
+            resolved = hierarchy.lookup(cls_name, sig)
+            if resolved is not None:
+                facts["lookup"].add((cls_name, sig, resolved))
+            for target in hierarchy.lookup_in_subclasses(cls_name, sig):
+                facts["lookupsub"].add((cls_name, sig, target))
+
+    facts["funcname"].add((program.entry, "main"))
+    return facts, hierarchy
+
+
+def extract_value_facts(
+    program: JProgram,
+    hierarchy: ClassHierarchy | None = None,
+    icfg: ICFG | None = None,
+) -> tuple[Facts, ICFG]:
+    """Extract ICFG transfer facts for the flow-sensitive value analyses.
+
+    Integer-typed locals get per-node transfer facts; everything the
+    analyses cannot model precisely (field loads, allocations used as
+    values) becomes a ``havoc`` (value unknown -> Top).
+    """
+    if hierarchy is None:
+        hierarchy = ClassHierarchy(program)
+    if icfg is None:
+        icfg = build_icfg(program, hierarchy)
+    facts: Facts = {}
+    _fresh(
+        facts,
+        "flow", "assignlit", "assignmove", "assignbin", "havoc",
+        "calledge", "formalarg", "actualarg", "returnvar", "callret",
+        "entrynode", "exitnode", "entrymethod",
+    )
+
+    for method in program.methods():
+        meth = method.qualified
+        cfg = icfg.cfgs[meth]
+        facts["entrynode"].add((meth, cfg.entry))
+        facts["exitnode"].add((meth, cfg.exit))
+        for i, param in enumerate(method.params):
+            facts["formalarg"].add((meth, i, method.local(param)))
+        for edge in cfg.edges:
+            facts["flow"].add(edge)
+        for node, stmt in cfg.stmt_of.items():
+            if isinstance(stmt, ConstAssign):
+                facts["assignlit"].add((node, stmt.var, stmt.value))
+            elif isinstance(stmt, Move):
+                facts["assignmove"].add((node, stmt.to, stmt.src))
+            elif isinstance(stmt, BinOp):
+                facts["assignbin"].add((node, stmt.var, stmt.op, stmt.left, stmt.right))
+            elif isinstance(stmt, (Load, New)):
+                target = stmt.var
+                facts["havoc"].add((node, target))
+            elif isinstance(stmt, VirtualCall) and stmt.ret is not None:
+                facts["callret"].add((node, stmt.ret))
+            elif isinstance(stmt, StaticCall) and stmt.ret is not None:
+                facts["callret"].add((node, stmt.ret))
+            if isinstance(stmt, (VirtualCall, StaticCall)):
+                for i, arg in enumerate(stmt.args):
+                    facts["actualarg"].add((node, i, arg))
+            if isinstance(stmt, Return) and stmt.var is not None:
+                facts["returnvar"].add((meth, stmt.var))
+        for node, callee in icfg.call_edges:
+            facts["calledge"].add((node, callee))
+
+    facts["entrymethod"].add((program.entry,))
+    return facts, icfg

@@ -1,0 +1,258 @@
+"""A concrete interpreter for javalite — the analyses' ground truth.
+
+Static analyses over-approximate; the way to *test* that is to run the
+subject program for real and check every analysis claim against what
+actually happened:
+
+* every object a variable ever held must be covered by its points-to set,
+* every concrete value observed at a node must lie in the interval /
+  match the constant / carry the sign the value analyses report there.
+
+The interpreter executes the IR directly: a heap of objects (class +
+fields), frames of locals, virtual dispatch through the class hierarchy,
+bounded loops/recursion (it is a test oracle, not a VM — programs that
+exceed the budget simply yield a partial trace, which is still sound to
+check against).
+
+The :class:`Trace` records, per executed statement node, the values of the
+locals *on entry* (matching the value analyses' at-entry semantics), every
+variable→object binding ever observed, and each dynamically dispatched
+call — the concrete counterparts of ``val``, ``ptlub``, and ``resolvecall``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import (
+    BinOp,
+    ConstAssign,
+    If,
+    JProgram,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    Stmt,
+    Store,
+    VirtualCall,
+    While,
+)
+from .types import ClassHierarchy
+
+#: Values beyond this magnitude become :data:`OVERFLOW`: generated corpora
+#: square accumulators in loops, and unbounded bignums would dominate the
+#: run (multiplying two n-digit numbers is not O(1)).  Overflowed values are
+#: excluded from the trace, so soundness checks remain valid for every
+#: value that *is* recorded.
+MAX_MAGNITUDE = 10 ** 12
+
+OVERFLOW = object()
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+def _apply_op(op: str, a, b):
+    if a is OVERFLOW or b is OVERFLOW:
+        return OVERFLOW
+    result = _OPS[op](a, b)
+    if isinstance(result, int) and abs(result) > MAX_MAGNITUDE:
+        return OVERFLOW
+    return result
+
+
+@dataclass
+class HeapObject:
+    """A runtime object: its allocation site doubles as its abstract id."""
+
+    site: str
+    cls: str
+    fields: dict[str, object] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<{self.cls}@{self.site}>"
+
+
+@dataclass
+class Trace:
+    """Everything the soundness checks need from one execution."""
+
+    #: (node, qualified var) -> set of concrete values observed at entry.
+    values_at: dict[tuple[str, str], set] = field(default_factory=dict)
+    #: qualified var -> set of allocation sites it ever pointed to.
+    points_to: dict[str, set[str]] = field(default_factory=dict)
+    #: (call site label, resolved qualified method) pairs that executed.
+    calls: set[tuple[str, str]] = field(default_factory=set)
+    #: executed statement nodes.
+    visited: set[str] = field(default_factory=set)
+    steps: int = 0
+    truncated: bool = False
+
+    def record_env(self, node: str, env: dict[str, object]) -> None:
+        self.visited.add(node)
+        for var, value in env.items():
+            if isinstance(value, HeapObject):
+                self.points_to.setdefault(var, set()).add(value.site)
+            elif value is not OVERFLOW:
+                self.values_at.setdefault((node, var), set()).add(value)
+
+
+class Budget:
+    __slots__ = ("steps", "depth")
+
+    def __init__(self, steps: int, depth: int):
+        self.steps = steps
+        self.depth = depth
+
+
+class Interpreter:
+    """Executes a javalite program from its entry method."""
+
+    def __init__(
+        self,
+        program: JProgram,
+        max_steps: int = 20_000,
+        max_depth: int = 40,
+        loop_bound: int = 8,
+    ):
+        self.program = program
+        self.hierarchy = ClassHierarchy(program)
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self.loop_bound = loop_bound
+
+    def run(self) -> Trace:
+        trace = Trace()
+        budget = Budget(self.max_steps, 0)
+        entry = self.program.method(self.program.entry)
+        args = [0 for _ in entry.params]
+        try:
+            self._call(entry, None, args, trace, budget)
+        except _OutOfBudget:
+            trace.truncated = True
+        return trace
+
+    # -- execution ----------------------------------------------------------
+
+    def _call(self, method, receiver, args, trace: Trace, budget: Budget):
+        if budget.depth >= self.max_depth:
+            raise _OutOfBudget
+        budget.depth += 1
+        env: dict[str, object] = {}
+        if receiver is not None:
+            env[method.this_var] = receiver
+        for param, value in zip(method.params, args):
+            env[method.local(param)] = value
+        try:
+            return self._block(method.body, env, trace, budget)
+        finally:
+            budget.depth -= 1
+
+    def _block(self, block: list[Stmt], env, trace, budget):
+        for stmt in block:
+            result = self._statement(stmt, env, trace, budget)
+            if isinstance(result, _ReturnValue):
+                return result
+        return None
+
+    def _statement(self, stmt: Stmt, env, trace: Trace, budget: Budget):
+        budget.steps -= 1
+        trace.steps += 1
+        if budget.steps <= 0:
+            raise _OutOfBudget
+        trace.record_env(stmt.label, env)
+
+        if isinstance(stmt, New):
+            env[stmt.var] = HeapObject(site=stmt.label, cls=stmt.cls)
+        elif isinstance(stmt, Move):
+            env[stmt.to] = env.get(stmt.src, 0)
+        elif isinstance(stmt, ConstAssign):
+            env[stmt.var] = stmt.value
+        elif isinstance(stmt, BinOp):
+            left = self._num(env.get(stmt.left, 0))
+            right = self._num(env.get(stmt.right, 0))
+            env[stmt.var] = _apply_op(stmt.op, left, right)
+        elif isinstance(stmt, Load):
+            base = env.get(stmt.base)
+            if isinstance(base, HeapObject):
+                env[stmt.var] = base.fields.get(stmt.fieldname, 0)
+            else:
+                env[stmt.var] = 0
+        elif isinstance(stmt, Store):
+            base = env.get(stmt.base)
+            if isinstance(base, HeapObject):
+                base.fields[stmt.fieldname] = env.get(stmt.src, 0)
+        elif isinstance(stmt, VirtualCall):
+            receiver = env.get(stmt.recv)
+            if isinstance(receiver, HeapObject):
+                target = self.hierarchy.lookup(receiver.cls, stmt.sig)
+                if target is not None:
+                    trace.calls.add((stmt.label, target))
+                    callee = self.program.method(target)
+                    args = [env.get(a, 0) for a in stmt.args]
+                    result = self._call(callee, receiver, args, trace, budget)
+                    if stmt.ret is not None:
+                        env[stmt.ret] = (
+                            result.value if isinstance(result, _ReturnValue) else 0
+                        )
+            elif stmt.ret is not None:
+                env[stmt.ret] = 0
+        elif isinstance(stmt, StaticCall):
+            target = self.hierarchy.lookup(stmt.cls, stmt.sig)
+            if target is not None:
+                trace.calls.add((stmt.label, target))
+                callee = self.program.method(target)
+                args = [env.get(a, 0) for a in stmt.args]
+                result = self._call(callee, None, args, trace, budget)
+                if stmt.ret is not None:
+                    env[stmt.ret] = (
+                        result.value if isinstance(result, _ReturnValue) else 0
+                    )
+            elif stmt.ret is not None:
+                env[stmt.ret] = 0
+        elif isinstance(stmt, Return):
+            value = env.get(stmt.var, 0) if stmt.var is not None else None
+            return _ReturnValue(value)
+        elif isinstance(stmt, If):
+            branch = stmt.then_block if self._truthy(env, stmt.cond) else stmt.else_block
+            return self._block(branch, env, trace, budget)
+        elif isinstance(stmt, While):
+            for _ in range(self.loop_bound):
+                if not self._truthy(env, stmt.cond):
+                    break
+                result = self._block(stmt.body, env, trace, budget)
+                if isinstance(result, _ReturnValue):
+                    return result
+        return None
+
+    @staticmethod
+    def _truthy(env, var: str) -> bool:
+        value = env.get(var, 0)
+        if isinstance(value, HeapObject) or value is OVERFLOW:
+            return True
+        return bool(value)
+
+    @staticmethod
+    def _num(value):
+        if value is OVERFLOW or isinstance(value, (int, float)):
+            return value
+        return 0
+
+
+@dataclass
+class _ReturnValue:
+    value: object
+
+
+class _OutOfBudget(Exception):
+    pass
+
+
+def run_program(program: JProgram, **kwargs) -> Trace:
+    """Execute ``program`` from its entry and return the trace."""
+    return Interpreter(program, **kwargs).run()

@@ -1,0 +1,317 @@
+"""A parser for javalite source text — the inverse of the pretty printer.
+
+Lets subject programs be written (and stored) as readable Java-like text
+instead of builder calls::
+
+    program = parse_source('''
+        class Session {
+            void proc() {
+                f = new DefaultFactory();
+                f.init();
+            }
+        }
+        abstract class Factory { }
+        class DefaultFactory extends Factory { void init() { } }
+        // entry: Session.proc
+    ''')
+
+Grammar (informal)::
+
+    program   := classdecl* entrycomment?
+    classdecl := ["abstract"] "class" NAME ["extends" NAME] "{" member* "}"
+    member    := "Object" NAME ";"                          -- field
+               | ["static"] "void" NAME "(" params? ")" block
+    block     := "{" stmt* "}"
+    stmt      := NAME "=" "new" NAME "(" ")" ";"            -- allocation
+               | NAME "=" NAME BINOP NAME ";"               -- arithmetic
+               | NAME "=" NAME "." NAME "(" args? ")" ";"   -- call with ret
+               | NAME "." NAME "(" args? ")" ";"            -- call
+               | NAME "=" NAME "." NAME ";"                 -- field load
+               | NAME "." NAME "=" NAME ";"                 -- field store
+               | NAME "=" literal ";"                       -- constant
+               | NAME "=" NAME ";"                          -- move
+               | "if" "(" NAME ")" block ["else" block]
+               | "while" "(" NAME ")" block
+               | "return" NAME? ";"
+
+Call dispatch follows the Java reading of the receiver: an uppercase
+initial means a class name (static call), lowercase means a local
+(virtual call).  ``// entry: Cls.meth`` sets the entry point (default
+``Main.main``).  Comments (``//`` to end of line) are ignored elsewhere.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..datalog.errors import ParseError
+from .ast import (
+    BinOp,
+    ConstAssign,
+    If,
+    JClass,
+    JMethod,
+    JProgram,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    Stmt,
+    Store,
+    VirtualCall,
+    While,
+)
+from .builder import finalize
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<string>"[^"\n]*"|'[^'\n]*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[{}();=.,+*-])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "class", "abstract", "extends", "static", "void", "new",
+    "if", "else", "while", "return", "Object",
+}
+_ENTRY_RE = re.compile(r"//\s*entry:\s*([A-Za-z_][\w.]*)")
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def _lex(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line, 1)
+        line += match.group(0).count("\n")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        text = match.group(0)
+        if kind == "name" and text in _KEYWORDS:
+            tokens.append(_Token("kw", text, line))
+        else:
+            tokens.append(_Token(kind, text, line))
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def _take(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._take()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or 'end of input'!r}",
+                token.line, 1,
+            )
+        return token
+
+    def _at(self, kind: str, text: str | None = None, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.kind == kind and (text is None or token.text == text)
+
+    # -- declarations -----------------------------------------------------
+
+    def parse_program(self) -> JProgram:
+        program = JProgram()
+        while not self._at("eof"):
+            program.add_class(self._class_decl())
+        return program
+
+    def _class_decl(self) -> JClass:
+        is_abstract = False
+        if self._at("kw", "abstract"):
+            self._take()
+            is_abstract = True
+        self._expect("kw", "class")
+        name = self._class_name()
+        superclass = None
+        if self._at("kw", "extends"):
+            self._take()
+            superclass = self._class_name()
+        cls = JClass(name=name, superclass=superclass, is_abstract=is_abstract)
+        self._expect("sym", "{")
+        while not self._at("sym", "}"):
+            self._member(cls)
+        self._take()
+        return cls
+
+    def _class_name(self) -> str:
+        # "Object" is a keyword only as the field-declaration type marker;
+        # it is a perfectly good class name (the common root).
+        if self._at("kw", "Object"):
+            return self._take().text
+        return self._expect("name").text
+
+    def _member(self, cls: JClass) -> None:
+        if self._at("kw", "Object"):
+            self._take()
+            cls.fields.append(self._expect("name").text)
+            self._expect("sym", ";")
+            return
+        is_static = False
+        if self._at("kw", "static"):
+            self._take()
+            is_static = True
+        self._expect("kw", "void")
+        name = self._expect("name").text
+        self._expect("sym", "(")
+        params: list[str] = []
+        if not self._at("sym", ")"):
+            params.append(self._expect("name").text)
+            while self._at("sym", ","):
+                self._take()
+                params.append(self._expect("name").text)
+        self._expect("sym", ")")
+        method = JMethod(name=name, params=tuple(params), is_static=is_static)
+        method.body = self._block()
+        cls.add_method(method)
+
+    # -- statements -------------------------------------------------------
+
+    def _block(self) -> list[Stmt]:
+        self._expect("sym", "{")
+        body: list[Stmt] = []
+        while not self._at("sym", "}"):
+            body.append(self._statement())
+        self._take()
+        return body
+
+    def _statement(self) -> Stmt:
+        if self._at("kw", "if"):
+            return self._if()
+        if self._at("kw", "while"):
+            return self._while()
+        if self._at("kw", "return"):
+            self._take()
+            var = None
+            if self._at("name"):
+                var = self._take().text
+            self._expect("sym", ";")
+            return Return(var)
+        return self._assignment_or_call()
+
+    def _if(self) -> Stmt:
+        self._expect("kw", "if")
+        self._expect("sym", "(")
+        cond = self._expect("name").text
+        self._expect("sym", ")")
+        stmt = If(cond)
+        stmt.then_block = self._block()
+        if self._at("kw", "else"):
+            self._take()
+            stmt.else_block = self._block()
+        return stmt
+
+    def _while(self) -> Stmt:
+        self._expect("kw", "while")
+        self._expect("sym", "(")
+        cond = self._expect("name").text
+        self._expect("sym", ")")
+        stmt = While(cond)
+        stmt.body = self._block()
+        return stmt
+
+    def _assignment_or_call(self) -> Stmt:
+        first = self._expect("name").text
+        if self._at("sym", "."):
+            # receiver.member — call or field store.
+            self._take()
+            member = self._expect("name").text
+            if self._at("sym", "("):
+                args = self._call_args()
+                self._expect("sym", ";")
+                return self._make_call(None, first, member)(args)
+            self._expect("sym", "=")
+            src = self._expect("name").text
+            self._expect("sym", ";")
+            return Store(first, member, src)
+        self._expect("sym", "=")
+        stmt = self._rhs(first)
+        self._expect("sym", ";")
+        return stmt
+
+    def _rhs(self, target: str) -> Stmt:
+        if self._at("kw", "new"):
+            self._take()
+            cls = self._expect("name").text
+            self._expect("sym", "(")
+            self._expect("sym", ")")
+            return New(target, cls)
+        if self._at("number"):
+            text = self._take().text
+            value = float(text) if "." in text else int(text)
+            return ConstAssign(target, value)
+        if self._at("string"):
+            return ConstAssign(target, self._take().text[1:-1])
+        source = self._expect("name").text
+        if self._at("sym", "."):
+            self._take()
+            member = self._expect("name").text
+            if self._at("sym", "("):
+                args = self._call_args()
+                return self._make_call(target, source, member)(args)
+            return Load(target, source, member)
+        if self._peek().kind == "sym" and self._peek().text in "+-*":
+            op = self._take().text
+            right = self._expect("name").text
+            return BinOp(target, op, source, right)
+        return Move(target, source)
+
+    def _call_args(self) -> tuple[str, ...]:
+        self._expect("sym", "(")
+        args: list[str] = []
+        if not self._at("sym", ")"):
+            args.append(self._expect("name").text)
+            while self._at("sym", ","):
+                self._take()
+                args.append(self._expect("name").text)
+        self._expect("sym", ")")
+        return tuple(args)
+
+    @staticmethod
+    def _make_call(ret: str | None, receiver: str, member: str):
+        if receiver[0].isupper():
+            return lambda args: StaticCall(ret, receiver, member, args)
+        return lambda args: VirtualCall(ret, receiver, member, args)
+
+
+def parse_source(source: str) -> JProgram:
+    """Parse javalite source text into a finalized :class:`JProgram`."""
+    program = _Parser(_lex(source)).parse_program()
+    entry = _ENTRY_RE.search(source)
+    if entry:
+        program.entry = entry.group(1)
+    return finalize(program)

@@ -1,0 +1,101 @@
+"""Java-ish pretty printer for javalite programs (debugging, examples)."""
+
+from __future__ import annotations
+
+from .ast import (
+    BinOp,
+    ConstAssign,
+    If,
+    JClass,
+    JMethod,
+    JProgram,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    Stmt,
+    Store,
+    VirtualCall,
+    While,
+)
+
+
+def _short(var: str | None) -> str:
+    """Strip the method qualifier from a local for display."""
+    if var is None:
+        return ""
+    return var.rsplit("/", 1)[-1]
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "    " * indent
+    if isinstance(stmt, New):
+        return f"{pad}{_short(stmt.var)} = new {stmt.cls}();"
+    if isinstance(stmt, Move):
+        return f"{pad}{_short(stmt.to)} = {_short(stmt.src)};"
+    if isinstance(stmt, ConstAssign):
+        return f"{pad}{_short(stmt.var)} = {stmt.value!r};"
+    if isinstance(stmt, BinOp):
+        return (
+            f"{pad}{_short(stmt.var)} = "
+            f"{_short(stmt.left)} {stmt.op} {_short(stmt.right)};"
+        )
+    if isinstance(stmt, Load):
+        return f"{pad}{_short(stmt.var)} = {_short(stmt.base)}.{stmt.fieldname};"
+    if isinstance(stmt, Store):
+        return f"{pad}{_short(stmt.base)}.{stmt.fieldname} = {_short(stmt.src)};"
+    if isinstance(stmt, VirtualCall):
+        args = ", ".join(_short(a) for a in stmt.args)
+        call = f"{_short(stmt.recv)}.{stmt.sig}({args})"
+        prefix = f"{_short(stmt.ret)} = " if stmt.ret else ""
+        return f"{pad}{prefix}{call};"
+    if isinstance(stmt, StaticCall):
+        args = ", ".join(_short(a) for a in stmt.args)
+        call = f"{stmt.cls}.{stmt.sig}({args})"
+        prefix = f"{_short(stmt.ret)} = " if stmt.ret else ""
+        return f"{pad}{prefix}{call};"
+    if isinstance(stmt, Return):
+        return f"{pad}return {_short(stmt.var)};".replace(" ;", ";")
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({_short(stmt.cond)}) {{"]
+        lines += [format_stmt(s, indent + 1) for s in stmt.then_block]
+        if stmt.else_block:
+            lines.append(f"{pad}}} else {{")
+            lines += [format_stmt(s, indent + 1) for s in stmt.else_block]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(stmt, While):
+        lines = [f"{pad}while ({_short(stmt.cond)}) {{"]
+        lines += [format_stmt(s, indent + 1) for s in stmt.body]
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def format_method(method: JMethod, indent: int = 1) -> str:
+    pad = "    " * indent
+    params = ", ".join(method.params)
+    kind = "static " if method.is_static else ""
+    lines = [f"{pad}{kind}void {method.name}({params}) {{"]
+    lines += [format_stmt(s, indent + 1) for s in method.body]
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def format_class(cls: JClass) -> str:
+    extends = f" extends {cls.superclass}" if cls.superclass else ""
+    kind = "abstract class" if cls.is_abstract else "class"
+    lines = [f"{kind} {cls.name}{extends} {{"]
+    for name in cls.fields:
+        lines.append(f"    Object {name};")
+    for method in cls.methods.values():
+        lines.append(format_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: JProgram) -> str:
+    blocks = [format_class(cls) for cls in program.classes.values()]
+    blocks.append(f"// entry: {program.entry}")
+    return "\n\n".join(blocks)

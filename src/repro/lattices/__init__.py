@@ -1,0 +1,55 @@
+"""Abstract domains (lattices) and well-behaving aggregation operators.
+
+The solver only requires partial orders with well-behaving binary operators
+(paper Section 4.3, ASM2); the concrete domains here are the ones the
+paper's evaluation uses plus combinators for building new ones.
+"""
+
+from .aggregator import Aggregator, check_well_behaving, glb, lub, widen
+from .base import (
+    DualLattice,
+    Element,
+    Lattice,
+    LatticeError,
+    check_join_semilattice,
+    check_partial_order,
+)
+from .constant import Const, ConstantLattice
+from .interval import Interval, IntervalLattice
+from .kset import KSetLattice
+from .powerset import PowersetLattice
+from .product import ChainLattice, ProductLattice
+from .singleton import C, DictHierarchy, O, SingletonLattice, TypeHierarchy
+from .sign import SignLattice
+from .strings import KStringsLattice, Prefix, PrefixLattice
+
+__all__ = [
+    "Aggregator",
+    "C",
+    "ChainLattice",
+    "Const",
+    "ConstantLattice",
+    "DictHierarchy",
+    "DualLattice",
+    "Element",
+    "Interval",
+    "IntervalLattice",
+    "KSetLattice",
+    "KStringsLattice",
+    "Lattice",
+    "LatticeError",
+    "O",
+    "PowersetLattice",
+    "Prefix",
+    "PrefixLattice",
+    "ProductLattice",
+    "SignLattice",
+    "SingletonLattice",
+    "TypeHierarchy",
+    "check_join_semilattice",
+    "check_partial_order",
+    "check_well_behaving",
+    "glb",
+    "lub",
+    "widen",
+]

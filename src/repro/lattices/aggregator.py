@@ -1,0 +1,165 @@
+"""Well-behaving aggregation operators (ASM2).
+
+An :class:`Aggregator` packages the binary operation applied by aggregation
+atoms (``lub<x>``, ``glb<x>``, ``widen<x>``) together with the partial order
+it must respect and the direction of aggregation.  Section 4.3 requires each
+recursive aggregator to be *well-behaving*:
+
+  (i)   associative and commutative,
+  (ii)  order-respecting — the aggregate of a multiset dominates every
+        aggregand (for downward aggregation: is dominated by every aggregand),
+  (iii) a widening — repeated application reaches a stationary value in a
+        finite number of steps even on infinite domains.
+
+(i) and (ii) are checked dynamically on samples by :func:`check_well_behaving`
+(Flix-style lightweight verification); (iii) is the operator author's promise,
+though :func:`check_well_behaving` does probe short chains for stabilization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Literal
+
+from .base import Element, Lattice, LatticeError
+from .interval import IntervalLattice
+
+Direction = Literal["up", "down"]
+
+
+class Aggregator:
+    """A named, well-behaving binary aggregation operator over a lattice.
+
+    ``direction`` is "up" when the aggregate dominates its aggregands (lub,
+    widenings) and "down" when it is dominated by them (glb).  The solver
+    uses ``dominates(result, aggregand)`` to state ASM2(ii) uniformly and
+    ``final(values)`` to pick the exported (⊑-extremal, i.e. latest) result
+    during pruning.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lattice: Lattice,
+        combine: Callable[[Element, Element], Element],
+        direction: Direction = "up",
+    ):
+        if direction not in ("up", "down"):
+            raise LatticeError(f"bad aggregation direction: {direction!r}")
+        self.name = name
+        self.lattice = lattice
+        self._combine = combine
+        self.direction = direction
+
+    def combine(self, a: Element, b: Element) -> Element:
+        """Apply the binary operator."""
+        return self._combine(a, b)
+
+    def combine_all(self, values: Iterable[Element]) -> Element:
+        """Fold the operator over a non-empty multiset of aggregands."""
+        result: Element | None = None
+        first = True
+        for value in values:
+            if first:
+                result = value
+                first = False
+            else:
+                result = self._combine(result, value)
+        if first:
+            raise LatticeError(f"aggregator {self.name} applied to empty multiset")
+        return result
+
+    def dominates(self, result: Element, aggregand: Element) -> bool:
+        """ASM2(ii): does ``result`` dominate ``aggregand`` in the
+        aggregation direction?"""
+        if self.direction == "up":
+            return self.lattice.leq(aggregand, result)
+        return self.lattice.leq(result, aggregand)
+
+    def strictly_advances(self, old: Element, new: Element) -> bool:
+        """True iff ``new`` is a strict step past ``old`` along the
+        aggregation direction (used to detect progress / stabilization)."""
+        return new != old and self.dominates(new, old)
+
+    def final(self, values: Iterable[Element]) -> Element:
+        """Pick the extremal value along the direction — the pruned export.
+
+        Because inflationary aggregation only moves along the direction, the
+        extremal value is also the *latest* one; we select it by order so the
+        choice is independent of enumeration order.
+        """
+        chosen: Element | None = None
+        first = True
+        for value in values:
+            if first or self.dominates(value, chosen):
+                chosen = value
+                first = False
+        if first:
+            raise LatticeError(f"aggregator {self.name}: no values to finalize")
+        return chosen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Aggregator {self.name} ({self.direction}) over {self.lattice.name}>"
+
+
+def lub(lattice: Lattice) -> Aggregator:
+    """Least-upper-bound aggregator (the default for may-analyses)."""
+    return Aggregator("lub", lattice, lattice.join, "up")
+
+
+def glb(lattice: Lattice) -> Aggregator:
+    """Greatest-lower-bound aggregator (must-analyses)."""
+    return Aggregator("glb", lattice, lattice.meet, "down")
+
+
+def widen(lattice: IntervalLattice) -> Aggregator:
+    """Widening aggregator for the interval domain (ASM2(iii) on an
+    infinite-chain lattice)."""
+    return Aggregator("widen", lattice, lattice.widen, "up")
+
+
+def check_well_behaving(
+    aggregator: Aggregator,
+    samples: list[Element],
+    max_chain: int = 64,
+) -> None:
+    """Dynamically check ASM2 on sample elements.
+
+    Raises :class:`LatticeError` on the first violation found:
+    commutativity and associativity (i), domination (ii), and — as a finite
+    probe of (iii) — that folding all samples repeatedly stabilizes within
+    ``max_chain`` applications.
+    """
+    op = aggregator.combine
+    for a in samples:
+        for b in samples:
+            ab = op(a, b)
+            if ab != op(b, a):
+                raise LatticeError(
+                    f"{aggregator.name}: not commutative at {a!r}, {b!r}"
+                )
+            if not aggregator.dominates(ab, a) or not aggregator.dominates(ab, b):
+                raise LatticeError(
+                    f"{aggregator.name}: result {ab!r} does not dominate "
+                    f"aggregands {a!r}, {b!r}"
+                )
+            for c in samples:
+                if op(op(a, b), c) != op(a, op(b, c)):
+                    raise LatticeError(
+                        f"{aggregator.name}: not associative at {a!r}, {b!r}, {c!r}"
+                    )
+    if samples:
+        acc = samples[0]
+        for step in range(max_chain):
+            advanced = False
+            for s in samples:
+                nxt = op(acc, s)
+                if nxt != acc:
+                    acc = nxt
+                    advanced = True
+            if not advanced:
+                break
+        else:
+            raise LatticeError(
+                f"{aggregator.name}: chain did not stabilize within "
+                f"{max_chain} rounds (not a widening?)"
+            )

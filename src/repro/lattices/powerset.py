@@ -1,0 +1,60 @@
+"""Powerset lattice over an open universe.
+
+Elements are ``frozenset`` values ordered by inclusion.  This is the domain
+of the classic *set-based* points-to analysis used in Section 7.3 to compare
+Laddder against DRedL (the k-update analysis cannot run on DRedL, so the
+comparison reverts to this powerset analysis).
+
+The universe is open (any hashable values may appear in sets), so there is
+no top element unless one is supplied explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .base import Element, Lattice, LatticeError
+
+
+class PowersetLattice(Lattice):
+    """Sets under inclusion; join is union, meet is intersection."""
+
+    name = "powerset"
+
+    def __init__(self, universe: frozenset | None = None):
+        #: Optional closed universe; enables :meth:`top` and membership checks.
+        self.universe = universe
+
+    def leq(self, a: Element, b: Element) -> bool:
+        return frozenset(a) <= frozenset(b)
+
+    def join(self, a: Element, b: Element) -> Element:
+        return frozenset(a) | frozenset(b)
+
+    def meet(self, a: Element, b: Element) -> Element:
+        return frozenset(a) & frozenset(b)
+
+    def bottom(self) -> Element:
+        return frozenset()
+
+    def top(self) -> Element:
+        if self.universe is None:
+            raise LatticeError("open powerset has no top element")
+        return self.universe
+
+    def contains(self, value: Element) -> bool:
+        if not isinstance(value, frozenset):
+            return False
+        if self.universe is not None:
+            return value <= self.universe
+        return True
+
+    @staticmethod
+    def singleton(value) -> frozenset:
+        """The one-element set ``{value}``."""
+        return frozenset((value,))
+
+    @staticmethod
+    def of(values: Iterable) -> frozenset:
+        """Build a set element from any iterable."""
+        return frozenset(values)

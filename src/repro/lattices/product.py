@@ -1,0 +1,97 @@
+"""Lattice combinators: products and finite chains.
+
+These let analyses compose domains (e.g. a constant value paired with an
+interval) and let tests build small, fully enumerable lattices for
+property-based checking of the solver's aggregation machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import Element, Lattice, LatticeError
+
+
+class ProductLattice(Lattice):
+    """Pointwise product of component lattices; elements are tuples."""
+
+    name = "product"
+
+    def __init__(self, components: Sequence[Lattice]):
+        if not components:
+            raise LatticeError("product of zero lattices")
+        self.components = tuple(components)
+        self.name = "x".join(c.name for c in self.components)
+
+    def _check(self, value: Element) -> tuple:
+        if not isinstance(value, tuple) or len(value) != len(self.components):
+            raise LatticeError(f"not a {self.name} element: {value!r}")
+        return value
+
+    def leq(self, a: Element, b: Element) -> bool:
+        a, b = self._check(a), self._check(b)
+        return all(c.leq(x, y) for c, x, y in zip(self.components, a, b))
+
+    def join(self, a: Element, b: Element) -> Element:
+        a, b = self._check(a), self._check(b)
+        return tuple(c.join(x, y) for c, x, y in zip(self.components, a, b))
+
+    def meet(self, a: Element, b: Element) -> Element:
+        a, b = self._check(a), self._check(b)
+        return tuple(c.meet(x, y) for c, x, y in zip(self.components, a, b))
+
+    def bottom(self) -> Element:
+        return tuple(c.bottom() for c in self.components)
+
+    def top(self) -> Element:
+        return tuple(c.top() for c in self.components)
+
+    def contains(self, value: Element) -> bool:
+        try:
+            value = self._check(value)
+        except LatticeError:
+            return False
+        return all(c.contains(x) for c, x in zip(self.components, value))
+
+
+class ChainLattice(Lattice):
+    """A finite total order over the given levels (lowest first).
+
+    Handy as a fully enumerable test lattice and as a severity/level domain
+    (e.g. taint levels).  Elements are the level values themselves.
+    """
+
+    name = "chain"
+
+    def __init__(self, levels: Sequence):
+        if not levels:
+            raise LatticeError("chain of zero levels")
+        if len(set(levels)) != len(levels):
+            raise LatticeError("chain levels must be distinct")
+        self.levels = tuple(levels)
+        self._rank = {v: i for i, v in enumerate(self.levels)}
+        self.name = f"chain({len(self.levels)})"
+
+    def _rank_of(self, value: Element) -> int:
+        try:
+            return self._rank[value]
+        except KeyError:
+            raise LatticeError(f"not a {self.name} element: {value!r}") from None
+
+    def leq(self, a: Element, b: Element) -> bool:
+        return self._rank_of(a) <= self._rank_of(b)
+
+    def join(self, a: Element, b: Element) -> Element:
+        return self.levels[max(self._rank_of(a), self._rank_of(b))]
+
+    def meet(self, a: Element, b: Element) -> Element:
+        return self.levels[min(self._rank_of(a), self._rank_of(b))]
+
+    def bottom(self) -> Element:
+        return self.levels[0]
+
+    def top(self) -> Element:
+        return self.levels[-1]
+
+    def contains(self, value: Element) -> bool:
+        return value in self._rank

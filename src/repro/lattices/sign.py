@@ -1,0 +1,105 @@
+"""The sign domain: ``Bot ⊑ {Neg, Zero, Pos} ⊑ {NonPos, NonZero, NonNeg} ⊑ Top``.
+
+A classic finite abstract domain for integer variables; cheap enough that
+its full 8-element lattice can be exhaustively property-checked, and a
+useful third value abstraction for the flow-sensitive analysis framework
+(`repro.analyses.valueflow`).
+
+Elements are string atoms; the lattice is encoded by the subset-of-signs
+interpretation: each element denotes a set of concrete signs from
+``{-, 0, +}`` and the order is subset inclusion.
+"""
+
+from __future__ import annotations
+
+from .base import Element, Lattice, LatticeError
+
+#: element -> set of concrete signs it denotes.
+_DENOTES: dict[str, frozenset[str]] = {
+    "Bot": frozenset(),
+    "Neg": frozenset("-"),
+    "Zero": frozenset("0"),
+    "Pos": frozenset("+"),
+    "NonPos": frozenset("-0"),
+    "NonZero": frozenset("-+"),
+    "NonNeg": frozenset("0+"),
+    "Top": frozenset("-0+"),
+}
+_BY_SET = {signs: name for name, signs in _DENOTES.items()}
+
+ELEMENTS = tuple(_DENOTES)
+
+
+class SignLattice(Lattice):
+    """Signs of integers under the subset-of-signs order."""
+
+    name = "sign"
+
+    def _signs(self, value: Element) -> frozenset[str]:
+        try:
+            return _DENOTES[value]
+        except (KeyError, TypeError):
+            raise LatticeError(f"not a sign element: {value!r}") from None
+
+    def leq(self, a: Element, b: Element) -> bool:
+        return self._signs(a) <= self._signs(b)
+
+    def join(self, a: Element, b: Element) -> Element:
+        return _BY_SET[self._signs(a) | self._signs(b)]
+
+    def meet(self, a: Element, b: Element) -> Element:
+        return _BY_SET[self._signs(a) & self._signs(b)]
+
+    def bottom(self) -> Element:
+        return "Bot"
+
+    def top(self) -> Element:
+        return "Top"
+
+    def contains(self, value: Element) -> bool:
+        return value in _DENOTES
+
+    # -- abstraction and transfer functions -----------------------------
+
+    @staticmethod
+    def of(n: float) -> str:
+        """Abstract a concrete number."""
+        if n < 0:
+            return "Neg"
+        if n == 0:
+            return "Zero"
+        return "Pos"
+
+    def add(self, a: Element, b: Element) -> Element:
+        return self._abstract_op(a, b, lambda x, y: x + y)
+
+    def sub(self, a: Element, b: Element) -> Element:
+        return self._abstract_op(a, b, lambda x, y: x - y)
+
+    def mul(self, a: Element, b: Element) -> Element:
+        return self._abstract_op(a, b, lambda x, y: x * y)
+
+    def neg(self, a: Element) -> Element:
+        return self._abstract_op(a, "Zero", lambda x, _y: -x)
+
+    _REPRESENTATIVES = {"-": -1, "0": 0, "+": 1}
+
+    def _abstract_op(self, a: Element, b: Element, op) -> Element:
+        """Sound sign-level arithmetic via sign representatives.
+
+        Signs are scale-invariant for ``+``/``-`` only up to magnitude, so
+        representatives are probed at two magnitudes to catch cancellation
+        (e.g. Pos - Pos must include all three signs).
+        """
+        out: set[str] = set()
+        for sa in self._signs(a):
+            for sb in self._signs(b):
+                for ka in (1, 2):
+                    for kb in (1, 2):
+                        x = self._REPRESENTATIVES[sa] * ka
+                        y = self._REPRESENTATIVES[sb] * kb
+                        out.add("-" if op(x, y) < 0 else
+                                "0" if op(x, y) == 0 else "+")
+        if not out:
+            return "Bot"
+        return _BY_SET[frozenset(out)]

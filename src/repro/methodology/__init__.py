@@ -1,0 +1,21 @@
+"""The Section 3 incrementalizability methodology: impact measurement."""
+
+from .buckets import (
+    bucket_impacts,
+    bucket_label,
+    bucket_of,
+    format_histogram,
+    low_impact_fraction,
+)
+from .impact import ImpactRecord, measure_impacts, primary_impact
+
+__all__ = [
+    "ImpactRecord",
+    "bucket_impacts",
+    "bucket_label",
+    "bucket_of",
+    "format_histogram",
+    "low_impact_fraction",
+    "measure_impacts",
+    "primary_impact",
+]

@@ -1,0 +1,58 @@
+"""Exponential impact buckets — the x-axis of Figure 2.
+
+The paper groups change impacts into exponentially growing buckets labelled
+``10e1, 10e2, ...``: "the third bucket 10e3 shows the number of input
+changes that affected between 10 and 100 tuples, the fourth bucket 10e4
+shows the number of those that affected between 100 and 1000 tuples, and so
+on".  Bucket ``10e(k)`` therefore covers impacts in ``(10^(k-2), 10^(k-1)]``
+with ``10e1`` covering 0..1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from .impact import ImpactRecord
+
+
+def bucket_label(index: int) -> str:
+    return f"10e{index}"
+
+
+def bucket_of(impact: int) -> int:
+    """The 1-based bucket index of an impact value."""
+    if impact <= 1:
+        return 1
+    return int(math.ceil(math.log10(impact))) + 1
+
+
+def bucket_impacts(records: Iterable[ImpactRecord]) -> dict[str, int]:
+    """Histogram: bucket label -> number of changes (Figure 2 bars)."""
+    counts: dict[int, int] = {}
+    for record in records:
+        index = bucket_of(record.impact)
+        counts[index] = counts.get(index, 0) + 1
+    top = max(counts) if counts else 1
+    return {bucket_label(i): counts.get(i, 0) for i in range(1, top + 1)}
+
+
+def low_impact_fraction(
+    records: Sequence[ImpactRecord], threshold: int = 10
+) -> float:
+    """Fraction of changes affecting at most ``threshold`` output tuples —
+    the quantitative core of the incrementalizability claim."""
+    if not records:
+        return 1.0
+    low = sum(1 for r in records if r.impact <= threshold)
+    return low / len(records)
+
+
+def format_histogram(histogram: dict[str, int], width: int = 40) -> str:
+    """Render the Figure 2 histogram as ASCII bars."""
+    peak = max(histogram.values()) if histogram else 1
+    lines = []
+    for label, count in histogram.items():
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        lines.append(f"{label:>6} | {count:5d} {bar}")
+    return "\n".join(lines)

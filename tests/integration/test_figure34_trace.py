@@ -1,0 +1,175 @@
+"""Reproduce the paper's Figures 4 and 5 and the Section 4.2 deletion
+walk-through, timestamp by timestamp (experiment E9 in DESIGN.md).
+
+The subject program is Figure 3 (Executor/Session/Factory), the analysis is
+Figure 1 with the 4-ary ``Resolve(site, meth, this, lat)``.  We assert the
+first-appearance timestamp of every tuple Figure 4 lists, the
+``Reach(proc)`` timelines of Figure 5, and the exact compensation behaviour
+of the ``s2.proc()`` deletion (support count absorbs it; deleting *both*
+call sites kills the self-recursive ``proc``).
+"""
+
+import pytest
+
+from repro.engines import LaddderSolver
+from repro.lattices import C, O
+
+from tests.unit.engines.helpers import (
+    figure3_facts,
+    load,
+    singleton_pointsto4_program,
+)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return load(LaddderSolver, singleton_pointsto4_program(), figure3_facts())
+
+
+def first_appearance(solver, pred, row):
+    timeline = solver.timeline(pred, row)
+    assert timeline is not None, f"{pred}{row} was never derived"
+    return timeline.first()
+
+
+class TestFigure4Trace:
+    """All first-appearance timestamps of the Figure 4 evaluation trace."""
+
+    def test_t1_reach_run(self, solver):
+        assert first_appearance(solver, "reach", ("run",)) == 1
+
+    def test_t2_pt_s(self, solver):
+        assert first_appearance(solver, "pt", ("s", O("S"))) == 2
+
+    def test_t3_ptlub_s(self, solver):
+        assert first_appearance(solver, "ptlub", ("s", O("S"))) == 3
+
+    def test_t4_pt_s1_s2(self, solver):
+        assert first_appearance(solver, "pt", ("s1", O("S"))) == 4
+        assert first_appearance(solver, "pt", ("s2", O("S"))) == 4
+
+    def test_t5_ptlub_s1_s2(self, solver):
+        assert first_appearance(solver, "ptlub", ("s1", O("S"))) == 5
+        assert first_appearance(solver, "ptlub", ("s2", O("S"))) == 5
+
+    def test_t6_resolves(self, solver):
+        assert first_appearance(
+            solver, "resolve", ("s1.proc()", "proc", "thisSession", O("S"))
+        ) == 6
+        assert first_appearance(
+            solver, "resolve", ("s2.proc()", "proc", "thisSession", O("S"))
+        ) == 6
+
+    def test_t7_support_counts(self, solver):
+        """2×PT(thisSession, O(S)) and 2×Reach(proc) at timestamp 7."""
+        pt = solver.timeline("pt", ("thisSession", O("S")))
+        assert pt.first() == 7 and pt.cumulative(7) == 2
+        reach = solver.timeline("reach", ("proc",))
+        assert reach.first() == 7 and reach.cumulative(7) == 2
+
+    def test_t8_factory_allocations(self, solver):
+        assert first_appearance(solver, "ptlub", ("thisSession", O("S"))) == 8
+        assert first_appearance(solver, "pt", ("f", O("F1"))) == 8
+        assert first_appearance(solver, "pt", ("c", O("F2"))) == 8
+
+    def test_t9_recursive_resolve_and_ptlubs(self, solver):
+        assert first_appearance(
+            solver, "resolve", ("this.proc()", "proc", "thisSession", O("S"))
+        ) == 9
+        assert first_appearance(solver, "ptlub", ("f", O("F1"))) == 9
+        assert first_appearance(solver, "ptlub", ("c", O("F2"))) == 9
+
+    def test_t10_second_factory_flows_into_f(self, solver):
+        assert first_appearance(solver, "pt", ("f", O("F2"))) == 10
+        assert first_appearance(
+            solver,
+            "resolve",
+            ("f.init()", "initDefFactory", "thisDefFactory", O("F1")),
+        ) == 10
+
+    def test_t11_lub_jumps_to_class(self, solver):
+        """The inflationary step: PTlub(f, C(Factory)) appears at 11 while
+        PTlub(f, O(F1)) from timestamp 9 is never retracted."""
+        assert first_appearance(solver, "ptlub", ("f", C("Factory"))) == 11
+        assert first_appearance(solver, "reach", ("initDefFactory",)) == 11
+        # inflation: the intermediate aggregate is still derived
+        assert solver.timeline("ptlub", ("f", O("F1"))).total() == 1
+
+    def test_t12_class_based_resolution(self, solver):
+        for init in ("initDefFactory", "initCusFactory", "initDelFactory"):
+            this = "this" + init[4:]
+            assert first_appearance(
+                solver, "resolve", ("f.init()", init, this, C("Factory"))
+            ) == 12
+
+    def test_t13_remaining_inits_reachable(self, solver):
+        assert first_appearance(solver, "reach", ("initCusFactory",)) == 13
+        assert first_appearance(solver, "reach", ("initDelFactory",)) == 13
+
+    def test_exported_view_is_pruned_and_timeless(self, solver):
+        ptlub = dict(solver.relation("ptlub"))
+        assert ptlub["f"] == C("Factory")  # O(F1)/O(F2) pruned away
+        assert ptlub["s"] == O("S")
+
+
+class TestFigure5Timelines:
+    def test_reach_proc_epoch0(self, solver):
+        """Cumulative count 2 at 7, 3 at 10; single existence step at 7."""
+        timeline = solver.timeline("reach", ("proc",))
+        assert list(timeline.entries()) == [(7, 2), (10, 1)]
+        assert timeline.existence_changes() == [(7, 1)]
+
+
+class TestSection42Deletion:
+    def test_s2_deletion_compensation(self):
+        """Deleting s2.proc(): -Resolve@6, support counts 2->1 at 7, stop."""
+        solver = load(
+            LaddderSolver, singleton_pointsto4_program(), figure3_facts()
+        )
+        before = solver.relations()
+        stats = solver.update(
+            deletions={"vcall": {("s2", "proc", "s2.proc()", "run")}}
+        )
+        # No observable change: an alternative derivation remains.
+        assert solver.relations() == before
+        assert stats.impact == 0
+        # Figure 5 epoch 1: Reach(proc) cumulative count is now 1 at 7.
+        timeline = solver.timeline("reach", ("proc",))
+        assert list(timeline.entries()) == [(7, 1), (10, 1)]
+        # The deleted Resolve tuple is gone entirely.
+        assert solver.timeline(
+            "resolve", ("s2.proc()", "proc", "thisSession", O("S"))
+        ) is None
+        # Compensation stayed proportional to the change (a handful of
+        # deltas), not to the database.
+        assert stats.work <= 6
+
+    def test_deleting_both_call_sites_kills_recursion(self):
+        """Section 4.2: with s1.proc() and s2.proc() gone, the only support
+        for proc's reachability is its own recursive call — which must not
+        keep it alive."""
+        solver = load(
+            LaddderSolver, singleton_pointsto4_program(), figure3_facts()
+        )
+        solver.update(
+            deletions={
+                "vcall": {
+                    ("s1", "proc", "s1.proc()", "run"),
+                    ("s2", "proc", "s2.proc()", "run"),
+                }
+            }
+        )
+        reach = {m for (m,) in solver.relation("reach")}
+        assert reach == {"run"}
+        # The moves s1 = s and s2 = s still exist, so s/s1/s2 keep their
+        # points-to values; everything inside proc is gone.
+        assert dict(solver.relation("ptlub")).keys() == {"s", "s1", "s2"}
+
+    def test_reinsertion_restores_figure4_state(self):
+        solver = load(
+            LaddderSolver, singleton_pointsto4_program(), figure3_facts()
+        )
+        before = solver.relations()
+        solver.update(deletions={"vcall": {("s1", "proc", "s1.proc()", "run")}})
+        solver.update(insertions={"vcall": {("s1", "proc", "s1.proc()", "run")}})
+        assert solver.relations() == before

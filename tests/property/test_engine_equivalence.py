@@ -1,0 +1,206 @@
+"""Property-based differential testing: Laddder's incremental state after an
+arbitrary change sequence must equal from-scratch evaluation of the final
+input (the paper's correctness claim, P2/P3/P5, exercised dynamically).
+
+Each property draws a random initial input and a random sequence of
+insert/delete epochs, runs them through :class:`LaddderSolver`, and compares
+every exported relation against a fresh :class:`NaiveSolver` run on the
+accumulated facts after every single epoch.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver
+
+from tests.unit.engines.helpers import (
+    const_prop_program,
+    figure3_facts,
+    load,
+    setbased_pointsto_program,
+    shortest_path_program,
+    singleton_pointsto_program,
+    tc_program,
+)
+
+
+def apply_epochs(program_factory, initial_facts, epochs, engines=(LaddderSolver,)):
+    """Run epochs incrementally and check against from-scratch each step."""
+    incrementals = [load(eng, program_factory(), initial_facts) for eng in engines]
+    current = {pred: set(rows) for pred, rows in initial_facts.items()}
+    for insertions, deletions in epochs:
+        for solver in incrementals:
+            solver.update(insertions=insertions, deletions=deletions)
+        for pred, rows in (deletions or {}).items():
+            current.setdefault(pred, set()).difference_update(rows)
+        for pred, rows in (insertions or {}).items():
+            current.setdefault(pred, set()).update(rows)
+        oracle = load(NaiveSolver, program_factory(), current)
+        expected = oracle.relations()
+        for solver in incrementals:
+            assert solver.relations() == expected
+
+
+def edge_strategy(n=5):
+    node = st.integers(0, n)
+    return st.tuples(node, node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sets(edge_strategy(), max_size=8),
+    st.lists(
+        st.tuples(st.booleans(), st.sets(edge_strategy(), min_size=1, max_size=3)),
+        max_size=5,
+    ),
+)
+def test_transitive_closure_epochs(initial, changes):
+    epochs = []
+    for is_insert, rows in changes:
+        if is_insert:
+            epochs.append(({"edge": rows}, None))
+        else:
+            epochs.append((None, {"edge": rows}))
+    apply_epochs(tc_program, {"edge": initial}, epochs,
+                 engines=(LaddderSolver, DRedLSolver))
+
+
+def constprop_input():
+    var = st.sampled_from("vwxyz")
+    lit = st.tuples(var, st.integers(0, 3))
+    copy = st.tuples(var, var)
+    return st.tuples(
+        st.sets(lit, max_size=6),
+        st.sets(copy, max_size=6),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    constprop_input(),
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.sampled_from(["lit", "copy"]),
+            constprop_input(),
+        ),
+        max_size=4,
+    ),
+)
+def test_constant_propagation_epochs(initial, changes):
+    lits, copies = initial
+    facts = {"lit": lits, "copy": copies}
+    epochs = []
+    for is_insert, pred, (change_lits, change_copies) in changes:
+        rows = change_lits if pred == "lit" else change_copies
+        if not rows:
+            continue
+        change = {pred: rows}
+        epochs.append((change, None) if is_insert else (None, change))
+    apply_epochs(const_prop_program, facts, epochs,
+                 engines=(LaddderSolver, DRedLSolver))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sets(
+        st.tuples(
+            st.sampled_from("abcd"),
+            st.sampled_from("abcd"),
+            st.integers(1, 6),
+        ),
+        max_size=8,
+    ),
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.sets(
+                st.tuples(
+                    st.sampled_from("abcd"),
+                    st.sampled_from("abcd"),
+                    st.integers(1, 6),
+                ),
+                min_size=1,
+                max_size=2,
+            ),
+        ),
+        max_size=4,
+    ),
+)
+def test_shortest_path_epochs(initial, changes):
+    epochs = []
+    for is_insert, rows in changes:
+        change = {"arc": rows}
+        epochs.append((change, None) if is_insert else (None, change))
+    apply_epochs(shortest_path_program, {"arc": initial}, epochs)
+
+
+def figure3_change_strategy():
+    """Draw a subset of Figure 3's facts to toggle, plus extra allocations."""
+    base = figure3_facts()
+    choices = []
+    for pred in ("alloc", "move", "vcall"):
+        for row in sorted(base[pred], key=repr):
+            choices.append((pred, row))
+    extra_allocs = [
+        ("alloc", ("g", "F1", "proc")),
+        ("alloc", ("g", "F2", "run")),
+        ("alloc", ("s", "S", "proc")),
+    ]
+    return st.lists(
+        st.tuples(st.booleans(), st.sampled_from(choices + extra_allocs)),
+        max_size=6,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(figure3_change_strategy())
+def test_singleton_pointsto_epochs(changes):
+    epochs = []
+    for is_insert, (pred, row) in changes:
+        change = {pred: {row}}
+        epochs.append((change, None) if is_insert else (None, change))
+    apply_epochs(singleton_pointsto_program, figure3_facts(), epochs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(figure3_change_strategy())
+def test_setbased_pointsto_epochs(changes):
+    epochs = []
+    for is_insert, (pred, row) in changes:
+        change = {pred: {row}}
+        epochs.append((change, None) if is_insert else (None, change))
+    apply_epochs(setbased_pointsto_program, figure3_facts(), epochs,
+                 engines=(LaddderSolver, DRedLSolver))
+
+
+def negation_program():
+    from repro.datalog import parse
+
+    return parse(
+        """
+        linked(X) :- edge(X, _).
+        linked(X) :- edge(_, X).
+        isolated(X) :- node(X), !linked(X).
+        island(X, Y) :- isolated(X), isolated(Y), X != Y.
+        """
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sets(st.integers(0, 4), min_size=1, max_size=5),
+    st.sets(edge_strategy(4), max_size=5),
+    st.lists(
+        st.tuples(st.booleans(), st.sets(edge_strategy(4), min_size=1, max_size=2)),
+        max_size=4,
+    ),
+)
+def test_negation_epochs(nodes, edges, changes):
+    facts = {"node": {(n,) for n in nodes}, "edge": edges}
+    epochs = []
+    for is_insert, rows in changes:
+        change = {"edge": rows}
+        epochs.append((change, None) if is_insert else (None, change))
+    apply_epochs(negation_program, facts, epochs,
+                 engines=(LaddderSolver, DRedLSolver))

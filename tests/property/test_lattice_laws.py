@@ -1,0 +1,193 @@
+"""Property-based tests: lattice laws and ASM2 on all concrete domains."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattices import (
+    C,
+    ChainLattice,
+    Const,
+    ConstantLattice,
+    DictHierarchy,
+    Interval,
+    IntervalLattice,
+    KSetLattice,
+    O,
+    PowersetLattice,
+    ProductLattice,
+    SingletonLattice,
+    check_join_semilattice,
+    check_partial_order,
+    check_well_behaving,
+    lub,
+    widen,
+)
+
+CONST = ConstantLattice()
+INTERVAL = IntervalLattice()
+POWERSET = PowersetLattice()
+KSET = KSetLattice(3)
+CHAIN = ChainLattice([0, 1, 2, 3])
+
+HIERARCHY = DictHierarchy(
+    {
+        "Object": None,
+        "A": "Object",
+        "B": "Object",
+        "A1": "A",
+        "A2": "A",
+    },
+    {"o1": "A1", "o2": "A2", "o3": "B", "o4": "A"},
+)
+SINGLETON = SingletonLattice(HIERARCHY)
+
+
+def const_elements():
+    return st.one_of(
+        st.just(CONST.bottom()),
+        st.just(CONST.top()),
+        st.integers(-5, 5).map(Const),
+    )
+
+
+def interval_elements():
+    def mk(pair):
+        lo, hi = sorted(pair)
+        return Interval(lo, hi)
+
+    finite = st.tuples(st.integers(-300, 300), st.integers(-300, 300)).map(mk)
+    return st.one_of(st.just(INTERVAL.BOT), st.just(INTERVAL.top()), finite)
+
+
+def powerset_elements():
+    return st.frozensets(st.sampled_from("abcde"), max_size=5)
+
+
+def kset_elements():
+    return st.one_of(
+        st.just(KSET.top()),
+        st.frozensets(st.sampled_from("abcde"), max_size=3),
+    )
+
+
+def singleton_elements():
+    return st.one_of(
+        st.just(SINGLETON.bottom()),
+        st.sampled_from(["o1", "o2", "o3", "o4"]).map(O),
+        st.sampled_from(["Object", "A", "B", "A1", "A2"]).map(C),
+    )
+
+
+DOMAINS = [
+    (CONST, const_elements()),
+    (INTERVAL, interval_elements()),
+    (POWERSET, powerset_elements()),
+    (KSET, kset_elements()),
+    (CHAIN, st.sampled_from([0, 1, 2, 3])),
+    (SINGLETON, singleton_elements()),
+]
+
+
+@settings(max_examples=60)
+@given(st.data())
+def test_partial_order_laws(data):
+    for lattice, elements in DOMAINS:
+        samples = data.draw(st.lists(elements, min_size=1, max_size=4))
+        check_partial_order(lattice, samples)
+
+
+@settings(max_examples=60)
+@given(st.data())
+def test_join_semilattice_laws(data):
+    for lattice, elements in DOMAINS:
+        samples = data.draw(st.lists(elements, min_size=1, max_size=3))
+        check_join_semilattice(lattice, samples)
+
+
+@settings(max_examples=60)
+@given(st.data())
+def test_lub_aggregators_are_well_behaving(data):
+    for lattice, elements in DOMAINS:
+        samples = data.draw(st.lists(elements, min_size=1, max_size=3))
+        check_well_behaving(lub(lattice), samples)
+
+
+@settings(max_examples=80)
+@given(interval_elements(), interval_elements(), interval_elements())
+def test_interval_widening_well_behaving(a, b, c):
+    check_well_behaving(widen(INTERVAL), [a, b, c])
+
+
+@settings(max_examples=80)
+@given(interval_elements(), interval_elements())
+def test_widening_dominates_join(a, b):
+    w = INTERVAL.widen(a, b)
+    assert INTERVAL.leq(INTERVAL.join(a, b), w)
+
+
+@settings(max_examples=40)
+@given(st.lists(interval_elements(), min_size=1, max_size=30))
+def test_widening_chains_stabilize(values):
+    acc = values[0]
+    history = [acc]
+    for v in values[1:]:
+        acc = INTERVAL.widen(acc, v)
+        history.append(acc)
+    # After the sequence, re-widening with every seen value is stationary
+    # within the threshold budget.
+    for _ in range(len(INTERVAL.thresholds) * 2 + 2):
+        nxt = acc
+        for v in values:
+            nxt = INTERVAL.widen(nxt, v)
+        if nxt == acc:
+            break
+        acc = nxt
+    else:
+        raise AssertionError("widening chain did not stabilize")
+
+
+@settings(max_examples=60)
+@given(const_elements(), st.sampled_from([0, 1, 2, 3]))
+def test_product_order_is_pointwise(c, level):
+    P = ProductLattice([CONST, CHAIN])
+    elem = (c, level)
+    assert P.leq(P.bottom(), elem)
+    assert P.leq(elem, P.top())
+    assert P.join(elem, P.bottom()) == elem
+
+
+@settings(max_examples=60)
+@given(kset_elements(), kset_elements())
+def test_kset_join_size_bound(a, b):
+    j = KSET.join(a, b)
+    if j != KSET.top():
+        assert len(j) <= 3
+
+
+@settings(max_examples=60)
+@given(interval_elements(), interval_elements())
+def test_interval_meet_is_glb(a, b):
+    m = INTERVAL.meet(a, b)
+    assert INTERVAL.leq(m, a) and INTERVAL.leq(m, b)
+
+
+@settings(max_examples=60)
+@given(
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+)
+def test_interval_arithmetic_soundness(a, b, c, d):
+    """Abstract add/sub/mul over-approximate the concrete operations."""
+    lo1, hi1 = sorted((a, b))
+    lo2, hi2 = sorted((c, d))
+    x, y = Interval(lo1, hi1), Interval(lo2, hi2)
+    for cx in (lo1, hi1):
+        for cy in (lo2, hi2):
+            assert INTERVAL.add(x, y).contains_value(cx + cy)
+            assert INTERVAL.sub(x, y).contains_value(cx - cy)
+            assert INTERVAL.mul(x, y).contains_value(cx * cy)
+    assert not math.isnan(INTERVAL.mul(x, y).lo)

@@ -1,0 +1,113 @@
+"""Round-trip properties: pretty-printed programs reparse identically,
+for both the Datalog dialect and javalite source."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import format_program, parse
+from repro.datalog.ast import (
+    AggTerm,
+    Atom,
+    Constant,
+    Eval,
+    Head,
+    Literal,
+    Rule,
+    Test,
+    Variable,
+)
+from repro.datalog.program import Program
+
+
+def variables():
+    return st.sampled_from("XYZW").map(Variable)
+
+
+def constants():
+    return st.one_of(
+        st.integers(-9, 9),
+        st.sampled_from(["sym", "other"]),
+        st.text(alphabet="ab c", min_size=0, max_size=5),
+    ).map(Constant)
+
+
+def terms():
+    return st.one_of(variables(), constants())
+
+
+def preds(prefix="r"):
+    return st.sampled_from([f"{prefix}{i}" for i in range(3)])
+
+
+def atoms():
+    return st.builds(
+        Atom, preds("b"), st.lists(terms(), min_size=1, max_size=3).map(tuple)
+    )
+
+
+def positive_literals():
+    return atoms().map(lambda a: Literal(a, False))
+
+
+def body_items(bound_vars):
+    # Evals/Tests over already-used variables keep plans admissible.
+    evals = st.builds(
+        Eval,
+        st.sampled_from("VU").map(Variable),
+        st.just("add"),
+        st.tuples(st.sampled_from(bound_vars).map(Variable), st.just(Constant(1))),
+    )
+    tests = st.builds(
+        Test,
+        st.just("lt"),
+        st.tuples(st.sampled_from(bound_vars).map(Variable), st.just(Constant(5))),
+    )
+    return st.one_of(evals, tests)
+
+
+def safe_rules():
+    @st.composite
+    def build(draw):
+        body = [draw(positive_literals()) for _ in range(draw(st.integers(1, 3)))]
+        bound = sorted(
+            {t.name for lit in body for t in lit.atom.args if isinstance(t, Variable)}
+        )
+        if bound and draw(st.booleans()):
+            body.append(draw(body_items(bound)))
+        head_vars = [Variable(v) for v in bound[:2]] or [Constant(1)]
+        if draw(st.booleans()) and bound:
+            head_args = tuple(head_vars[:1]) + (AggTerm("mx", Variable(bound[0])),)
+        else:
+            head_args = tuple(head_vars)
+        return Rule(Head(draw(preds("h")), head_args), tuple(body))
+
+    return build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(safe_rules(), min_size=1, max_size=5))
+def test_datalog_print_parse_roundtrip(rules):
+    program = Program(rules=list(rules))
+    printed = format_program(program)
+    reparsed = parse(printed)
+    assert format_program(reparsed) == printed
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_javalite_corpus_roundtrip(seed):
+    from repro.corpus import CorpusSpec, generate
+    from repro.javalite import format_program as jformat
+    from repro.javalite import parse_source
+
+    spec = CorpusSpec(
+        name="rt", seed=seed,
+        hierarchies=1, impls_per_hierarchy=2,
+        util_classes=1, util_methods_per_class=2,
+        driver_methods=2, stmts_per_method=6,
+    )
+    program = generate(spec)
+    printed = jformat(program)
+    reparsed = parse_source(printed)
+    assert jformat(reparsed) == printed
+    assert reparsed.statement_count() == program.statement_count()

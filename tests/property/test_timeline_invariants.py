@@ -1,0 +1,117 @@
+"""Property: after any settled epoch, every Laddder timeline satisfies the
+inflationary invariant — all differential counts non-negative, existence a
+single upward step — and aggregation group state mirrors collecting
+first-existence exactly (the Figure 5 structure, as a machine-checked
+invariant rather than one example)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines import LaddderSolver
+
+from tests.unit.engines.helpers import (
+    const_prop_program,
+    figure3_facts,
+    load,
+    singleton_pointsto_program,
+)
+
+
+def assert_settled(solver: LaddderSolver) -> None:
+    for state in solver._states:
+        for pred, relation in state.relations.items():
+            for row, timeline in relation.timelines.items():
+                assert timeline.is_settled(), (
+                    f"unsettled timeline for {pred}{row}: {timeline!r}"
+                )
+                changes = timeline.existence_changes()
+                assert len(changes) <= 1
+                if changes:
+                    assert changes[0][1] == 1  # single upward step
+                assert timeline.total() > 0, (
+                    f"dead tuple {pred}{row} not cleaned up"
+                )
+
+
+def assert_groups_mirror_collecting(solver: LaddderSolver) -> None:
+    from repro.engines.grounding import bind_pinned
+
+    for state in solver._states:
+        for spec in state.specs.values():
+            expected: dict[tuple, dict] = {}
+            collecting = state.relations.get(spec.collecting_pred)
+            if collecting is not None:
+                for row, timeline in collecting.timelines.items():
+                    binding = bind_pinned(spec.plan[0], row)
+                    if binding is None:
+                        continue
+                    key, value = spec.key_and_value(binding)
+                    bucket = expected.setdefault(key, {})
+                    t = int(timeline.first())
+                    bucket.setdefault(t, []).append(value)
+            groups = state.groups[spec.pred]
+            assert set(groups) == {k for k, v in expected.items() if v}
+            for key, group in groups.items():
+                tree_view = {
+                    t: sorted(map(repr, group._trees[t].values()))
+                    for t in group._times
+                }
+                expected_view = {
+                    t: sorted(map(repr, values))
+                    for t, values in expected[key].items()
+                }
+                assert tree_view == expected_view, (
+                    f"group {spec.pred}{key} trees diverge from collecting "
+                    f"relation"
+                )
+
+
+def edits():
+    base = figure3_facts()
+    choices = [
+        (pred, row)
+        for pred in ("alloc", "move", "vcall")
+        for row in sorted(base[pred], key=repr)
+    ]
+    return st.lists(
+        st.tuples(st.booleans(), st.sampled_from(choices)), max_size=8
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(edits())
+def test_pointsto_timelines_settled_after_epochs(changes):
+    solver = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+    assert_settled(solver)
+    assert_groups_mirror_collecting(solver)
+    for is_insert, (pred, row) in changes:
+        if is_insert:
+            solver.update(insertions={pred: {row}})
+        else:
+            solver.update(deletions={pred: {row}})
+        assert_settled(solver)
+        assert_groups_mirror_collecting(solver)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sets(st.tuples(st.sampled_from("vwxy"), st.integers(0, 3)), max_size=5),
+    st.lists(
+        st.tuples(
+            st.booleans(),
+            st.tuples(st.sampled_from("vwxy"), st.integers(0, 3)),
+        ),
+        max_size=6,
+    ),
+)
+def test_constprop_timelines_settled_after_epochs(lits, changes):
+    facts = {"lit": lits, "copy": {("w", "v"), ("x", "w"), ("v", "x")}}
+    solver = load(LaddderSolver, const_prop_program(), facts)
+    assert_settled(solver)
+    for is_insert, row in changes:
+        if is_insert:
+            solver.update(insertions={"lit": {row}})
+        else:
+            solver.update(deletions={"lit": {row}})
+        assert_settled(solver)
+        assert_groups_mirror_collecting(solver)

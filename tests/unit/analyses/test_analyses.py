@@ -1,0 +1,234 @@
+"""Unit tests for the packaged whole-program analyses."""
+
+import pytest
+
+from repro.analyses import (
+    ANALYSES,
+    constant_propagation,
+    interval_analysis,
+    kupdate_pointsto,
+    setbased_pointsto,
+    singleton_pointsto,
+)
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+from repro.javalite import JProgram, MethodBuilder, finalize, make_class
+from repro.lattices import C, Const, ConstantLattice, Interval, KSetLattice, O
+
+from tests.unit.javalite.fixtures import figure3_program, numeric_program
+
+CONST = ConstantLattice()
+
+
+def val_by_short_name(solver, relation="val"):
+    return {
+        (node.rsplit("/", 1)[-1] if "/" in node else node, var.rsplit("/", 1)[-1]): v
+        for node, var, v in solver.relation(relation)
+    }
+
+
+class TestSingletonPointsTo:
+    def test_figure3(self):
+        inst = singleton_pointsto(figure3_program())
+        solver = inst.make_solver(LaddderSolver)
+        ptlub = dict(solver.relation("ptlub"))
+        assert ptlub["Session.proc/f"] == C("Factory")
+        assert ptlub["Session.proc/c"].obj.startswith("Session.proc/")
+        reach = {m for (m,) in solver.relation("reach")}
+        assert reach == {
+            "Executor.run",
+            "Session.proc",
+            "DefaultFactory.init",
+            "CustomFactory.init",
+            "DelegatingFactory.init",
+        }
+
+    def test_all_engines_agree(self):
+        inst = singleton_pointsto(figure3_program())
+        reference = inst.make_solver(NaiveSolver).relations()
+        for engine in (SemiNaiveSolver, LaddderSolver):
+            assert inst.make_solver(engine).relations() == reference
+
+    def test_incremental_alloc_deletion(self):
+        inst = singleton_pointsto(figure3_program())
+        solver = inst.make_solver(LaddderSolver)
+        custom_alloc = next(
+            row for row in inst.facts["alloc"] if "CustomFactory" in row[1] or
+            row[0].endswith("/c")
+        )
+        solver.update(deletions={"alloc": {custom_alloc}})
+        ptlub = dict(solver.relation("ptlub"))
+        assert isinstance(ptlub["Session.proc/f"], O)
+
+    def test_primary_relation(self):
+        inst = singleton_pointsto(figure3_program())
+        assert inst.primary == "ptlub"
+        assert inst.fact_count() > 10
+
+
+class TestKUpdatePointsTo:
+    def test_k1_saturates(self):
+        inst = kupdate_pointsto(figure3_program(), k=1)
+        solver = inst.make_solver(LaddderSolver)
+        assert dict(solver.relation("ptlub"))["Session.proc/f"] == KSetLattice(1).top()
+
+    def test_k2_stays_concrete(self):
+        inst = kupdate_pointsto(figure3_program(), k=2)
+        solver = inst.make_solver(LaddderSolver)
+        value = dict(solver.relation("ptlub"))["Session.proc/f"]
+        assert value != KSetLattice(2).top()
+        assert len(value) == 2
+
+    def test_saturation_widens_reachability(self):
+        # k=1: f saturates, so DelegatingFactory.init becomes reachable via
+        # the signature fallback; k=2 resolves precisely and excludes it.
+        k1 = kupdate_pointsto(figure3_program(), k=1).make_solver(LaddderSolver)
+        k2 = kupdate_pointsto(figure3_program(), k=2).make_solver(LaddderSolver)
+        reach1 = {m for (m,) in k1.relation("reach")}
+        reach2 = {m for (m,) in k2.relation("reach")}
+        assert "DelegatingFactory.init" in reach1
+        assert "DelegatingFactory.init" not in reach2
+
+    def test_matches_reference(self):
+        inst = kupdate_pointsto(figure3_program(), k=1)
+        assert (
+            inst.make_solver(LaddderSolver).relations()
+            == inst.make_solver(NaiveSolver).relations()
+        )
+
+
+class TestSetBasedPointsTo:
+    def test_figure3(self):
+        inst = setbased_pointsto(figure3_program())
+        solver = inst.make_solver(LaddderSolver)
+        f_set = dict(solver.relation("ptlub"))["Session.proc/f"]
+        assert len(f_set) == 2
+        reach = {m for (m,) in solver.relation("reach")}
+        assert "DelegatingFactory.init" not in reach  # precise resolution
+
+    def test_runs_on_dredl(self):
+        inst = setbased_pointsto(figure3_program())
+        d = inst.make_solver(DRedLSolver)
+        l = inst.make_solver(LaddderSolver)
+        assert d.relations() == l.relations()
+
+
+class TestConstantPropagation:
+    def test_interprocedural_constants(self):
+        inst = constant_propagation(numeric_program())
+        solver = inst.make_solver(LaddderSolver)
+        val = val_by_short_name(solver)
+        assert val[("exit", "c")] == Const(2)
+        # helper(p) called with the constant 2: q = p * p = 4.
+        assert val[("exit", "q")] == Const(4)
+
+    def test_branch_join_goes_top(self):
+        program = JProgram(entry="M.m")
+        cls = make_class("M")
+        m = MethodBuilder("m", is_static=True)
+        m.const("cond", 1)
+        m.if_("cond").const("x", 1).else_().const("x", 2).end()
+        m.move("y", "x")
+        cls.add_method(m.build())
+        program.add_class(cls)
+        finalize(program)
+        solver = constant_propagation(program).make_solver(LaddderSolver)
+        val = val_by_short_name(solver)
+        assert val[("exit", "y")] == CONST.top()
+        assert val[("exit", "cond")] == Const(1)
+
+    def test_havoc_on_allocation(self):
+        program = JProgram(entry="M.m")
+        cls = make_class("M")
+        m = MethodBuilder("m", is_static=True)
+        m.new("o", "M").move("x", "o")
+        cls.add_method(m.build())
+        program.add_class(cls)
+        finalize(program)
+        solver = constant_propagation(program).make_solver(LaddderSolver)
+        val = val_by_short_name(solver)
+        assert val[("exit", "x")] == CONST.top()
+
+    def test_literal_change_updates_constants(self):
+        inst = constant_propagation(numeric_program())
+        solver = inst.make_solver(LaddderSolver)
+        # a = 1 feeds c = a + b and, through the call, q = p * p.
+        lit = next(
+            row for row in inst.facts["assignlit"]
+            if row[1].endswith("/a") and row[2] == 1
+        )
+        stats = solver.update(
+            deletions={"assignlit": {lit}},
+            insertions={"assignlit": {(lit[0], lit[1], 0)}},
+        )
+        assert stats.impact > 0
+        val = val_by_short_name(solver)
+        assert val[("exit", "c")] == Const(0)
+        assert val[("exit", "q")] == Const(0)
+
+    def test_runs_on_dredl(self):
+        inst = constant_propagation(numeric_program())
+        assert (
+            inst.make_solver(DRedLSolver).relations()
+            == inst.make_solver(SemiNaiveSolver).relations()
+        )
+
+
+class TestIntervalAnalysis:
+    def test_loop_counter_widens(self):
+        inst = interval_analysis(numeric_program())
+        solver = inst.make_solver(LaddderSolver)
+        val = val_by_short_name(solver)
+        i_range = val[("exit", "i")]
+        assert i_range.lo == 0 and i_range.hi == float("inf")
+
+    def test_straightline_precise(self):
+        inst = interval_analysis(numeric_program())
+        solver = inst.make_solver(LaddderSolver)
+        val = val_by_short_name(solver)
+        assert val[("exit", "c")] == Interval(2, 2)
+        assert val[("exit", "q")] == Interval(4, 4)
+
+    def test_branches_hull(self):
+        program = JProgram(entry="M.m")
+        cls = make_class("M")
+        m = MethodBuilder("m", is_static=True)
+        m.const("cond", 1)
+        m.if_("cond").const("x", 1).else_().const("x", 8).end()
+        m.move("y", "x")
+        cls.add_method(m.build())
+        program.add_class(cls)
+        finalize(program)
+        solver = interval_analysis(program).make_solver(LaddderSolver)
+        val = val_by_short_name(solver)
+        y = val[("exit", "y")]
+        assert y.lo <= 1 and y.hi >= 8
+
+    def test_matches_reference(self):
+        inst = interval_analysis(numeric_program())
+        assert (
+            inst.make_solver(LaddderSolver).relations()
+            == inst.make_solver(SemiNaiveSolver).relations()
+        )
+
+    def test_runs_on_dredl(self):
+        inst = interval_analysis(numeric_program())
+        assert (
+            inst.make_solver(DRedLSolver).relations()
+            == inst.make_solver(SemiNaiveSolver).relations()
+        )
+
+
+def test_registry_names():
+    assert set(ANALYSES) == {
+        "pointsto-kupdate",
+        "pointsto-singleton",
+        "pointsto-setbased",
+        "pointsto-1cs",
+        "constprop",
+        "interval",
+        "sign",
+        "taint",
+    }
+    for builder in ANALYSES.values():
+        inst = builder(figure3_program())
+        assert inst.primary in inst.program.exported_predicates()

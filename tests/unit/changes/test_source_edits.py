@@ -1,0 +1,219 @@
+"""Unit tests for source-level editing scenarios (the paper's future work)."""
+
+import pytest
+
+from repro.analyses import constant_propagation, kupdate_pointsto
+from repro.changes import SourceEditor, pointsto_facts, value_facts
+from repro.engines import LaddderSolver, SemiNaiveSolver
+from repro.lattices import Const
+
+from tests.unit.javalite.fixtures import numeric_program
+
+
+def fresh_solver(build, program):
+    instance = build(program)
+    return instance, instance.make_solver(LaddderSolver)
+
+
+class TestValueEdits:
+    def test_replace_literal_change_shape(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        lit_label = next(
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "ConstAssign" and s.value == 1
+        )
+        change = editor.replace_literal(lit_label, 0)
+        # One source edit = one correlated fact epoch: the old assignlit
+        # leaves, the new one arrives, and nothing else moves.
+        assert change.deletions.keys() == {"assignlit"}
+        assert change.insertions.keys() == {"assignlit"}
+
+    def test_edits_drive_incremental_solver(self):
+        program = numeric_program()
+        instance, solver = fresh_solver(constant_propagation, program)
+        editor = SourceEditor(program, extractor=value_facts)
+        lit_label = next(
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "ConstAssign" and s.value == 1
+            and s.var.endswith("/a")
+        )
+        change = editor.replace_literal(lit_label, 5)
+        solver.update(insertions=change.insertions, deletions=change.deletions)
+        val = {
+            (n.rsplit("/", 1)[-1], v.rsplit("/", 1)[-1]): c
+            for n, v, c in solver.relation("val")
+        }
+        assert val[("exit", "a")] == Const(5)
+        assert val[("exit", "c")] == Const(10)
+
+        # The incremental state equals from-scratch on the edited program.
+        oracle = constant_propagation(program).make_solver(SemiNaiveSolver)
+        assert solver.relations() == oracle.relations()
+
+    def test_delete_statement_rewires_cfg(self):
+        program = numeric_program()
+        instance, solver = fresh_solver(constant_propagation, program)
+        editor = SourceEditor(program, extractor=value_facts)
+        move_label = next(
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "Move"
+        )
+        change = editor.delete_statement(move_label)
+        # Flow edges rewire around the deleted node.
+        assert "flow" in change.deletions and "flow" in change.insertions
+        assert "assignmove" in change.deletions
+        solver.update(insertions=change.insertions, deletions=change.deletions)
+        oracle = constant_propagation(program).make_solver(SemiNaiveSolver)
+        assert solver.relations() == oracle.relations()
+
+    def test_labels_stay_stable_across_deletion(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        labels_before = [
+            s.label for m in program.methods() for s in m.statements()
+        ]
+        editor.delete_statement(labels_before[1])
+        labels_after = [
+            s.label for m in program.methods() for s in m.statements()
+        ]
+        assert set(labels_after) == set(labels_before) - {labels_before[1]}
+
+    def test_unknown_label_rejected(self):
+        editor = SourceEditor(numeric_program(), extractor=value_facts)
+        with pytest.raises(KeyError):
+            editor.delete_statement("Main.main/999")
+        with pytest.raises(KeyError):
+            editor.replace_literal("Main.main/999", 0)
+
+    def test_non_literal_rejected(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        move_label = next(
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "Move"
+        )
+        with pytest.raises(ValueError):
+            editor.replace_literal(move_label, 0)
+
+
+class TestPointsToEdits:
+    def test_insert_allocation(self):
+        from repro.corpus import load_subject
+
+        program = load_subject("minijavac")
+        instance, solver = fresh_solver(kupdate_pointsto, program)
+        editor = SourceEditor(program, extractor=pointsto_facts)
+        cls = next(
+            name for name, c in program.classes.items()
+            if not c.is_abstract and name != "Object" and c.superclass == "Object"
+        )
+        change = editor.insert_allocation("Main.main", "fresh", cls)
+        assert "alloc" in change.insertions
+        solver.update(insertions=change.insertions, deletions=change.deletions)
+        oracle = kupdate_pointsto(program).make_solver(SemiNaiveSolver)
+        assert solver.relations() == oracle.relations()
+
+    def test_edit_sequence_tracks_oracle(self):
+        from repro.corpus import load_subject
+
+        program = load_subject("minijavac")
+        instance, solver = fresh_solver(kupdate_pointsto, program)
+        editor = SourceEditor(program, extractor=pointsto_facts)
+        alloc_labels = [
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "New"
+        ]
+        for label in alloc_labels[:3]:
+            change = editor.delete_statement(label)
+            solver.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+        oracle = kupdate_pointsto(program).make_solver(SemiNaiveSolver)
+        assert solver.relations() == oracle.relations()
+
+
+class TestIncrementalExtractor:
+    def test_slices_assemble_to_full_extraction(self):
+        from repro.corpus import load_subject
+        from repro.javalite.facts import extract_pointsto_facts, extract_value_facts
+        from repro.javalite.incremental import IncrementalExtractor
+
+        program = load_subject("antlr")
+        for kind, extract in (
+            ("value", extract_value_facts),
+            ("pointsto", extract_pointsto_facts),
+        ):
+            incremental = IncrementalExtractor(program, kind=kind)
+            full, _ = extract(program)
+            assembled = incremental.facts()
+            assert {p: set(r) for p, r in full.items() if r} == {
+                p: set(r) for p, r in assembled.items() if r
+            }, kind
+
+    def test_refresh_unedited_method_is_noop(self):
+        from repro.javalite.incremental import IncrementalExtractor
+
+        extractor = IncrementalExtractor(numeric_program(), kind="value")
+        for method in extractor.methods():
+            inserted, deleted = extractor.refresh(method)
+            assert not inserted and not deleted
+
+    def test_unknown_kind_rejected(self):
+        from repro.datalog import SolverError
+        from repro.javalite.incremental import IncrementalExtractor
+
+        with pytest.raises(SolverError):
+            IncrementalExtractor(numeric_program(), kind="bytecode")
+
+
+class TestIncrementalSourceEditor:
+    def test_matches_naive_editor_changes(self):
+        from repro.changes import IncrementalSourceEditor, SourceEditor
+
+        naive_program = numeric_program()
+        incr_program = numeric_program()
+        naive = SourceEditor(naive_program, extractor=value_facts)
+        incr = IncrementalSourceEditor(incr_program, kind="value")
+        label = next(
+            s.label for m in naive_program.methods() for s in m.statements()
+            if type(s).__name__ == "ConstAssign" and s.value == 1
+        )
+        a = naive.replace_literal(label, 9)
+        b = incr.replace_literal(label, 9)
+        assert a.insertions == b.insertions
+        assert a.deletions == b.deletions
+
+    def test_edit_sequence_tracks_oracle(self):
+        from repro.changes import IncrementalSourceEditor
+
+        program = numeric_program()
+        instance, solver = fresh_solver(constant_propagation, program)
+        editor = IncrementalSourceEditor(program, kind="value")
+        labels = [
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ in ("ConstAssign", "Move")
+        ]
+        for label in labels[:3]:
+            change = editor.delete_statement(label)
+            solver.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+        oracle = constant_propagation(program).make_solver(SemiNaiveSolver)
+        assert solver.relations() == oracle.relations()
+
+    def test_pointsto_kind(self):
+        from repro.changes import IncrementalSourceEditor
+        from repro.corpus import load_subject
+
+        program = load_subject("minijavac")
+        instance, solver = fresh_solver(kupdate_pointsto, program)
+        editor = IncrementalSourceEditor(program, kind="pointsto")
+        alloc_label = next(
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "New"
+        )
+        change = editor.delete_statement(alloc_label)
+        solver.update(insertions=change.insertions, deletions=change.deletions)
+        oracle = kupdate_pointsto(program).make_solver(SemiNaiveSolver)
+        assert solver.relations() == oracle.relations()

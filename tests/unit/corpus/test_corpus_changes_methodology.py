@@ -1,0 +1,166 @@
+"""Unit tests for the corpus generator, change synthesis, and methodology."""
+
+import pytest
+
+from repro.analyses import constant_propagation, kupdate_pointsto
+from repro.changes import Change, alloc_site_changes, literal_to_zero_changes
+from repro.corpus import PRESETS, SUBJECT_ORDER, CorpusSpec, generate, load_subject
+from repro.engines import SemiNaiveSolver
+from repro.javalite import ClassHierarchy, build_icfg
+from repro.methodology import (
+    bucket_impacts,
+    bucket_of,
+    format_histogram,
+    low_impact_fraction,
+    measure_impacts,
+)
+
+SMALL = CorpusSpec(
+    name="small", seed=7,
+    hierarchies=2, impls_per_hierarchy=2,
+    util_classes=1, util_methods_per_class=2,
+    driver_methods=2, stmts_per_method=6,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(SMALL)
+        b = generate(SMALL)
+        from repro.javalite import format_program
+
+        assert format_program(a) == format_program(b)
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+
+        other = dataclasses.replace(SMALL, seed=8)
+        from repro.javalite import format_program
+
+        assert format_program(generate(SMALL)) != format_program(generate(other))
+
+    def test_structure(self):
+        program = generate(SMALL)
+        assert "Main" in program.classes
+        assert program.entry == "Main.main"
+        names = set(program.classes)
+        assert any(n.startswith("SmallBase") for n in names)
+        assert any(n.startswith("SmallImpl") for n in names)
+        assert any(n.startswith("SmallUtil") for n in names)
+
+    def test_hierarchies_well_formed(self):
+        program = generate(SMALL)
+        hierarchy = ClassHierarchy(program)
+        for name, cls in program.classes.items():
+            if cls.superclass:
+                assert cls.superclass in program.classes
+        # every impl overrides its hierarchy signature
+        assert hierarchy.lookup("SmallImpl0x0", "op0") == "SmallImpl0x0.op0"
+
+    def test_icfg_buildable(self):
+        program = generate(SMALL)
+        icfg = build_icfg(program, ClassHierarchy(program))
+        assert icfg.node_count() > program.statement_count()
+
+    def test_presets_monotone_sizes(self):
+        sizes = [load_subject(n).statement_count() for n in SUBJECT_ORDER]
+        assert sizes == sorted(sizes)
+        assert sizes[0] >= 100  # minijavac is not trivial
+
+    def test_preset_cache(self):
+        assert load_subject("pmd") is load_subject("pmd")
+
+    def test_scaled_spec(self):
+        spec = PRESETS["ant"].scaled(0.5)
+        assert spec.hierarchies < PRESETS["ant"].hierarchies
+        small = generate(spec)
+        assert small.statement_count() < load_subject("ant").statement_count()
+
+    def test_analyzable_by_all_analyses(self):
+        program = generate(SMALL)
+        from repro.analyses import ANALYSES
+
+        for name, build in ANALYSES.items():
+            inst = build(program)
+            solver = inst.make_solver(SemiNaiveSolver)
+            assert len(solver.relation(inst.primary)) > 0, name
+
+
+class TestChanges:
+    def test_alloc_changes_pair_up(self):
+        inst = kupdate_pointsto(generate(SMALL))
+        changes = alloc_site_changes(inst, 5, seed=3)
+        assert len(changes) == 10
+        for delete, reinsert in zip(changes[::2], changes[1::2]):
+            assert delete.deletions == reinsert.insertions
+            assert not delete.insertions
+
+    def test_alloc_changes_deterministic(self):
+        inst = kupdate_pointsto(generate(SMALL))
+        a = alloc_site_changes(inst, 5, seed=3)
+        b = alloc_site_changes(inst, 5, seed=3)
+        assert [c.label for c in a] == [c.label for c in b]
+
+    def test_literal_changes_zero_target(self):
+        inst = constant_propagation(generate(SMALL))
+        changes = literal_to_zero_changes(inst, 6, seed=4)
+        assert len(changes) == 12
+        for change in changes[::2]:
+            inserted = next(iter(change.insertions.get("assignlit", [((0, 0, 0))])))
+            assert inserted[2] == 0
+
+    def test_change_apply_and_inverse_roundtrip(self):
+        inst = kupdate_pointsto(generate(SMALL))
+        facts = {pred: set(rows) for pred, rows in inst.facts.items()}
+        original = {pred: set(rows) for pred, rows in facts.items()}
+        changes = alloc_site_changes(inst, 4, seed=5)
+        for change in changes:
+            change.apply_to(facts)
+        assert facts == original  # delete/re-insert pairs restore state
+
+    def test_changes_are_state_restoring_through_solver(self):
+        inst = kupdate_pointsto(generate(SMALL))
+        solver = inst.make_solver(SemiNaiveSolver)
+        before = solver.relations()
+        for change in alloc_site_changes(inst, 3, seed=6):
+            solver.update(insertions=change.insertions, deletions=change.deletions)
+        assert solver.relations() == before
+
+
+class TestMethodology:
+    def test_bucket_of(self):
+        assert bucket_of(0) == 1
+        assert bucket_of(1) == 1
+        assert bucket_of(2) == 2
+        assert bucket_of(10) == 2
+        assert bucket_of(11) == 3
+        assert bucket_of(100) == 3
+        assert bucket_of(101) == 4
+        assert bucket_of(1000) == 4
+
+    def test_measure_impacts(self):
+        inst = kupdate_pointsto(generate(SMALL))
+        changes = alloc_site_changes(inst, 4, seed=1)
+        records = measure_impacts(inst, changes)
+        assert len(records) == 8
+        assert all(r.impact >= 0 for r in records)
+        # delete and re-insert of the same site have equal impact
+        for delete, reinsert in zip(records[::2], records[1::2]):
+            assert delete.impact == reinsert.impact
+
+    def test_histogram_and_fraction(self):
+        inst = kupdate_pointsto(generate(SMALL))
+        records = measure_impacts(inst, alloc_site_changes(inst, 6, seed=2))
+        histogram = bucket_impacts(records)
+        assert sum(histogram.values()) == len(records)
+        text = format_histogram(histogram)
+        assert "10e1" in text
+        assert 0.0 <= low_impact_fraction(records) <= 1.0
+
+    def test_incrementalizability_claim_on_small_subject(self):
+        """The Section 3 finding: the vast majority of changes have low
+        impact, relative to the size of the output."""
+        inst = kupdate_pointsto(load_subject("minijavac"))
+        records = measure_impacts(inst, alloc_site_changes(inst, 10, seed=3))
+        output_size = len(inst.make_solver(SemiNaiveSolver).relation("ptlub"))
+        assert low_impact_fraction(records, threshold=output_size // 2) >= 0.9

@@ -1,0 +1,142 @@
+"""Unit tests for the Datalog text parser."""
+
+import pytest
+
+from repro.datalog import (
+    AggTerm,
+    Constant,
+    Eval,
+    Literal,
+    ParseError,
+    Test,
+    Variable,
+    parse,
+)
+
+
+class TestBasicRules:
+    def test_single_rule(self):
+        p = parse("pt(V, O) :- reach(M), alloc(V, O, M).")
+        assert len(p.rules) == 1
+        rule = p.rules[0]
+        assert rule.head.pred == "pt"
+        assert rule.head.args == (Variable("V"), Variable("O"))
+        assert [b.pred for b in rule.body_literals()] == ["reach", "alloc"]
+
+    def test_fact(self):
+        p = parse('alloc("s", "S", "run").')
+        rule = p.rules[0]
+        assert rule.is_fact
+        assert rule.head.args == (Constant("s"), Constant("S"), Constant("run"))
+
+    def test_multiple_rules(self):
+        p = parse(
+            """
+            reach(M) :- resolve(M, _, _).
+            reach(M) :- funcname(M, "main").
+            """
+        )
+        assert len(p.rules) == 2
+
+    def test_numbers(self):
+        p = parse("f(1, -2, 3.5).")
+        assert p.rules[0].head.args == (Constant(1), Constant(-2), Constant(3.5))
+
+    def test_bare_identifier_is_symbol_constant(self):
+        p = parse("f(X) :- g(X, main).")
+        literal = p.rules[0].body[0]
+        assert literal.atom.args[1] == Constant("main")
+
+    def test_comments(self):
+        p = parse(
+            """
+            // a line comment
+            f(X) :- g(X).  # trailing comment
+            """
+        )
+        assert len(p.rules) == 1
+
+    def test_wildcards_renamed_apart(self):
+        p = parse("f(X) :- g(X, _, _).")
+        args = p.rules[0].body[0].atom.args
+        assert args[1] != args[2]
+        assert args[1].is_wildcard and args[2].is_wildcard
+
+
+class TestAggregationSyntax:
+    def test_agg_head(self):
+        p = parse("ptlub(V, lub<L>) :- pt(V, L).")
+        head = p.rules[0].head
+        assert head.is_aggregation
+        assert head.agg_term == AggTerm("lub", Variable("L"))
+        assert head.group_terms() == (Variable("V"),)
+
+    def test_agg_position_arbitrary(self):
+        p = parse("r(lub<L>, G) :- s(G, L).")
+        assert p.rules[0].head.agg_positions() == [0]
+
+
+class TestEvalAndTest:
+    def test_eval(self):
+        p = parse("f(X, L) :- g(X, O), L := mk(O).")
+        ev = p.rules[0].body[1]
+        assert isinstance(ev, Eval)
+        assert ev.var == Variable("L")
+        assert ev.fn == "mk"
+        assert ev.args == (Variable("O"),)
+
+    def test_explicit_test(self):
+        p = parse("f(X) :- g(X), ?odd(X).")
+        t = p.rules[0].body[1]
+        assert isinstance(t, Test)
+        assert t.fn == "odd"
+
+    def test_comparison_sugar(self):
+        p = parse("f(X) :- g(X, Y), X < Y, X != 3, Y >= 0.")
+        fns = [b.fn for b in p.rules[0].body if isinstance(b, Test)]
+        assert fns == ["lt", "ne", "ge"]
+
+    def test_negation(self):
+        p = parse("f(X) :- g(X), !h(X).")
+        lit = p.rules[0].body[1]
+        assert isinstance(lit, Literal) and lit.negated
+
+
+class TestDirectives:
+    def test_export(self):
+        p = parse(".export ptlub, reach.\nf(X) :- g(X).")
+        assert p.exports == {"ptlub", "reach"}
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            parse(".frobnicate x.")
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse("f(X) :- g(X)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse('f("oops).')
+
+    def test_stray_character(self):
+        with pytest.raises(ParseError):
+            parse("f(X) :- g(X) @ h(X).")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("f(X) :-\n  g(X) g(X).")
+        assert exc.value.line == 2
+
+    def test_nullary_atom(self):
+        # Zero-argument atoms in body positions are allowed: "flag()".
+        p = parse("f(X) :- g(X), flag().")
+        assert p.rules[0].body[1].atom.args == ()
+
+
+def test_parse_into_existing_program():
+    base = parse("f(X) :- g(X).")
+    parse("h(X) :- f(X).", program=base)
+    assert len(base.rules) == 2

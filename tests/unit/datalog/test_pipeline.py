@@ -1,0 +1,292 @@
+"""Unit tests for stratification, normalization, planning, and validation."""
+
+import pytest
+
+from repro.datalog import (
+    Eval,
+    Literal,
+    Program,
+    Rule,
+    Test,
+    ValidationError,
+    atom,
+    collecting_name,
+    delta_plans,
+    head,
+    agg,
+    let,
+    normalize,
+    parse,
+    plan_body,
+    stratify,
+    validate,
+    var,
+)
+from repro.lattices import ConstantLattice, lub
+
+CONST = ConstantLattice()
+
+
+def pointsto_program():
+    p = parse(
+        """
+        pt(V, O)    :- reach(M), alloc(V, O, M).
+        pt(V, O)    :- move(V, F), pt(F, O).
+        resolve(M)  :- pt(R, O), vcall(R, S, M), lookup(O, S).
+        reach(M)    :- resolve(M).
+        reach(M)    :- funcname(M, "main").
+        """
+    )
+    return p
+
+
+class TestStratify:
+    def test_components_bottom_up(self):
+        p = parse("b(X) :- a(X). c(X) :- b(X).")
+        comps = stratify(p)
+        assert [sorted(c.predicates) for c in comps] == [["b"], ["c"]]
+
+    def test_mutual_recursion_single_component(self):
+        comps = stratify(pointsto_program())
+        recursive = [c for c in comps if c.recursive]
+        assert len(recursive) == 1
+        assert recursive[0].predicates == {"pt", "resolve", "reach"}
+
+    def test_upstream_predicates(self):
+        comps = stratify(pointsto_program())
+        rec = next(c for c in comps if c.recursive)
+        assert {"alloc", "move", "vcall", "lookup", "funcname"} <= rec.upstream
+
+    def test_self_loop_is_recursive(self):
+        comps = stratify(parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z)."))
+        assert len(comps) == 1 and comps[0].recursive
+
+    def test_nonrecursive_component(self):
+        comps = stratify(parse("b(X) :- a(X)."))
+        assert not comps[0].recursive
+
+    def test_stratified_negation_ok(self):
+        comps = stratify(parse("b(X) :- a(X). c(X) :- d(X), !b(X)."))
+        assert len(comps) == 2
+
+    def test_negation_in_cycle_rejected(self):
+        with pytest.raises(ValidationError, match="negation inside"):
+            stratify(parse("p(X) :- a(X), !q(X). q(X) :- b(X), p(X)."))
+
+    def test_edb_classification(self):
+        p = pointsto_program()
+        assert "alloc" in p.edb_predicates()
+        assert "pt" in p.idb_predicates()
+        assert "pt" not in p.edb_predicates()
+
+    def test_aggregated_marked_on_component(self):
+        p = parse("s(G, lub<L>) :- c(G, L).")
+        comps = stratify(p)
+        assert comps[0].aggregated == {"s"}
+
+
+class TestNormalize:
+    def test_simple_aggregation_untouched(self):
+        p = parse("s(G, lub<L>) :- c(G, L).")
+        normalize(p)
+        assert len(p.rules) == 1
+
+    def test_complex_body_factored(self):
+        p = parse("s(G, lub<L>) :- c(G, X), d(X, L).")
+        normalize(p)
+        collect = collecting_name("s")
+        heads = [r.head.pred for r in p.rules]
+        assert heads.count(collect) == 1
+        assert heads.count("s") == 1
+        agg_rule = next(r for r in p.rules if r.head.pred == "s")
+        assert len(agg_rule.body) == 1
+        assert agg_rule.body[0].pred == collect
+
+    def test_multiple_agg_rules_share_collector(self):
+        p = parse(
+            """
+            s(G, lub<L>) :- c(G, L), d(G).
+            s(G, lub<L>) :- e(G, L).
+            """
+        )
+        normalize(p)
+        collect = collecting_name("s")
+        heads = [r.head.pred for r in p.rules]
+        assert heads.count(collect) == 2
+        assert heads.count("s") == 1
+
+    def test_mixed_agg_and_plain_rejected(self):
+        p = parse(
+            """
+            s(G, lub<L>) :- c(G, L).
+            s(G, L) :- e(G, L).
+            """
+        )
+        with pytest.raises(ValidationError, match="mixes aggregation"):
+            normalize(p)
+
+    def test_disagreeing_operators_rejected(self):
+        p = parse(
+            """
+            s(G, lub<L>) :- c(G, L), x(G).
+            s(G, glb<L>) :- e(G, L), x(G).
+            """
+        )
+        with pytest.raises(ValidationError, match="disagree"):
+            normalize(p)
+
+    def test_repeated_group_var_factored(self):
+        # s(G, G, lub<L>) needs factoring: group vars must be distinct.
+        p = parse("s(G, G, lub<L>) :- c(G, L).")
+        normalize(p)
+        assert any(r.head.pred == collecting_name("s") for r in p.rules)
+
+    def test_builder_wildcards_renamed(self):
+        p = Program()
+        p.add_rule(Rule(head("f", var("X")), (atom("g", var("X"), var("_"), var("_")),)))
+        normalize(p)
+        args = p.rules[0].body[0].atom.args
+        assert args[1] != args[2]
+
+
+class TestPlanning:
+    def test_eval_ordered_after_binding(self):
+        p = parse("f(X, L) :- L := mk(O), g(X, O).")
+        ordered = plan_body(p.rules[0])
+        assert isinstance(ordered[0], Literal)
+        assert isinstance(ordered[1], Eval)
+
+    def test_tests_run_asap(self):
+        p = parse("f(X) :- g(X), h(X, Y), X < 5.")
+        ordered = plan_body(p.rules[0])
+        # The comparison only needs X, so it runs directly after g(X).
+        assert isinstance(ordered[1], Test)
+
+    def test_negation_needs_bound_args(self):
+        p = parse("f(X) :- !h(X, Y), g(X), k(Y).")
+        ordered = plan_body(p.rules[0])
+        neg_index = next(i for i, b in enumerate(ordered) if isinstance(b, Literal) and b.negated)
+        assert neg_index == len(ordered) - 1
+
+    def test_unsafe_rule_rejected(self):
+        p = parse("f(X, Y) :- g(X).")
+        with pytest.raises(ValidationError, match="not bound"):
+            plan_body(p.rules[0])
+
+    def test_unbound_eval_rejected(self):
+        p = parse("f(X) :- g(X), L := mk(Z).")
+        with pytest.raises(ValidationError, match="no admissible"):
+            plan_body(p.rules[0])
+
+    def test_pinned_first(self):
+        p = parse("f(X) :- g(X), h(X).")
+        ordered = plan_body(p.rules[0], pinned=1)
+        assert ordered[0].pred == "h"
+
+    def test_pinned_negated_allowed(self):
+        p = parse("f(X) :- g(X), !h(X).")
+        ordered = plan_body(p.rules[0], pinned=1)
+        assert ordered[0].negated
+
+    def test_delta_plans_cover_positive_occurrences(self):
+        p = parse("f(X) :- g(X), h(X), !k(X).")
+        plans = delta_plans(p.rules[0])
+        assert [i for i, _ in plans] == [0, 1]
+        with_neg = delta_plans(p.rules[0], include_negated=True)
+        assert [i for i, _ in with_neg] == [0, 1, 2]
+
+    def test_join_order_prefers_bound_overlap(self):
+        p = parse("f(X, Y) :- big(A, B), g(X, A), h(X, Y).")
+        ordered = plan_body(p.rules[0], pinned=1)
+        # After g binds X and A, big shares A while h shares X; either is
+        # admissible, but both must come after the pinned literal.
+        assert ordered[0].pred == "g"
+
+
+class TestValidate:
+    def test_valid_program(self):
+        p = parse("s(G, lub<L>) :- c(G, L).")
+        p.register_aggregator("lub", lub(CONST))
+        normalize(p)
+        comps = validate(p)
+        assert len(comps) == 1
+
+    def test_unknown_aggregator(self):
+        p = parse("s(G, lub<L>) :- c(G, L).")
+        with pytest.raises(ValidationError, match="unknown aggregator"):
+            validate(p)
+
+    def test_unknown_function(self):
+        p = parse("f(X, L) :- g(X), L := mystery(X).")
+        with pytest.raises(ValidationError, match="unknown function"):
+            validate(p)
+
+    def test_unknown_test(self):
+        p = parse("f(X) :- g(X), ?mystery(X).")
+        with pytest.raises(ValidationError, match="unknown test"):
+            validate(p)
+
+    def test_builtin_tests_known(self):
+        p = parse("f(X) :- g(X), X < 5.")
+        validate(p)
+
+    def test_arity_conflict(self):
+        p = parse("f(X) :- g(X). f(X, Y) :- g(X), g(Y).")
+        with pytest.raises(ValidationError, match="arities"):
+            validate(p)
+
+    def test_direction_conflict_in_component(self):
+        p = parse(
+            """
+            up(G, lub<L>)   :- c(G, L).
+            down(G, glb<L>) :- up(G, L), c2(G, L).
+            c(G, L)         :- down(G, L), seed(G, L).
+            """
+        )
+        p.register_aggregator("lub", lub(CONST))
+        from repro.lattices import glb
+
+        p.register_aggregator("glb", glb(CONST))
+        normalize(p)
+        with pytest.raises(ValidationError, match="directions"):
+            validate(p)
+
+    def test_unnormalized_aggregation_rejected(self):
+        p = parse("s(G, lub<L>) :- c(G, X), d(X, L).")
+        p.register_aggregator("lub", lub(CONST))
+        with pytest.raises(ValidationError, match="collecting"):
+            validate(p)
+
+
+class TestProgramHelpers:
+    def test_exported_defaults_to_idb(self):
+        p = pointsto_program()
+        assert p.exported_predicates() == {"pt", "resolve", "reach"}
+
+    def test_explicit_exports(self):
+        p = parse(".export f.\nf(X) :- g(X). h(X) :- g(X).")
+        assert p.exported_predicates() == {"f"}
+
+    def test_copy_is_independent(self):
+        p = pointsto_program()
+        q = p.copy()
+        q.add_rule(Rule(head("extra", var("X")), (atom("pt", var("X"), var("_")),)))
+        assert len(p.rules) + 1 == len(q.rules)
+
+    def test_rules_for(self):
+        p = pointsto_program()
+        assert len(p.rules_for("reach")) == 2
+
+    def test_builder_style_construction(self):
+        p = Program()
+        X, L = var("X"), var("L")
+        p.add_rule(Rule(head("out", X, agg("lub", L)), (atom("c", X, L),)))
+        p.register_aggregator("lub", lub(CONST))
+        normalize(p)
+        validate(p)
+        assert p.rules[0].is_aggregation
+
+    def test_let_helper(self):
+        ev = let("L", "mk", var("O"))
+        assert isinstance(ev, Eval)
+        assert ev.fn == "mk"

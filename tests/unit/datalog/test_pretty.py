@@ -1,0 +1,80 @@
+"""Unit tests for the Datalog pretty printer."""
+
+from repro.datalog import (
+    format_program,
+    format_relation,
+    format_relations,
+    format_strata,
+    parse,
+)
+
+
+class TestFormatProgram:
+    def test_rules_roundtrip_through_parser(self):
+        source = """
+        pt(V, O) :- reach(M), alloc(V, O, M).
+        ptlub(V, lub<L>) :- pt(V, L).
+        reach(M) :- funcname(M, "main").
+        """
+        program = parse(source)
+        printed = format_program(program)
+        reparsed = parse(printed)
+        assert format_program(reparsed) == printed
+
+    def test_exports_printed(self):
+        program = parse(".export a, b.\na(X) :- c(X). b(X) :- c(X).")
+        printed = format_program(program)
+        assert ".export a, b." in printed
+
+    def test_body_items_rendered(self):
+        program = parse(
+            "f(X, L) :- g(X), !h(X), L := mk(X), X < 5, ?odd(X)."
+        )
+        text = format_program(program)
+        assert "!h(X)" in text
+        assert "L := mk(X)" in text
+        assert "?lt(X, 5)" in text
+        assert "?odd(X)" in text
+
+
+class TestFormatStrata:
+    def test_components_labelled(self):
+        program = parse(
+            """
+            base(X) :- fact(X).
+            tc(X, Y) :- base(X), edge(X, Y).
+            tc(X, Z) :- tc(X, Y), edge(Y, Z).
+            agg(X, lub<L>) :- vals(X, L).
+            """
+        )
+        text = format_strata(program)
+        assert "-- component #0" in text
+        assert "recursive" in text
+        assert "aggregates agg" in text
+
+    def test_rules_listed_under_components(self):
+        program = parse("b(X) :- a(X). c(X) :- b(X).")
+        text = format_strata(program)
+        first, second = text.split("-- component #1")
+        assert "b(X) :- a(X)." in first
+        assert "c(X) :- b(X)." in second
+
+
+class TestFormatRelations:
+    def test_sorted_rows(self):
+        text = format_relation("r", [(2, "b"), (1, "a")])
+        lines = text.splitlines()
+        assert lines == ["r(1, 'a')", "r(2, 'b')"]
+
+    def test_limit_with_ellipsis(self):
+        text = format_relation("r", [(i,) for i in range(5)], limit=2)
+        assert "... (3 more)" in text
+        assert text.count("r(") == 2
+
+    def test_multi_relation_dump(self):
+        text = format_relations({"b": [(1,)], "a": [(2,), (3,)]})
+        assert text.index("== a (2 tuples) ==") < text.index("== b (1 tuples) ==")
+
+    def test_empty_relation(self):
+        text = format_relations({"empty": []})
+        assert "== empty (0 tuples) ==" in text

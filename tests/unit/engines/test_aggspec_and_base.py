@@ -1,0 +1,130 @@
+"""Unit tests for AggSpec compilation and the shared Solver base class."""
+
+import pytest
+
+from repro.datalog import Program, Rule, SolverError, atom, head, agg, parse, var
+from repro.engines import LaddderSolver, UpdateStats
+from repro.engines.aggspec import AggSpec, compile_agg_specs, prune_aggregated
+from repro.lattices import ChainLattice, ConstantLattice, glb, lub
+
+CONST = ConstantLattice()
+CHAIN = ChainLattice([0, 1, 2, 3])
+
+
+def compiled_spec(source: str, aggregator=None) -> AggSpec:
+    program = parse(source)
+    program.register_aggregator("lub", aggregator or lub(CONST))
+    rule = next(r for r in program.rules if r.is_aggregation)
+    return AggSpec.compile(rule, program)
+
+
+class TestAggSpec:
+    def test_compile_simple(self):
+        spec = compiled_spec("s(G, lub<L>) :- c(G, L).")
+        assert spec.pred == "s"
+        assert spec.collecting_pred == "c"
+        assert spec.agg_pos == 1
+
+    def test_agg_position_first(self):
+        spec = compiled_spec("s(lub<L>, G) :- c(G, L).")
+        assert spec.agg_pos == 0
+        assert spec.tuple_for(("g",), "v") == ("v", "g")
+        assert spec.split_tuple(("v", "g")) == (("g",), "v")
+
+    def test_key_and_value_from_binding(self):
+        spec = compiled_spec("s(A, B, lub<L>) :- c(A, B, L).")
+        key, value = spec.key_and_value({"A": 1, "B": 2, "L": "x"})
+        assert key == (1, 2) and value == "x"
+
+    def test_tuple_roundtrip(self):
+        spec = compiled_spec("s(A, lub<L>, B) :- c(A, B, L).")
+        row = spec.tuple_for((1, 2), "v")
+        assert row == (1, "v", 2)
+        assert spec.split_tuple(row) == ((1, 2), "v")
+
+    def test_multi_body_rejected(self):
+        program = parse("s(G, lub<L>) :- c(G, X), d(X, L).")
+        program.register_aggregator("lub", lub(CONST))
+        rule = program.rules[0]
+        with pytest.raises(SolverError, match="single collecting"):
+            AggSpec.compile(rule, program)
+
+    def test_compile_agg_specs_filters(self):
+        program = parse(
+            "s(G, lub<L>) :- c(G, L).\nplain(X) :- c(X, _)."
+        )
+        program.register_aggregator("lub", lub(CONST))
+        specs = compile_agg_specs(program.rules, program)
+        assert set(specs) == {"s"}
+
+
+class TestPruneAggregated:
+    def test_keeps_extremal_per_group(self):
+        spec = compiled_spec("s(G, lub<L>) :- c(G, L).", lub(CHAIN))
+        rows = [("g", 0), ("g", 2), ("h", 1)]
+        pruned = prune_aggregated(rows, spec)
+        assert pruned == {("g", 2), ("h", 1)}
+
+    def test_downward_direction(self):
+        spec = compiled_spec("s(G, lub<L>) :- c(G, L).", glb(CHAIN))
+        pruned = prune_aggregated([("g", 0), ("g", 2)], spec)
+        assert pruned == {("g", 0)}
+
+    def test_empty(self):
+        spec = compiled_spec("s(G, lub<L>) :- c(G, L).")
+        assert prune_aggregated([], spec) == set()
+
+
+class TestSolverBase:
+    def make(self):
+        return LaddderSolver(parse("t(X, Y) :- e(X, Y)."))
+
+    def test_facts_accessor(self):
+        solver = self.make()
+        solver.add_facts("e", [(1, 2)])
+        assert solver.facts("e") == {(1, 2)}
+        assert solver.facts("unknown") == frozenset()
+
+    def test_duplicate_fact_idempotent(self):
+        solver = self.make()
+        solver.add_facts("e", [(1, 2), (1, 2)])
+        assert len(solver.facts("e")) == 1
+
+    def test_update_applies_deletions_before_insertions(self):
+        solver = self.make()
+        solver.add_facts("e", [(1, 2)])
+        solver.solve()
+        stats = solver.update(
+            insertions={"e": {(1, 2)}}, deletions={"e": {(1, 2)}}
+        )
+        # Delete-then-insert of a present row nets to present.
+        assert solver.relation("t") == {(1, 2)}
+        assert stats.impact == 0
+
+    def test_delete_absent_row_noop(self):
+        solver = self.make()
+        solver.add_facts("e", [(1, 2)])
+        solver.solve()
+        stats = solver.update(deletions={"e": {(9, 9)}})
+        assert stats.impact == 0 and stats.work == 0
+
+    def test_update_stats_impact(self):
+        stats = UpdateStats(
+            inserted={"a": {(1,), (2,)}}, deleted={"b": {(3,)}}, work=5
+        )
+        assert stats.impact == 3
+
+    def test_arity_inferred_and_enforced(self):
+        solver = self.make()
+        with pytest.raises(SolverError, match="arity"):
+            solver.add_facts("e", [(1,)])
+
+    def test_builder_program_accepted(self):
+        program = Program()
+        X, L = var("X"), var("L")
+        program.add_rule(Rule(head("out", X, agg("m", L)), (atom("c", X, L),)))
+        program.register_aggregator("m", lub(CHAIN))
+        solver = LaddderSolver(program)
+        solver.add_facts("c", [("g", 1), ("g", 3)])
+        solver.solve()
+        assert solver.relation("out") == {("g", 3)}

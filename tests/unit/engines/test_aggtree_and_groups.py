@@ -1,0 +1,222 @@
+"""Unit tests for the Section 5 aggregation architecture."""
+
+import pytest
+
+from repro.engines.laddder import AggTree, GroupState, NaiveGroupState
+from repro.lattices import ConstantLattice, PowersetLattice
+
+SETS = PowersetLattice()
+CONST = ConstantLattice()
+
+
+def union(a, b):
+    return SETS.join(a, b)
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestAggTree:
+    def test_empty(self):
+        tree = AggTree(union)
+        assert len(tree) == 0
+        assert not tree
+        with pytest.raises(LookupError):
+            tree.aggregate()
+
+    def test_single(self):
+        tree = AggTree(union)
+        tree.insert(fs("a"))
+        assert tree.aggregate() == fs("a")
+
+    def test_insert_many(self):
+        tree = AggTree(union)
+        for ch in "abcdefgh":
+            tree.insert(fs(ch))
+            tree.check_invariants()
+        assert tree.aggregate() == fs(*"abcdefgh")
+        assert len(tree) == 8
+
+    def test_remove(self):
+        tree = AggTree(union)
+        for ch in "abcd":
+            tree.insert(fs(ch))
+        tree.remove(fs("b"))
+        tree.check_invariants()
+        assert tree.aggregate() == fs("a", "c", "d")
+
+    def test_remove_absent_raises(self):
+        tree = AggTree(union)
+        tree.insert(fs("a"))
+        with pytest.raises(KeyError):
+            tree.remove(fs("z"))
+
+    def test_multiset_counts(self):
+        tree = AggTree(union)
+        tree.insert(fs("a"))
+        tree.insert(fs("a"))
+        assert len(tree) == 2
+        tree.remove(fs("a"))
+        assert len(tree) == 1
+        assert tree.aggregate() == fs("a")
+        tree.remove(fs("a"))
+        assert not tree
+
+    def test_interleaved_stress(self):
+        import random
+
+        rng = random.Random(42)
+        tree = AggTree(union)
+        mirror = []
+        for _ in range(400):
+            if mirror and rng.random() < 0.4:
+                value = rng.choice(mirror)
+                mirror.remove(value)
+                tree.remove(value)
+            else:
+                value = fs(rng.choice("abcdefghij"))
+                mirror.append(value)
+                tree.insert(value)
+            tree.check_invariants()
+            if mirror:
+                expected = frozenset().union(*mirror)
+                assert tree.aggregate() == expected
+
+    def test_equal_frozensets_with_different_history(self):
+        """Regression: ``repr`` of equal frozensets may list elements in
+        different orders depending on construction history; the tree must
+        key on value equality, not repr."""
+        # Build equal sets through different construction paths.
+        a = frozenset({"EmmaImpl0x3.op0/0", "EmmaUtil1.helper3/1", "x/2"})
+        b = frozenset(["x/2"]) | frozenset(["EmmaUtil1.helper3/1"]) | frozenset(
+            ["EmmaImpl0x3.op0/0"]
+        )
+        assert a == b
+        tree = AggTree(union)
+        tree.insert(a)
+        tree.remove(b)  # must find the equal value regardless of repr
+        assert not tree
+
+    def test_canonical_key_nested(self):
+        from repro.engines.laddder.aggtree import canonical_key
+
+        a = frozenset({(1, frozenset({"p", "q"})), (2, frozenset())})
+        b = frozenset({(2, frozenset()), (1, frozenset({"q"}) | {"p"})})
+        assert canonical_key(a) == canonical_key(b)
+        assert canonical_key(frozenset({1})) != canonical_key(frozenset({2}))
+
+    def test_values_iteration(self):
+        tree = AggTree(union)
+        for ch in "cab":
+            tree.insert(fs(ch))
+        assert sorted(tree.values(), key=repr) == [fs("a"), fs("b"), fs("c")]
+
+
+class TestGroupState:
+    def test_single_timestamp(self):
+        g = GroupState(union)
+        g.insert(3, fs("a"))
+        g.insert(3, fs("b"))
+        assert g.totals() == [(3, fs("a", "b"))]
+        assert g.final() == fs("a", "b")
+
+    def test_rollup_across_timestamps(self):
+        g = GroupState(union)
+        g.insert(2, fs("a"))
+        g.insert(5, fs("b"))
+        g.insert(9, fs("c"))
+        assert g.totals() == [
+            (2, fs("a")),
+            (5, fs("a", "b")),
+            (9, fs("a", "b", "c")),
+        ]
+
+    def test_output_runs_offset_by_one(self):
+        # Aggregands at t produce the aggregate at t+1 (Figure 4).
+        g = GroupState(union)
+        g.insert(8, fs("F1"))
+        g.insert(10, fs("F2"))
+        assert g.output_runs() == {fs("F1"): 9, fs("F1", "F2"): 11}
+
+    def test_duplicate_totals_single_run(self):
+        g = GroupState(union)
+        g.insert(1, fs("a"))
+        g.insert(4, fs("a"))  # total unchanged at 4
+        runs = g.output_runs()
+        assert runs == {fs("a"): 2}
+
+    def test_remove_recomputes_forward(self):
+        g = GroupState(union)
+        g.insert(2, fs("a"))
+        g.insert(5, fs("b"))
+        g.remove(2, fs("a"))
+        assert g.totals() == [(5, fs("b"))]
+
+    def test_remove_middle_timestamp(self):
+        g = GroupState(union)
+        g.insert(2, fs("a"))
+        g.insert(5, fs("b"))
+        g.insert(9, fs("c"))
+        g.remove(5, fs("b"))
+        assert g.totals() == [(2, fs("a")), (9, fs("a", "c"))]
+
+    def test_empty_after_removals(self):
+        g = GroupState(union)
+        g.insert(2, fs("a"))
+        g.remove(2, fs("a"))
+        assert not g
+        assert g.output_runs() == {}
+        with pytest.raises(LookupError):
+            g.final()
+
+    def test_early_stop_counts_steps(self):
+        g = GroupState(union)
+        for t in range(10):
+            g.insert(t, fs("common"))
+        g.rollup_steps = 0
+        # Inserting another copy of an existing value at t=0 changes no total:
+        # the roll must stop after the first recomputation.
+        g.insert(0, fs("common"))
+        assert g.rollup_steps <= 1
+
+    def test_constant_lattice_goes_top(self):
+        g = GroupState(CONST.join)
+        g.insert(1, CONST.const(1))
+        g.insert(3, CONST.const(2))
+        assert g.final() == CONST.top()
+        assert g.output_runs() == {CONST.const(1): 2, CONST.top(): 4}
+
+
+class TestNaiveGroupStateEquivalence:
+    def test_same_totals_as_tree_variant(self):
+        import random
+
+        rng = random.Random(7)
+        fast = GroupState(union)
+        slow = NaiveGroupState(union)
+        live: list[tuple[int, frozenset]] = []
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                t, v = live.pop(rng.randrange(len(live)))
+                fast.remove(t, v)
+                slow.remove(t, v)
+            else:
+                t = rng.randrange(8)
+                v = fs(rng.choice("abcdef"))
+                live.append((t, v))
+                fast.insert(t, v)
+                slow.insert(t, v)
+            assert fast.totals() == slow.totals()
+            assert fast.output_runs() == slow.output_runs()
+
+    def test_naive_does_more_rollup_work(self):
+        fast = GroupState(union)
+        slow = NaiveGroupState(union)
+        for t in range(20):
+            fast.insert(t, fs("x", str(t)))
+            slow.insert(t, fs("x", str(t)))
+        fast.rollup_steps = slow.rollup_steps = 0
+        fast.insert(19, fs("y"))
+        slow.insert(19, fs("y"))
+        assert fast.rollup_steps < slow.rollup_steps

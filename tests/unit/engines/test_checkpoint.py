@@ -1,0 +1,126 @@
+"""Unit tests for solver checkpointing (precomputed initial analysis)."""
+
+import pytest
+
+from repro.datalog import SolverError
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+from repro.engines.checkpoint import load_checkpoint, save_checkpoint
+
+from .helpers import (
+    const_prop_program,
+    figure3_facts,
+    load,
+    singleton_pointsto_program,
+    tc_facts,
+    tc_program,
+)
+
+ENGINES = [LaddderSolver, DRedLSolver, SemiNaiveSolver, NaiveSolver]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestRoundtrip:
+    def test_plain_datalog(self, engine, tmp_path):
+        solver = load(engine, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        path = tmp_path / "tc.ckpt"
+        size = save_checkpoint(solver, path)
+        assert size > 0
+        restored = load_checkpoint(engine, tc_program(), path)
+        assert restored.relations() == solver.relations()
+
+    def test_restored_solver_updates(self, engine, tmp_path):
+        solver = load(engine, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        path = tmp_path / "tc.ckpt"
+        save_checkpoint(solver, path)
+        restored = load_checkpoint(engine, tc_program(), path)
+        restored.update(insertions={"edge": {(3, 4)}})
+        solver.update(insertions={"edge": {(3, 4)}})
+        assert restored.relations() == solver.relations()
+        restored.update(deletions={"edge": {(1, 2)}})
+        solver.update(deletions={"edge": {(1, 2)}})
+        assert restored.relations() == solver.relations()
+
+
+class TestLatticeState:
+    def test_lattice_analysis_roundtrip(self, tmp_path):
+        solver = load(
+            LaddderSolver, singleton_pointsto_program(), figure3_facts()
+        )
+        path = tmp_path / "pt.ckpt"
+        save_checkpoint(solver, path)
+        restored = load_checkpoint(
+            LaddderSolver, singleton_pointsto_program(), path
+        )
+        assert restored.relations() == solver.relations()
+        # Aggregation group state survived: deletions reconcile correctly.
+        change = {"alloc": {("c", "F2", "proc")}}
+        restored.update(deletions=change)
+        solver.update(deletions=change)
+        assert restored.relations() == solver.relations()
+
+    def test_constprop_roundtrip(self, tmp_path):
+        facts = {"lit": {("x", 1)}, "copy": {("y", "x")}}
+        solver = load(LaddderSolver, const_prop_program(), facts)
+        path = tmp_path / "cp.ckpt"
+        save_checkpoint(solver, path)
+        restored = load_checkpoint(LaddderSolver, const_prop_program(), path)
+        restored.update(insertions={"lit": {("y", 2)}})
+        solver.update(insertions={"lit": {("y", 2)}})
+        assert restored.relations() == solver.relations()
+
+
+class TestValidation:
+    def test_unsolved_rejected(self, tmp_path):
+        solver = LaddderSolver(tc_program())
+        with pytest.raises(SolverError, match="unsolved"):
+            save_checkpoint(solver, tmp_path / "x.ckpt")
+
+    def test_wrong_engine_rejected(self, tmp_path):
+        solver = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        path = tmp_path / "x.ckpt"
+        save_checkpoint(solver, path)
+        with pytest.raises(SolverError, match="taken from"):
+            load_checkpoint(SemiNaiveSolver, tc_program(), path)
+
+    def test_wrong_program_rejected(self, tmp_path):
+        solver = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        path = tmp_path / "x.ckpt"
+        save_checkpoint(solver, path)
+        from repro.datalog import parse
+
+        other = parse("tc(X, Y) :- edge(Y, X).")
+        with pytest.raises(SolverError, match="rules differ"):
+            load_checkpoint(LaddderSolver, other, path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(pickle.dumps({"whatever": 1}))
+        with pytest.raises(SolverError, match="not a repro checkpoint"):
+            load_checkpoint(LaddderSolver, tc_program(), path)
+
+
+def test_checkpoint_beats_reinit_on_corpus(tmp_path):
+    """The precomputation story: restoring is much faster than re-solving."""
+    import time
+
+    from repro.analyses import kupdate_pointsto
+    from repro.corpus import load_subject
+
+    instance = kupdate_pointsto(load_subject("pmd"))
+    start = time.perf_counter()
+    solver = instance.make_solver(LaddderSolver)
+    init_time = time.perf_counter() - start
+    path = tmp_path / "pmd.ckpt"
+    save_checkpoint(solver, path)
+
+    fresh = kupdate_pointsto(load_subject("pmd"))
+    start = time.perf_counter()
+    restored = load_checkpoint(LaddderSolver, fresh.program, path)
+    restore_time = time.perf_counter() - start
+    assert restored.relations() == solver.relations()
+    # Generous bound: the precise speedup claim lives in
+    # benchmarks/bench_checkpoint.py; here we only guard against restoring
+    # becoming pathologically slower than solving.
+    assert restore_time < init_time * 2

@@ -1,0 +1,225 @@
+"""Unit tests for the DRedL baseline solver (Section 7.3).
+
+DRedL must be *correct* on per-rule-monotone analyses (constant
+propagation, set-based points-to, plain Datalog), must *over-delete* (its
+deletion work is disproportionate to the change), and must *diverge* on the
+eventually-monotone k-update analysis — the three properties the paper
+attributes to IncA's solver.
+"""
+
+import pytest
+
+from repro.datalog import SolverError, parse
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver
+from repro.lattices import ConstantLattice
+
+from .helpers import (
+    const_prop_program,
+    figure3_facts,
+    kupdate_cyclic_facts,
+    kupdate_pointsto_program,
+    load,
+    setbased_pointsto_program,
+    tc_facts,
+    tc_program,
+)
+
+CONST = ConstantLattice()
+
+
+class TestCorrectness:
+    def test_transitive_closure(self):
+        s = load(DRedLSolver, tc_program(), tc_facts({(1, 2), (2, 3), (3, 4)}))
+        assert s.relation("tc") == {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+    def test_incremental_matches_oracle(self):
+        facts = tc_facts({(1, 2), (2, 3), (3, 1), (4, 2)})
+        d = load(DRedLSolver, tc_program(), facts)
+        changes = [
+            (None, {"edge": {(3, 1)}}),
+            ({"edge": {(3, 1), (2, 4)}}, None),
+            (None, {"edge": {(1, 2), (2, 3)}}),
+        ]
+        current = set(facts["edge"])
+        for ins, dels in changes:
+            d.update(insertions=ins, deletions=dels)
+            current |= set(ins["edge"]) if ins else set()
+            current -= set(dels["edge"]) if dels else set()
+            oracle = load(NaiveSolver, tc_program(), tc_facts(current))
+            assert d.relation("tc") == oracle.relation("tc")
+
+    def test_cycle_deletion(self):
+        d = load(DRedLSolver, tc_program(), tc_facts({(0, 1), (1, 2), (2, 1)}))
+        d.update(deletions={"edge": {(0, 1)}})
+        assert d.relation("tc") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_negation_updates(self):
+        p = parse(
+            """
+            linked(X) :- edge(X, _).
+            isolated(X) :- node(X), !linked(X).
+            """
+        )
+        d = load(DRedLSolver, p, {"node": {(1,), (2,)}, "edge": {(1, 2)}})
+        assert d.relation("isolated") == {(2,)}
+        d.update(deletions={"edge": {(1, 2)}})
+        assert d.relation("isolated") == {(1,), (2,)}
+        # linked only tracks outgoing edges, so node 1 stays isolated.
+        d.update(insertions={"edge": {(2, 1)}})
+        assert d.relation("isolated") == {(1,)}
+        d.update(insertions={"edge": {(1, 2)}})
+        assert d.relation("isolated") == frozenset()
+
+    def test_constant_propagation_updates(self):
+        facts = {"lit": {("x", 1)}, "copy": {("z", "x"), ("w", "z")}}
+        d = load(DRedLSolver, const_prop_program(), facts)
+        assert dict(d.relation("val"))["w"] == CONST.const(1)
+        d.update(insertions={"lit": {("z", 2)}})
+        assert dict(d.relation("val"))["w"] == CONST.top()
+        d.update(deletions={"lit": {("z", 2)}})
+        assert dict(d.relation("val"))["w"] == CONST.const(1)
+
+    def test_setbased_pointsto_updates(self):
+        d = load(DRedLSolver, setbased_pointsto_program(), figure3_facts())
+        n = load(NaiveSolver, setbased_pointsto_program(), figure3_facts())
+        assert d.relations() == n.relations()
+        changes = [
+            (None, {"alloc": {("c", "F2", "proc")}}),
+            ({"alloc": {("c", "F2", "proc")}}, None),
+            (None, {"vcall": {("s1", "proc", "s1.proc()", "run")}}),
+            ({"vcall": {("s1", "proc", "s1.proc()", "run")}}, None),
+        ]
+        for ins, dels in changes:
+            d.update(insertions=ins, deletions=dels)
+            n.update(insertions=ins, deletions=dels)
+            assert d.relations() == n.relations()
+
+
+class TestOverDeletion:
+    def test_dred_does_more_deletion_work_than_laddder(self):
+        """The Section 2 pathology: deleting one of two redundant call
+        sites.  Laddder's support counts absorb it in a handful of deltas;
+        DRedL over-deletes the transitive consequences and re-derives."""
+        facts = figure3_facts()
+        d = load(DRedLSolver, setbased_pointsto_program(), facts)
+        l = load(LaddderSolver, setbased_pointsto_program(), facts)
+        change = {"vcall": {("s2", "proc", "s2.proc()", "run")}}
+        d_stats = d.update(deletions=change)
+        l_stats = l.update(deletions=change)
+        assert d.relations() == l.relations()
+        assert l_stats.impact == 0 == d_stats.impact
+        # DRed touches the whole proc-reachable cone; Laddder decrements
+        # one support count and stops.
+        assert d_stats.work > 4 * max(l_stats.work, 1)
+
+    def test_chain_deletion_proportional_for_laddder_only(self):
+        edges = {(i, i + 1) for i in range(30)} | {(0, 30)}
+        d = load(DRedLSolver, tc_program(), tc_facts(edges))
+        l = load(LaddderSolver, tc_program(), tc_facts(edges))
+        # Deleting the shortcut edge (0,30): tc(0,30) survives via the chain.
+        d_stats = d.update(deletions={"edge": {(0, 30)}})
+        l_stats = l.update(deletions={"edge": {(0, 30)}})
+        assert d.relation("tc") == l.relation("tc")
+        assert l_stats.impact == 0
+        assert d_stats.work >= l_stats.work
+
+
+class TestDivergence:
+    def test_retraction_without_domination_diverges_on_dredl(self):
+        """Section 2/7.3: delete/re-derive solvers have no termination
+        guarantee once rules retract on aggregate growth.  With the
+        dominating fallback rule removed, the recursion has no Ross–Sagiv
+        fixpoint at all and DRedL oscillates under every ordering."""
+        from .helpers import kupdate_nofallback_program
+
+        solver = DRedLSolver(kupdate_nofallback_program(1), aggregation="rosssagiv")
+        solver.MAX_ROUNDS = 300
+        for pred, rows in kupdate_cyclic_facts().items():
+            solver.add_facts(pred, rows)
+        with pytest.raises(SolverError, match="per-rule"):
+            solver.solve()
+
+    def test_laddder_terminates_without_domination(self):
+        """Inflationary semantics never retracts, so Laddder terminates on
+        the same rules and agrees with the reference semantics."""
+        from .helpers import kupdate_nofallback_program
+
+        l = load(LaddderSolver, kupdate_nofallback_program(1), kupdate_cyclic_facts())
+        n = load(NaiveSolver, kupdate_nofallback_program(1), kupdate_cyclic_facts())
+        assert l.relations() == n.relations()
+
+    def test_kupdate_no_termination_guarantee_on_dredl(self):
+        """The full k-update analysis is only *eventually* ⊑-monotonic:
+        DRedL carries no termination guarantee for it.  Our (more robust
+        than IncA's) implementation either trips the divergence guard or —
+        when the dominating rule lands favorably — happens to reach the
+        correct fixpoint; it must never silently produce a wrong one."""
+        solver = DRedLSolver(kupdate_pointsto_program(1), aggregation="rosssagiv")
+        solver.MAX_ROUNDS = 500
+        for pred, rows in kupdate_cyclic_facts().items():
+            solver.add_facts(pred, rows)
+        try:
+            solver.solve()
+        except SolverError:
+            return  # diverged, as IncA's DRedL does
+        reference = load(
+            NaiveSolver, kupdate_pointsto_program(1), kupdate_cyclic_facts()
+        )
+        assert solver.relations() == reference.relations()
+
+    def test_kupdate_runs_on_laddder(self):
+        """...while Laddder's inflationary semantics handles it and agrees
+        with the reference engine."""
+        l = load(LaddderSolver, kupdate_pointsto_program(1), kupdate_cyclic_facts())
+        n = load(NaiveSolver, kupdate_pointsto_program(1), kupdate_cyclic_facts())
+        assert l.relations() == n.relations()
+        from repro.lattices import KSetLattice
+
+        assert dict(l.relation("ptk"))["v"] == KSetLattice(1).top()
+
+    def test_kupdate_incremental_on_laddder(self):
+        l = load(LaddderSolver, kupdate_pointsto_program(1), kupdate_cyclic_facts())
+        # Removing the feedback move makes v concrete again.
+        l.update(deletions={"move": {("v", "w")}})
+        facts = kupdate_cyclic_facts()
+        facts["move"] = set()
+        n = load(NaiveSolver, kupdate_pointsto_program(1), facts)
+        assert l.relations() == n.relations()
+        assert dict(l.relation("ptk"))["v"] == frozenset({"O1"})
+
+    def test_kupdate_k2_stays_concrete(self):
+        l = load(LaddderSolver, kupdate_pointsto_program(2), kupdate_cyclic_facts())
+        assert dict(l.relation("ptk"))["v"] == frozenset({"O1", "O2"})
+
+
+class TestAggregationModes:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DRedLSolver(tc_program(), aggregation="magic")
+
+    def test_modes_agree_on_monotone_analysis(self):
+        """Both aggregate-maintenance modes compute the same exports for
+        per-rule-monotone analyses (P5: the semantics coincide)."""
+        facts = {"lit": {("x", 1), ("y", 2)}, "copy": {("z", "x"), ("z", "y")}}
+        robust = load(DRedLSolver, const_prop_program(), facts)
+        faithful = DRedLSolver(const_prop_program(), aggregation="rosssagiv")
+        for pred, rows in facts.items():
+            faithful.add_facts(pred, rows)
+        faithful.solve()
+        assert robust.relations() == faithful.relations()
+        change = ({"lit": {("z", 5)}}, None)
+        robust.update(insertions=change[0])
+        faithful.update(insertions=change[0])
+        assert robust.relations() == faithful.relations()
+
+    def test_inflationary_mode_runs_kupdate(self):
+        """The robust mode terminates even on the eventually-monotone
+        k-update analysis and agrees with the reference semantics (a
+        capability IncA's solver lacked; documented deviation)."""
+        solver = load(
+            DRedLSolver, kupdate_pointsto_program(1), kupdate_cyclic_facts()
+        )
+        reference = load(
+            NaiveSolver, kupdate_pointsto_program(1), kupdate_cyclic_facts()
+        )
+        assert solver.relations() == reference.relations()

@@ -1,0 +1,279 @@
+"""Unit tests for the Laddder solver: from-scratch correctness plus
+incremental behaviour across epochs."""
+
+import pytest
+
+from repro.datalog import SolverError, parse
+from repro.engines import LaddderSolver, NaiveSolver
+from repro.lattices import C, ConstantLattice, O
+
+from .helpers import (
+    const_prop_program,
+    figure3_facts,
+    load,
+    setbased_pointsto_program,
+    shortest_path_program,
+    singleton_pointsto_program,
+    tc_facts,
+    tc_program,
+)
+
+CONST = ConstantLattice()
+
+
+class TestFromScratch:
+    """solve() must agree with the reference engine."""
+
+    def test_transitive_closure(self):
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 3), (3, 4)}))
+        assert s.relation("tc") == {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)}
+
+    def test_cycles(self):
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 1)}))
+        assert s.relation("tc") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_negation(self):
+        p = parse(
+            """
+            linked(X) :- edge(X, _).
+            isolated(X) :- node(X), !linked(X).
+            """
+        )
+        s = load(LaddderSolver, p, {"node": {(1,), (2,), (3,)}, "edge": {(1, 2)}})
+        assert s.relation("isolated") == {(2,), (3,)}
+
+    def test_idb_facts_and_eval(self):
+        p = parse("f(1, 2). g(X, Y) :- f(X, _), Y := add(X, 10).")
+        s = load(LaddderSolver, p, {})
+        assert s.relation("g") == {(1, 11)}
+
+    def test_constant_propagation(self):
+        facts = {"lit": {("x", 1), ("y", 2)}, "copy": {("z", "x"), ("z", "y")}}
+        s = load(LaddderSolver, const_prop_program(), facts)
+        val = dict(s.relation("val"))
+        assert val["z"] == CONST.top()
+        assert val["x"] == CONST.const(1)
+
+    def test_singleton_pointsto_figure3(self):
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        ptlub = dict(s.relation("ptlub"))
+        assert ptlub["f"] == C("Factory")
+        assert ptlub["s"] == O("S")
+        reach = {m for (m,) in s.relation("reach")}
+        assert reach == {
+            "run", "proc", "initDefFactory", "initCusFactory", "initDelFactory",
+        }
+
+    def test_shortest_path(self):
+        facts = {"arc": {("a", "b", 1), ("b", "c", 1), ("a", "c", 5)}}
+        s = load(LaddderSolver, shortest_path_program(), facts)
+        dist = {(x, y): c for x, y, c in s.relation("dist")}
+        assert dist[("a", "c")] == 2
+
+
+class TestIncrementalEpochs:
+    def test_insert_edge(self):
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        stats = s.update(insertions={"edge": {(2, 3)}})
+        assert stats.inserted["tc"] == {(2, 3), (1, 3)}
+        assert s.relation("tc") == {(1, 2), (2, 3), (1, 3)}
+
+    def test_delete_edge(self):
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        stats = s.update(deletions={"edge": {(2, 3)}})
+        assert stats.deleted["tc"] == {(2, 3), (1, 3)}
+        assert s.relation("tc") == {(1, 2)}
+
+    def test_delete_with_alternative_derivation(self):
+        # tc(1,3) via 2 and via 4; deleting one path keeps the tuple.
+        edges = {(1, 2), (2, 3), (1, 4), (4, 3)}
+        s = load(LaddderSolver, tc_program(), tc_facts(edges))
+        stats = s.update(deletions={"edge": {(2, 3)}})
+        assert (1, 3) in s.relation("tc")
+        assert stats.deleted["tc"] == {(2, 3)}
+
+    def test_cycle_deletion_no_self_support(self):
+        # The DRed pathology: a cycle must not keep itself alive.
+        edges = {(0, 1), (1, 2), (2, 1)}
+        s = load(LaddderSolver, tc_program(), tc_facts(edges))
+        assert (0, 1) in s.relation("tc") and (1, 1) in s.relation("tc")
+        s.update(deletions={"edge": {(0, 1)}})
+        # 1 and 2 still reach each other, but 0 reaches nothing.
+        assert s.relation("tc") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+        s.update(deletions={"edge": {(2, 1)}})
+        assert s.relation("tc") == {(1, 2)}
+
+    def test_epoch_sequence_matches_from_scratch(self):
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        changes = [
+            ({"edge": {(3, 4)}}, None),
+            (None, {"edge": {(1, 2)}}),
+            ({"edge": {(4, 1), (1, 2)}}, None),
+            (None, {"edge": {(2, 3), (3, 4)}}),
+        ]
+        facts = {(1, 2), (2, 3)}
+        for ins, dels in changes:
+            s.update(insertions=ins, deletions=dels)
+            facts |= set(ins["edge"]) if ins else set()
+            facts -= set(dels["edge"]) if dels else set()
+            oracle = load(NaiveSolver, tc_program(), tc_facts(facts))
+            assert s.relation("tc") == oracle.relation("tc")
+
+    def test_update_before_solve_rejected(self):
+        s = LaddderSolver(tc_program())
+        with pytest.raises(SolverError):
+            s.update(insertions={"edge": {(1, 2)}})
+
+    def test_noop_update(self):
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        stats = s.update(insertions={"edge": {(1, 2)}})
+        assert stats.impact == 0 and stats.work == 0
+
+
+class TestIncrementalAggregation:
+    def test_constant_update_to_top_and_back(self):
+        facts = {"lit": {("x", 1)}, "copy": {("z", "x")}}
+        s = load(LaddderSolver, const_prop_program(), facts)
+        assert dict(s.relation("val"))["z"] == CONST.const(1)
+
+        stats = s.update(insertions={"lit": {("z", 2)}})
+        assert dict(s.relation("val"))["z"] == CONST.top()
+        assert ("z", CONST.top()) in stats.inserted["val"]
+        assert ("z", CONST.const(1)) in stats.deleted["val"]
+
+        s.update(deletions={"lit": {("z", 2)}})
+        assert dict(s.relation("val"))["z"] == CONST.const(1)
+
+    def test_group_disappears(self):
+        facts = {"lit": {("x", 1)}, "copy": set()}
+        s = load(LaddderSolver, const_prop_program(), facts)
+        stats = s.update(deletions={"lit": {("x", 1)}})
+        assert s.relation("val") == frozenset()
+        assert stats.deleted["val"] == {("x", CONST.const(1))}
+
+    def test_singleton_pointsto_alloc_deletion(self):
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        # Deleting the CustomFactory allocation makes f precise again.
+        stats = s.update(deletions={"alloc": {("c", "F2", "proc")}})
+        ptlub = dict(s.relation("ptlub"))
+        assert ptlub["f"] == O("F1")
+        assert "c" not in ptlub
+        reach = {m for (m,) in s.relation("reach")}
+        assert reach == {"run", "proc", "initDefFactory"}
+        assert ("f", C("Factory")) in stats.deleted["ptlub"]
+        assert ("f", O("F1")) in stats.inserted["ptlub"]
+
+    def test_singleton_pointsto_roundtrip(self):
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        before = s.relations()
+        s.update(deletions={"alloc": {("c", "F2", "proc")}})
+        s.update(insertions={"alloc": {("c", "F2", "proc")}})
+        assert s.relations() == before
+
+    def test_setbased_pointsto_updates(self):
+        s = load(LaddderSolver, setbased_pointsto_program(), figure3_facts())
+        n = load(NaiveSolver, setbased_pointsto_program(), figure3_facts())
+        for change in [
+            (None, {"alloc": {("f", "F1", "proc")}}),
+            ({"alloc": {("f", "F1", "proc")}}, None),
+            (None, {"vcall": {("f", "init", "f.init()", "proc")}}),
+            ({"vcall": {("f", "init", "f.init()", "proc")}}, None),
+        ]:
+            ins, dels = change
+            s.update(insertions=ins, deletions=dels)
+            n.update(insertions=ins, deletions=dels)
+            assert s.relations() == n.relations()
+
+    def test_shortest_path_arc_deletion(self):
+        facts = {"arc": {("a", "b", 1), ("b", "c", 1), ("a", "c", 5)}}
+        s = load(LaddderSolver, shortest_path_program(), facts)
+        s.update(deletions={"arc": {("b", "c", 1)}})
+        dist = {(x, y): c for x, y, c in s.relation("dist")}
+        assert dist[("a", "c")] == 5
+
+
+class TestSupportCounts:
+    def test_deletion_absorbed_by_support_count(self):
+        """The Section 4.2 walk-through: deleting s2.proc() decrements
+        support counts but leaves existence intact, so compensation stops
+        after a handful of deltas instead of over-deleting."""
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        before = s.relations()
+        stats = s.update(deletions={"vcall": {("s2", "proc", "s2.proc()", "run")}})
+        assert s.relations() == before  # no observable output change
+        assert stats.impact == 0
+        assert stats.work <= 5  # input delta + one resolve correction
+
+    def test_cyclic_reachability_not_self_supporting(self):
+        """Deleting s1.proc() AND s2.proc() must kill proc's reachability
+        even though proc recursively calls itself (this.proc())."""
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        s.update(
+            deletions={
+                "vcall": {
+                    ("s1", "proc", "s1.proc()", "run"),
+                    ("s2", "proc", "s2.proc()", "run"),
+                }
+            }
+        )
+        reach = {m for (m,) in s.relation("reach")}
+        assert reach == {"run"}
+
+    def test_timeline_inspection(self):
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        # resolve(proc, thisSession, O(S)) has two derivations: the s1.proc()
+        # and s2.proc() call sites (Figure 4's 2x support counts).
+        timeline = s.timeline("resolve", ("proc", "thisSession", O("S")))
+        assert timeline is not None
+        # Figure 4: two derivations at timestamp 6 (s1.proc(), s2.proc())
+        # and one more at 9 via the recursive this.proc() call.
+        assert list(timeline.entries()) == [(6, 2), (9, 1)]
+        assert timeline.is_settled()
+        reach = s.timeline("reach", ("proc",))
+        assert reach is not None and reach.is_settled()
+
+    def test_trace_starts_at_run(self):
+        s = load(LaddderSolver, singleton_pointsto_program(), figure3_facts())
+        trace = s.trace(preds={"reach"})
+        assert trace[1] == [("reach", ("run",), 1)]
+
+
+class TestStateSize:
+    def test_state_grows_with_input(self):
+        small = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        big = load(
+            LaddderSolver, tc_program(), tc_facts({(i, i + 1) for i in range(20)})
+        )
+        assert big.state_size() > small.state_size() > 0
+
+    def test_laddder_keeps_more_state_than_reference(self):
+        facts = tc_facts({(i, i + 1) for i in range(15)})
+        ladder = load(LaddderSolver, tc_program(), facts)
+        naive = load(NaiveSolver, tc_program(), facts)
+        # Timeline machinery costs memory (Section 7.2 / Section 8).
+        assert ladder.state_size() >= naive.state_size() * 0.5
+
+
+class TestTraceView:
+    def test_format_trace_matches_figure4(self):
+        from repro.engines.laddder import format_trace
+
+        from .helpers import singleton_pointsto4_program
+
+        s = load(
+            LaddderSolver, singleton_pointsto4_program(), figure3_facts()
+        )
+        text = format_trace(s, preds={"reach"})
+        lines = text.splitlines()
+        assert lines[1] == "1  -> reach(run)"
+        assert "2xreach(proc)" in text  # Figure 4's support counts
+        assert "13 -> reach(initCusFactory), reach(initDelFactory)" in text
+
+    def test_format_trace_hides_facts_by_default(self):
+        from repro.engines.laddder import format_trace
+
+        s = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        text = format_trace(s)
+        assert "input/upstream tuples" in text
+        full = format_trace(s, hide_facts=False)
+        assert "input/upstream tuples" not in full

@@ -1,0 +1,237 @@
+"""Laddder edge cases: chained aggregations, downward aggregation,
+negation corner cases, repeated epochs, divergence guard, export views."""
+
+import pytest
+
+from repro.datalog import SolverError, parse
+from repro.engines import LaddderSolver, NaiveSolver
+from repro.lattices import ChainLattice, ConstantLattice, PowersetLattice, glb, lub
+
+from .helpers import load
+
+CONST = ConstantLattice()
+
+
+class TestChainedAggregations:
+    def test_aggregation_feeding_aggregation(self):
+        """Two aggregated predicates in one recursive component."""
+        sets = PowersetLattice()
+        p = parse(
+            """
+            item(G, S) :- seed(G, V), S := mk(V).
+            item(G, S) :- link(G, H), total(H, S).
+            total(G, lubs<S>) :- item(G, S).
+            grand(gall<S>) :- total(_, S).
+            .export total, grand.
+            """
+        )
+        p.register_function("mk", lambda v: frozenset((v,)))
+        p.register_aggregator("lubs", lub(sets))
+        p.register_aggregator("gall", lub(sets))
+        facts = {
+            "seed": {("a", 1), ("b", 2)},
+            "link": {("a", "b")},
+        }
+        l = load(LaddderSolver, p.copy(), facts)
+        n = load(NaiveSolver, p.copy(), facts)
+        assert l.relations() == n.relations()
+        assert dict((k, v) for k, v in l.relation("total"))["a"] == frozenset({1, 2})
+        l.update(insertions={"seed": {("b", 3)}})
+        n.update(insertions={"seed": {("b", 3)}})
+        assert l.relations() == n.relations()
+        l.update(deletions={"link": {("a", "b")}})
+        n.update(deletions={"link": {("a", "b")}})
+        assert l.relations() == n.relations()
+
+    def test_zero_group_columns(self):
+        """A global aggregate (empty group key)."""
+        chain = ChainLattice(list(range(10)))
+        p = parse(
+            """
+            best(mx<V>) :- score(_, V).
+            .export best.
+            """
+        )
+        p.register_aggregator("mx", lub(chain))
+        l = load(LaddderSolver, p, {"score": {("a", 3), ("b", 7)}})
+        assert l.relation("best") == {(7,)}
+        l.update(deletions={"score": {("b", 7)}})
+        assert l.relation("best") == {(3,)}
+        l.update(deletions={"score": {("a", 3)}})
+        assert l.relation("best") == frozenset()
+
+
+class TestDownwardAggregation:
+    def test_glb_incremental(self):
+        chain = ChainLattice(list(range(100)))
+        p = parse(
+            """
+            cost(G, mn<V>) :- offer(G, V).
+            .export cost.
+            """
+        )
+        p.register_aggregator("mn", glb(chain))
+        facts = {"offer": {("x", 30), ("x", 10), ("y", 50)}}
+        l = load(LaddderSolver, p.copy(), facts)
+        assert dict(l.relation("cost"))["x"] == 10
+        l.update(deletions={"offer": {("x", 10)}})
+        assert dict(l.relation("cost"))["x"] == 30
+        l.update(insertions={"offer": {("x", 5)}})
+        assert dict(l.relation("cost"))["x"] == 5
+
+
+class TestNegationCorners:
+    def test_pred_positive_and_negative_in_same_rule(self):
+        """The same upstream predicate appearing positively and negated."""
+        p = parse(
+            """
+            odd(X) :- cand(X), !blocked(X).
+            pair(X, Y) :- blocked(X), cand(Y), !blocked(Y).
+            """
+        )
+        facts = {"cand": {(1,), (2,)}, "blocked": {(1,)}}
+        l = load(LaddderSolver, p.copy(), facts)
+        n = load(NaiveSolver, p.copy(), facts)
+        assert l.relations() == n.relations()
+        for change in [
+            ({"blocked": {(2,)}}, None),
+            (None, {"blocked": {(1,)}}),
+            ({"blocked": {(1,)}}, None),
+            (None, {"blocked": {(1,), (2,)}}),
+        ]:
+            ins, dels = change
+            l.update(insertions=ins, deletions=dels)
+            n.update(insertions=ins, deletions=dels)
+            assert l.relations() == n.relations()
+
+    def test_negation_feeding_recursion(self):
+        p = parse(
+            """
+            seed(X) :- root(X), !banned(X).
+            reach(X) :- seed(X).
+            reach(Y) :- reach(X), edge(X, Y).
+            """
+        )
+        facts = {
+            "root": {(1,)},
+            "banned": set(),
+            "edge": {(1, 2), (2, 3)},
+        }
+        l = load(LaddderSolver, p.copy(), facts)
+        assert l.relation("reach") == {(1,), (2,), (3,)}
+        l.update(insertions={"banned": {(1,)}})
+        assert l.relation("reach") == frozenset()
+        l.update(deletions={"banned": {(1,)}})
+        assert l.relation("reach") == {(1,), (2,), (3,)}
+
+
+class TestEpochRobustness:
+    def test_many_epochs_stay_consistent(self):
+        p = parse(
+            """
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- tc(X, Y), edge(Y, Z).
+            """
+        )
+        edges = {(i, i + 1) for i in range(8)}
+        l = load(LaddderSolver, p, {"edge": set(edges)})
+        current = set(edges)
+        import random
+
+        rng = random.Random(3)
+        for step in range(60):
+            edge = (rng.randrange(9), rng.randrange(9))
+            if edge in current:
+                current.discard(edge)
+                l.update(deletions={"edge": {edge}})
+            else:
+                current.add(edge)
+                l.update(insertions={"edge": {edge}})
+            if step % 10 == 9:
+                oracle = load(NaiveSolver, p.copy(), {"edge": set(current)})
+                assert l.relation("tc") == oracle.relation("tc")
+
+    def test_mixed_insert_delete_same_epoch(self):
+        p = parse("t(X, Y) :- e(X, Y). t(X, Z) :- t(X, Y), e(Y, Z).")
+        l = load(LaddderSolver, p, {"e": {(1, 2), (2, 3)}})
+        stats = l.update(
+            insertions={"e": {(3, 4)}}, deletions={"e": {(1, 2)}}
+        )
+        assert l.relation("t") == {(2, 3), (3, 4), (2, 4)}
+        assert stats.impact > 0
+
+    def test_insert_then_delete_same_row_same_epoch(self):
+        p = parse("t(X) :- e(X).")
+        l = load(LaddderSolver, p, {"e": {(1,)}})
+        # base class applies deletions first, then insertions: net insert.
+        stats = l.update(insertions={"e": {(2,)}}, deletions={"e": {(2,)}})
+        assert l.relation("t") == {(1,), (2,)}
+
+
+class TestGuards:
+    def test_divergence_guard_reports_component(self):
+        p = parse(
+            """
+            n(X) :- seed(X).
+            n(Y) :- n(X), Y := add(X, 1).
+            """
+        )
+        solver = LaddderSolver(p)
+        solver.MAX_TIMESTAMP = 64
+        solver.add_facts("seed", [(0,)])
+        with pytest.raises(SolverError, match="MAX_TIMESTAMP"):
+            solver.solve()
+
+    def test_aggregation_without_widening_diverges_detectably(self):
+        """A non-widening aggregator on an infinite domain trips the guard
+        instead of hanging (ASM2(iii) violation)."""
+        from repro.lattices import Aggregator, IntervalLattice
+
+        lattice = IntervalLattice()
+        raw_join = Aggregator("rawjoin", lattice, lattice.join, "up")
+        p = parse(
+            """
+            cand(G, V) :- seed(G, V).
+            cand(G, W) :- agg(G, V), W := grow(V).
+            agg(G, rawjoin<V>) :- cand(G, V).
+            .export agg.
+            """
+        )
+        from repro.lattices import Interval
+
+        p.register_function("grow", lambda v: lattice.add(v, Interval(1, 1)))
+        p.register_aggregator("rawjoin", raw_join)
+        solver = LaddderSolver(p)
+        solver.MAX_TIMESTAMP = 128
+        solver.add_facts("seed", [("g", Interval(0, 0))])
+        with pytest.raises(SolverError):
+            solver.solve()
+
+
+class TestExportViews:
+    def test_relation_of_edb(self):
+        p = parse("t(X) :- e(X).")
+        l = load(LaddderSolver, p, {"e": {(1,)}})
+        assert l.relation("e") == {(1,)}
+
+    def test_explicit_exports_limit_stats_not_queries(self):
+        p = parse(".export top.\nmid(X) :- e(X). top(X) :- mid(X).")
+        l = load(LaddderSolver, p, {"e": {(1,)}})
+        stats = l.update(insertions={"e": {(2,)}})
+        assert set(stats.inserted) == {"top"}
+        # Non-exported IDB can still be queried.
+        assert l.relation("mid") == {(1,), (2,)}
+
+    def test_collecting_relation_is_queryable(self):
+        p = parse("s(G, lub<L>) :- c(G, X), d(X, L).")
+        p.register_aggregator("lub", lub(CONST))
+        from repro.lattices import Const
+
+        l = load(
+            LaddderSolver,
+            p,
+            {"c": {("g", "k")}, "d": {("k", Const(1))}},
+        )
+        from repro.datalog import collecting_name
+
+        assert l.relation(collecting_name("s")) == {("g", Const(1))}

@@ -1,0 +1,130 @@
+"""Cross-component plumbing: exported diffs feeding downstream strata,
+shared EDB reads, diamond dependencies, and multi-lattice pipelines."""
+
+import pytest
+
+from repro.datalog import parse
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver
+from repro.lattices import ChainLattice, ConstantLattice, PowersetLattice, lub
+
+from .helpers import load
+
+CONST = ConstantLattice()
+
+ENGINES = [LaddderSolver, DRedLSolver]
+
+
+def diamond_program():
+    """base feeds left and right strata; sink joins both."""
+    return parse(
+        """
+        base(X, Y) :- edge(X, Y).
+        left(X) :- base(X, _).
+        right(Y) :- base(_, Y).
+        sink(X) :- left(X), right(X).
+        """
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestDiamond:
+    def test_initial(self, engine):
+        s = load(engine, diamond_program(), {"edge": {(1, 2), (2, 3)}})
+        assert s.relation("sink") == {(2,)}
+
+    def test_update_propagates_through_both_arms(self, engine):
+        s = load(engine, diamond_program(), {"edge": {(1, 2), (2, 3)}})
+        s.update(insertions={"edge": {(3, 1)}})
+        assert s.relation("sink") == {(1,), (2,), (3,)}
+        s.update(deletions={"edge": {(1, 2)}})
+        assert s.relation("sink") == {(3,)}
+
+    def test_matches_oracle_through_sequence(self, engine):
+        s = load(engine, diamond_program(), {"edge": {(1, 2)}})
+        current = {(1, 2)}
+        for change in [
+            ({"edge": {(2, 1)}}, None),
+            (None, {"edge": {(1, 2)}}),
+            ({"edge": {(1, 1)}}, None),
+        ]:
+            ins, dels = change
+            s.update(insertions=ins, deletions=dels)
+            current |= set(ins["edge"]) if ins else set()
+            current -= set(dels["edge"]) if dels else set()
+            oracle = load(NaiveSolver, diamond_program(), {"edge": set(current)})
+            assert s.relations() == oracle.relations()
+
+
+def pipeline_program():
+    """Two aggregating strata with different lattices, chained."""
+    sets = PowersetLattice()
+    chain = ChainLattice(list(range(32)))
+    p = parse(
+        """
+        members(G, mset<S>) :- item(G, V), S := one(V).
+        size(G, N) :- members(G, S), N := count(S).
+        biggest(mmax<N>) :- size(_, N).
+        .export members, size, biggest.
+        """
+    )
+    p.register_function("one", lambda v: frozenset((v,)))
+    p.register_function("count", lambda s: min(len(s), 31))
+    p.register_aggregator("mset", lub(sets))
+    p.register_aggregator("mmax", lub(chain))
+    return p
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestLatticePipeline:
+    def test_two_lattices_in_sequence(self, engine):
+        facts = {"item": {("g", 1), ("g", 2), ("h", 3)}}
+        s = load(engine, pipeline_program(), facts)
+        assert dict(s.relation("size")) == {"g": 2, "h": 1}
+        assert s.relation("biggest") == {(2,)}
+
+    def test_downstream_sees_pruned_upstream(self, engine):
+        facts = {"item": {("g", 1), ("g", 2)}}
+        s = load(engine, pipeline_program(), facts)
+        # size must reflect only the FINAL members set, never the
+        # intermediate singleton (which would also yield size 1).
+        assert dict(s.relation("size")) == {"g": 2}
+
+    def test_incremental_through_pipeline(self, engine):
+        facts = {"item": {("g", 1), ("h", 3)}}
+        s = load(engine, pipeline_program(), facts)
+        assert s.relation("biggest") == {(1,)}
+        s.update(insertions={"item": {("g", 2), ("g", 4)}})
+        assert dict(s.relation("size"))["g"] == 3
+        assert s.relation("biggest") == {(3,)}
+        s.update(deletions={"item": {("g", 2), ("g", 4)}})
+        assert s.relation("biggest") == {(1,)}
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSharedEdb:
+    def test_edb_read_by_multiple_components(self, engine):
+        p = parse(
+            """
+            a(X) :- shared(X, _).
+            b(Y) :- shared(_, Y), a(Y).
+            c(X, Y) :- shared(X, Y), b(Y).
+            """
+        )
+        s = load(engine, p, {"shared": {(1, 1), (1, 2), (2, 2)}})
+        assert s.relation("c") == {(1, 1), (1, 2), (2, 2)}
+        s.update(deletions={"shared": {(1, 1)}})
+        oracle = load(NaiveSolver, p, {"shared": {(1, 2), (2, 2)}})
+        assert s.relations() == oracle.relations()
+
+    def test_update_touching_only_one_reader(self, engine):
+        p = parse(
+            """
+            uses_first(X) :- pairs(X, _).
+            uses_second(Y) :- other(Y), pairs(_, Y).
+            """
+        )
+        s = load(engine, p, {"pairs": {(1, 2)}, "other": {(2,), (9,)}})
+        stats = s.update(insertions={"other": {(3,)}})
+        # Only the second component can be affected.
+        assert "uses_first" not in stats.inserted
+        assert s.relation("uses_second") == {(2,)}

@@ -1,0 +1,272 @@
+"""Unit tests for the naive and semi-naive reference solvers."""
+
+import pytest
+
+from repro.datalog import SolverError, parse
+from repro.engines.naive import NaiveSolver
+from repro.engines.seminaive import SemiNaiveSolver
+from repro.lattices import C, ConstantLattice, O
+
+from .helpers import (
+    const_prop_program,
+    figure3_facts,
+    load,
+    same_generation_program,
+    setbased_pointsto_program,
+    shortest_path_program,
+    singleton_pointsto_program,
+    tc_facts,
+    tc_program,
+)
+
+CONST = ConstantLattice()
+ENGINES = [NaiveSolver, SemiNaiveSolver]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestPlainDatalog:
+    def test_transitive_closure(self, engine):
+        solver = load(engine, tc_program(), tc_facts({(1, 2), (2, 3), (3, 4)}))
+        assert solver.relation("tc") == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+
+    def test_cycle(self, engine):
+        solver = load(engine, tc_program(), tc_facts({(1, 2), (2, 1)}))
+        assert solver.relation("tc") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_empty_input(self, engine):
+        solver = load(engine, tc_program(), tc_facts(set()))
+        assert solver.relation("tc") == frozenset()
+
+    def test_self_join_same_generation(self, engine):
+        facts = {
+            "person": {("a",), ("b",), ("c",), ("p",), ("q",), ("g",)},
+            "parent": {("a", "p"), ("b", "p"), ("c", "q"), ("p", "g"), ("q", "g")},
+        }
+        solver = load(engine, same_generation_program(), facts)
+        sg = solver.relation("sg")
+        assert ("a", "b") in sg and ("b", "a") in sg
+        assert ("a", "c") in sg  # via grandparent g
+        assert ("a", "g") not in sg
+
+    def test_negation(self, engine):
+        p = parse(
+            """
+            linked(X) :- edge(X, _).
+            isolated(X) :- node(X), !linked(X).
+            """
+        )
+        solver = load(
+            engine, p, {"node": {(1,), (2,), (3,)}, "edge": {(1, 2)}}
+        )
+        assert solver.relation("isolated") == {(2,), (3,)}
+
+    def test_constants_in_rules(self, engine):
+        p = parse('special(X) :- tag(X, "hot").')
+        solver = load(engine, p, {"tag": {(1, "hot"), (2, "cold")}})
+        assert solver.relation("special") == {(1,)}
+
+    def test_idb_facts(self, engine):
+        p = parse("f(1, 2). g(X) :- f(X, _).")
+        solver = load(engine, p, {})
+        assert solver.relation("g") == {(1,)}
+
+    def test_builtin_comparison(self, engine):
+        p = parse("big(X) :- n(X), X > 10.")
+        solver = load(engine, p, {"n": {(5,), (15,), (25,)}})
+        assert solver.relation("big") == {(15,), (25,)}
+
+    def test_eval_arithmetic(self, engine):
+        p = parse("double(X, Y) :- n(X), Y := add(X, X).")
+        solver = load(engine, p, {"n": {(3,), (4,)}})
+        assert solver.relation("double") == {(3, 6), (4, 8)}
+
+    def test_update_reports_diff(self, engine):
+        solver = load(engine, tc_program(), tc_facts({(1, 2)}))
+        stats = solver.update(insertions={"edge": {(2, 3)}})
+        assert stats.inserted["tc"] == {(2, 3), (1, 3)}
+        assert not stats.deleted
+        assert stats.impact == 2
+
+    def test_update_deletion(self, engine):
+        solver = load(engine, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        stats = solver.update(deletions={"edge": {(2, 3)}})
+        assert stats.deleted["tc"] == {(2, 3), (1, 3)}
+        assert solver.relation("tc") == {(1, 2)}
+
+    def test_update_noop_change(self, engine):
+        solver = load(engine, tc_program(), tc_facts({(1, 2)}))
+        stats = solver.update(insertions={"edge": {(1, 2)}})
+        assert stats.impact == 0
+
+    def test_facts_validation(self, engine):
+        solver = engine(tc_program())
+        with pytest.raises(SolverError, match="arity"):
+            solver.add_facts("edge", [(1, 2, 3)])
+        with pytest.raises(SolverError, match="derived"):
+            solver.add_facts("tc", [(1, 2)])
+
+    def test_query_before_solve_rejected(self, engine):
+        solver = engine(tc_program())
+        with pytest.raises(SolverError, match="solve"):
+            solver.relation("tc")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestAggregation:
+    def test_constant_propagation_chain(self, engine):
+        facts = {
+            "lit": {("x", 1)},
+            "copy": {("y", "x"), ("z", "y")},
+        }
+        solver = load(engine, const_prop_program(), facts)
+        val = dict(solver.relation("val"))
+        assert val["x"] == CONST.const(1)
+        assert val["y"] == CONST.const(1)
+        assert val["z"] == CONST.const(1)
+
+    def test_conflicting_constants_go_top(self, engine):
+        facts = {
+            "lit": {("x", 1), ("y", 2)},
+            "copy": {("z", "x"), ("z", "y")},
+        }
+        solver = load(engine, const_prop_program(), facts)
+        val = dict(solver.relation("val"))
+        assert val["z"] == CONST.top()
+
+    def test_copy_cycle_converges(self, engine):
+        facts = {
+            "lit": {("x", 7)},
+            "copy": {("a", "x"), ("b", "a"), ("a", "b")},
+        }
+        solver = load(engine, const_prop_program(), facts)
+        val = dict(solver.relation("val"))
+        assert val["a"] == CONST.const(7)
+        assert val["b"] == CONST.const(7)
+
+    def test_pruned_export_single_tuple_per_group(self, engine):
+        facts = {
+            "lit": {("x", 1), ("y", 2)},
+            "copy": {("z", "x"), ("z", "y")},
+        }
+        solver = load(engine, const_prop_program(), facts)
+        zs = [row for row in solver.relation("val") if row[0] == "z"]
+        assert len(zs) == 1
+
+    def test_raw_contains_intermediates_for_naive(self, engine):
+        # The raw (inflationary) fixpoint keeps intermediate aggregates.
+        facts = {
+            "lit": {("x", 1), ("y", 2)},
+            "copy": {("z", "x"), ("z", "y")},
+        }
+        solver = load(engine, const_prop_program(), facts)
+        raw_z = {row[1] for row in solver.raw_relation("val") if row[0] == "z"}
+        assert CONST.top() in raw_z
+        assert len(raw_z) >= 1
+
+    def test_shortest_path(self, engine):
+        facts = {
+            "arc": {("a", "b", 1), ("b", "c", 1), ("a", "c", 5), ("c", "d", 2)}
+        }
+        solver = load(engine, shortest_path_program(), facts)
+        dist = {(x, y): c for x, y, c in solver.relation("dist")}
+        assert dist[("a", "c")] == 2
+        assert dist[("a", "d")] == 4
+
+    def test_shortest_path_with_cycle(self, engine):
+        facts = {"arc": {("a", "b", 1), ("b", "a", 1), ("b", "c", 3)}}
+        solver = load(engine, shortest_path_program(), facts)
+        dist = {(x, y): c for x, y, c in solver.relation("dist")}
+        assert dist[("a", "a")] == 2
+        assert dist[("a", "c")] == 4
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSingletonPointsTo:
+    def test_figure3_final_results(self, engine):
+        """The headline example: Figures 1, 3, 4 end-to-end."""
+        solver = load(engine, singleton_pointsto_program(), figure3_facts())
+        ptlub = dict(solver.relation("ptlub"))
+        assert ptlub["s"] == O("S")
+        assert ptlub["s1"] == O("S")
+        assert ptlub["s2"] == O("S")
+        assert ptlub["thisSession"] == O("S")
+        assert ptlub["c"] == O("F2")
+        # f receives both factories: lub(O(F1), O(F2)) = C(Factory).
+        assert ptlub["f"] == C("Factory")
+
+    def test_figure3_reachability(self, engine):
+        solver = load(engine, singleton_pointsto_program(), figure3_facts())
+        reach = {m for (m,) in solver.relation("reach")}
+        assert reach == {
+            "run",
+            "proc",
+            "initDefFactory",
+            "initCusFactory",
+            "initDelFactory",
+        }
+
+    def test_unreachable_alloc_ignored(self, engine):
+        facts = figure3_facts()
+        facts["alloc"].add(("dead", "S", "neverCalled"))
+        solver = load(engine, singleton_pointsto_program(), facts)
+        ptlub = dict(solver.relation("ptlub"))
+        assert "dead" not in ptlub
+
+    def test_deleting_one_factory_keeps_singleton(self, engine):
+        # Without the CustomFactory allocation, f stays a precise O(F1).
+        facts = figure3_facts()
+        facts["alloc"].discard(("c", "F2", "proc"))
+        facts["move"].discard(("f", "c"))
+        solver = load(engine, singleton_pointsto_program(), facts)
+        ptlub = dict(solver.relation("ptlub"))
+        assert ptlub["f"] == O("F1")
+        reach = {m for (m,) in solver.relation("reach")}
+        assert "initCusFactory" not in reach
+        assert "initDelFactory" not in reach
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestSetBasedPointsTo:
+    def test_figure3_setbased(self, engine):
+        solver = load(engine, setbased_pointsto_program(), figure3_facts())
+        ptset = dict(solver.relation("ptset"))
+        assert ptset["s"] == frozenset({"S"})
+        assert ptset["f"] == frozenset({"F1", "F2"})
+        reach = {m for (m,) in solver.relation("reach")}
+        # Set-based resolution is precise: DelegatingFactory never allocated.
+        assert reach == {"run", "proc", "initDefFactory", "initCusFactory"}
+
+
+def test_engines_agree_on_exports():
+    """Naive and semi-naive must agree on every exported relation."""
+    cases = [
+        (tc_program(), tc_facts({(1, 2), (2, 3), (3, 1), (4, 1)})),
+        (
+            const_prop_program(),
+            {"lit": {("x", 1), ("y", 2)}, "copy": {("z", "x"), ("z", "y"), ("w", "z")}},
+        ),
+        (singleton_pointsto_program(), figure3_facts()),
+        (setbased_pointsto_program(), figure3_facts()),
+    ]
+    for program, facts in cases:
+        a = load(NaiveSolver, program.copy(), facts)
+        b = load(SemiNaiveSolver, program.copy(), facts)
+        assert a.relations() == b.relations()
+
+
+def test_divergence_guard():
+    """A non-well-behaving analysis trips the iteration guard instead of
+    hanging forever."""
+    p = parse(
+        """
+        n(X) :- seed(X).
+        n(Y) :- n(X), Y := add(X, 1).
+        """
+    )
+    solver = NaiveSolver(p)
+    solver.MAX_ITERATIONS = 50
+    solver.add_facts("seed", [(0,)])
+    with pytest.raises(SolverError, match="iterations"):
+        solver.solve()

@@ -1,0 +1,86 @@
+"""Shared javalite fixture programs."""
+
+from __future__ import annotations
+
+from repro.javalite import (
+    JProgram,
+    MethodBuilder,
+    finalize,
+    make_class,
+)
+
+
+def figure3_program() -> JProgram:
+    """The subject program of Figure 3, as javalite source.
+
+    class Executor { static void run(env) { Session s = new Session();
+      if (...) { s1 = s; s1.proc(); } else { s2 = s; s2.proc(); } } }
+    class Session { void proc() { if (...) f = new DefaultFactory();
+      else { c = new CustomFactory(); f = c; } f.init();
+      if (...) this.proc(); } }
+    abstract class Factory { abstract init; } + three overriding factories.
+    """
+    program = JProgram(entry="Executor.run")
+
+    executor = make_class("Executor")
+    run = MethodBuilder("run", params=("env",), is_static=True)
+    run.const("cond", 1)
+    run.new("s", "Session")
+    run.if_("cond")
+    run.move("s1", "s").vcall(None, "s1", "proc")
+    run.else_()
+    run.move("s2", "s").vcall(None, "s2", "proc")
+    run.end()
+    executor.add_method(run.build())
+    program.add_class(executor)
+
+    session = make_class("Session")
+    proc = MethodBuilder("proc")
+    proc.const("cond", 1)
+    proc.if_("cond")
+    proc.new("f", "DefaultFactory")
+    proc.else_()
+    proc.new("c", "CustomFactory").move("f", "c")
+    proc.end()
+    proc.vcall(None, "f", "init")
+    proc.if_("cond").vcall(None, "this", "proc").end()
+    session.add_method(proc.build())
+    program.add_class(session)
+
+    factory = make_class("Factory", is_abstract=True)
+    program.add_class(factory)
+    for sub in ("DefaultFactory", "CustomFactory", "DelegatingFactory"):
+        cls = make_class(sub, superclass="Factory")
+        cls.add_method(MethodBuilder("init").build())
+        program.add_class(cls)
+
+    return finalize(program)
+
+
+def numeric_program() -> JProgram:
+    """A small numeric program for the value analyses.
+
+    Main.main: a = 1; b = a; c = a + b; helper(c); loop with counter.
+    Main.helper(p): q = p * 2; return q.
+    """
+    program = JProgram(entry="Main.main")
+    main_cls = make_class("Main")
+    main = MethodBuilder("main", is_static=True)
+    main.const("a", 1)
+    main.move("b", "a")
+    main.binop("c", "+", "a", "b")
+    main.scall("r", "Main", "helper", "c")
+    main.const("i", 0)
+    main.const("one", 1)
+    main.while_("i")
+    main.binop("i", "+", "i", "one")
+    main.end()
+    main.ret("c")
+    main_cls.add_method(main.build())
+
+    helper = MethodBuilder("helper", params=("p",), is_static=True)
+    helper.binop("q", "*", "p", "p")
+    helper.ret("q")
+    main_cls.add_method(helper.build())
+    program.add_class(main_cls)
+    return finalize(program)

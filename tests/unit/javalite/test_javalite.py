@@ -1,0 +1,265 @@
+"""Unit tests for the javalite IR, hierarchy, CFG/ICFG, and fact extractor."""
+
+import pytest
+
+from repro.javalite import (
+    ClassHierarchy,
+    JProgram,
+    MethodBuilder,
+    build_cfg,
+    build_icfg,
+    extract_pointsto_facts,
+    extract_value_facts,
+    finalize,
+    format_program,
+    make_class,
+)
+
+from .fixtures import figure3_program, numeric_program
+
+
+class TestAstAndBuilder:
+    def test_labels_assigned(self):
+        program = figure3_program()
+        labels = [s.label for m in program.methods() for s in m.statements()]
+        assert all(labels)
+        assert len(labels) == len(set(labels))
+
+    def test_locals_qualified(self):
+        program = figure3_program()
+        run = program.method("Executor.run")
+        news = [s for s in run.statements() if type(s).__name__ == "New"]
+        assert news[0].var == "Executor.run/s"
+
+    def test_this_qualification(self):
+        program = figure3_program()
+        proc = program.method("Session.proc")
+        calls = [s for s in proc.statements() if type(s).__name__ == "VirtualCall"]
+        recursive = [c for c in calls if c.sig == "proc"]
+        assert recursive[0].recv == proc.this_var
+
+    def test_statement_walk_covers_nested_blocks(self):
+        program = figure3_program()
+        proc = program.method("Session.proc")
+        kinds = [type(s).__name__ for s in proc.statements()]
+        assert "New" in kinds and "If" in kinds and "VirtualCall" in kinds
+
+    def test_method_lookup(self):
+        program = figure3_program()
+        assert program.method("Session.proc").qualified == "Session.proc"
+        with pytest.raises(KeyError):
+            program.method("Session.missing")
+
+    def test_loc_estimate_positive(self):
+        assert figure3_program().loc_estimate() > 10
+
+    def test_builder_unclosed_block_rejected(self):
+        m = MethodBuilder("broken")
+        m.if_("c")
+        with pytest.raises(ValueError):
+            m.build()
+
+    def test_builder_stray_end_rejected(self):
+        with pytest.raises(ValueError):
+            MethodBuilder("broken").end()
+
+    def test_builder_else_without_if_rejected(self):
+        m = MethodBuilder("broken")
+        m.if_("c")
+        m.else_()
+        m.end()
+        with pytest.raises(ValueError):
+            m2 = MethodBuilder("broken2")
+            m2.const("x", 1)
+            m2.if_("x")
+            m2.end()
+            m2.else_()
+
+
+class TestHierarchy:
+    def test_subtyping(self):
+        h = ClassHierarchy(figure3_program())
+        assert h.is_subtype("DefaultFactory", "Factory")
+        assert h.is_subtype("Factory", "Factory")
+        assert not h.is_subtype("Factory", "DefaultFactory")
+        assert not h.is_subtype("Session", "Factory")
+
+    def test_lcs(self):
+        h = ClassHierarchy(figure3_program())
+        assert h.least_common_superclass("DefaultFactory", "CustomFactory") == "Factory"
+
+    def test_lcs_disconnected_raises(self):
+        h = ClassHierarchy(figure3_program())
+        with pytest.raises(KeyError):
+            h.least_common_superclass("Session", "Factory")
+
+    def test_dispatch_lookup(self):
+        h = ClassHierarchy(figure3_program())
+        assert h.lookup("DefaultFactory", "init") == "DefaultFactory.init"
+        assert h.lookup("Factory", "init") is None  # abstract, no body
+        assert h.lookup("Session", "proc") == "Session.proc"
+
+    def test_inherited_dispatch(self):
+        program = figure3_program()
+        sub = make_class("SubSession", superclass="Session")
+        program.add_class(sub)
+        h = ClassHierarchy(program)
+        assert h.lookup("SubSession", "proc") == "Session.proc"
+
+    def test_lookup_in_subclasses(self):
+        h = ClassHierarchy(figure3_program())
+        assert h.lookup_in_subclasses("Factory", "init") == {
+            "DefaultFactory.init",
+            "CustomFactory.init",
+            "DelegatingFactory.init",
+        }
+
+    def test_concrete_classes_exclude_abstract(self):
+        h = ClassHierarchy(figure3_program())
+        assert "Factory" not in h.concrete_classes()
+        assert "DefaultFactory" in h.concrete_classes()
+
+
+class TestCFG:
+    def test_linear_chain(self):
+        program = numeric_program()
+        cfg = build_cfg(program.method("Main.helper"))
+        assert cfg.entry.endswith("/entry") and cfg.exit.endswith("/exit")
+        # entry -> binop -> return -> exit
+        assert len(cfg.nodes) == 4
+        node = cfg.successors(cfg.entry)[0]
+        assert cfg.stmt_of[node].__class__.__name__ == "BinOp"
+
+    def test_if_branches_rejoin(self):
+        program = figure3_program()
+        cfg = build_cfg(program.method("Executor.run"))
+        if_node = next(
+            n for n, s in cfg.stmt_of.items() if type(s).__name__ == "If"
+        )
+        assert len(cfg.successors(if_node)) == 2
+
+    def test_while_back_edge(self):
+        program = numeric_program()
+        cfg = build_cfg(program.method("Main.main"))
+        while_node = next(
+            n for n, s in cfg.stmt_of.items() if type(s).__name__ == "While"
+        )
+        succs = cfg.successors(while_node)
+        body_node = next(
+            n for n in succs if type(cfg.stmt_of.get(n)).__name__ == "BinOp"
+        )
+        assert (body_node, while_node) in cfg.edges  # back edge
+
+    def test_return_goes_to_exit(self):
+        program = numeric_program()
+        cfg = build_cfg(program.method("Main.helper"))
+        return_node = next(
+            n for n, s in cfg.stmt_of.items() if type(s).__name__ == "Return"
+        )
+        assert cfg.successors(return_node) == [cfg.exit]
+
+    def test_empty_method_entry_to_exit(self):
+        program = JProgram()
+        cls = make_class("C")
+        cls.add_method(MethodBuilder("noop").build())
+        program.add_class(cls)
+        finalize(program)
+        cfg = build_cfg(program.method("C.noop"))
+        assert (cfg.entry, cfg.exit) in cfg.edges
+
+    def test_icfg_call_edges_cha(self):
+        program = figure3_program()
+        icfg = build_icfg(program, ClassHierarchy(program))
+        proc = program.method("Session.proc")
+        init_call = next(
+            s for s in proc.statements()
+            if type(s).__name__ == "VirtualCall" and s.sig == "init"
+        )
+        assert set(icfg.callees(init_call.label)) == {
+            "DefaultFactory.init",
+            "CustomFactory.init",
+            "DelegatingFactory.init",
+        }
+
+    def test_icfg_node_count(self):
+        icfg = build_icfg(figure3_program(), ClassHierarchy(figure3_program()))
+        assert icfg.node_count() == len(icfg.all_nodes())
+
+
+class TestFactExtraction:
+    def test_pointsto_schema(self):
+        facts, hierarchy = extract_pointsto_facts(figure3_program())
+        assert len(facts["alloc"]) == 3  # Session, DefaultFactory, CustomFactory
+        assert ("Executor.run/s1", "Executor.run/s") in facts["move"]
+        assert ("Executor.run", "main") in facts["funcname"]
+        # every allocation site is typed
+        objs = {obj for _, obj, _ in facts["alloc"]}
+        assert objs == set(hierarchy.obj_types)
+
+    def test_vcall_facts(self):
+        facts, _ = extract_pointsto_facts(figure3_program())
+        sigs = {sig for _, sig, _, _ in facts["vcall"]}
+        assert sigs == {"proc", "init"}
+        in_meths = {m for _, _, _, m in facts["vcall"]}
+        assert in_meths == {"Executor.run", "Session.proc"}
+
+    def test_lookup_facts_cover_dispatch(self):
+        facts, _ = extract_pointsto_facts(figure3_program())
+        assert ("DefaultFactory", "init", "DefaultFactory.init") in facts["lookup"]
+        assert ("Factory", "init", "DefaultFactory.init") in facts["lookupsub"]
+        assert all(cls != "Factory" for cls, sig, _ in facts["lookup"] if sig == "init")
+
+    def test_static_call_resolved(self):
+        facts, _ = extract_pointsto_facts(numeric_program())
+        assert any(target == "Main.helper" for _, target, _ in facts["scall"])
+
+    def test_args_and_returns(self):
+        facts, _ = extract_pointsto_facts(numeric_program())
+        assert ("Main.helper", 0, "Main.helper/p") in facts["formalarg"]
+        assert ("Main.main", "Main.main/c") in facts["returnvar"]
+        call = next(iter(facts["scall"]))[0]
+        assert (call, 0, "Main.main/c") in facts["actualarg"]
+        assert (call, "Main.main/r") in facts["callret"]
+
+    def test_value_facts_schema(self):
+        facts, icfg = extract_value_facts(numeric_program())
+        lits = {(v, value) for _, v, value in facts["assignlit"]}
+        assert ("Main.main/a", 1) in lits
+        assert any(
+            (v, op) == ("Main.main/c", "+")
+            for _, v, op, _, _ in facts["assignbin"]
+        )
+        assert facts["entrymethod"] == {("Main.main",)}
+        assert len(facts["flow"]) > 5
+
+    def test_value_facts_calledges(self):
+        facts, _ = extract_value_facts(numeric_program())
+        assert any(callee == "Main.helper" for _, callee in facts["calledge"])
+
+    def test_havoc_on_new_and_load(self):
+        program = JProgram(entry="C.m")
+        cls = make_class("C")
+        m = MethodBuilder("m", is_static=True)
+        m.new("o", "C").load("x", "o", "fld")
+        cls.add_method(m.build())
+        program.add_class(cls)
+        finalize(program)
+        facts, _ = extract_value_facts(program)
+        havoced = {v for _, v in facts["havoc"]}
+        assert havoced == {"C.m/o", "C.m/x"}
+
+
+class TestPretty:
+    def test_format_program_roundtrips_names(self):
+        text = format_program(figure3_program())
+        assert "class Executor" in text
+        assert "abstract class Factory" in text
+        assert "s1.proc();" in text
+        assert "f = new DefaultFactory();" in text
+        assert "// entry: Executor.run" in text
+
+    def test_format_numeric(self):
+        text = format_program(numeric_program())
+        assert "c = a + b;" in text
+        assert "while (i) {" in text
+        assert "return c;" in text

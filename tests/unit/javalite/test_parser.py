@@ -1,0 +1,199 @@
+"""Unit tests for the javalite source parser."""
+
+import pytest
+
+from repro.datalog import ParseError
+from repro.javalite import format_program, parse_source
+from repro.javalite.ast import (
+    BinOp,
+    ConstAssign,
+    If,
+    Load,
+    Move,
+    New,
+    Return,
+    StaticCall,
+    Store,
+    VirtualCall,
+    While,
+)
+
+
+def single_method(body: str, name: str = "m"):
+    program = parse_source(f"class C {{ static void {name}() {{ {body} }} }}")
+    return list(program.method(f"C.{name}").statements())
+
+
+class TestStatements:
+    def test_allocation(self):
+        (stmt,) = single_method("o = new C();")
+        assert isinstance(stmt, New)
+        assert stmt.cls == "C"
+
+    def test_int_and_string_constants(self):
+        stmts = single_method("x = 42; s = 'hi'; y = -3; f = 1.5;")
+        assert [s.value for s in stmts] == [42, "hi", -3, 1.5]
+        assert all(isinstance(s, ConstAssign) for s in stmts)
+
+    def test_move_and_binop(self):
+        a, b = single_method("x = 1; y = x + x;")
+        assert isinstance(b, BinOp) and b.op == "+"
+        c, d = single_method("x = 1; y = x;")
+        assert isinstance(d, Move)
+
+    def test_field_load_store(self):
+        load, store = single_method("x = this.f; this.f = x;")
+        assert isinstance(load, Load) and load.fieldname == "f"
+        assert isinstance(store, Store) and store.fieldname == "f"
+
+    def test_call_dispatch_by_receiver_case(self):
+        v, s = single_method("o = new C(); o.run(); Util.help();")[1:]
+        assert isinstance(v, VirtualCall) and v.sig == "run"
+        assert isinstance(s, StaticCall) and s.cls == "Util"
+
+    def test_call_with_return_and_args(self):
+        stmts = single_method("a = 1; b = 2; r = Util.f(a, b);")
+        call = stmts[-1]
+        assert isinstance(call, StaticCall)
+        assert call.ret == "C.m/r"
+        assert call.args == ("C.m/a", "C.m/b")
+
+    def test_if_else_and_while(self):
+        stmts = single_method(
+            "c = 1; if (c) { x = 1; } else { x = 2; } while (c) { c = c - c; }"
+        )
+        assert isinstance(stmts[1], If)
+        assert isinstance(stmts[1].then_block[0], ConstAssign)
+        assert isinstance(stmts[1].else_block[0], ConstAssign)
+        while_stmt = next(s for s in stmts if isinstance(s, While))
+        assert isinstance(while_stmt.body[0], BinOp)
+
+    def test_returns(self):
+        bare, valued = single_method("return;", name="a"), None
+        assert isinstance(bare[0], Return) and bare[0].var is None
+        (valued,) = single_method("return this;", name="b")
+        assert valued.var == "C.b/this"
+
+
+class TestDeclarations:
+    def test_hierarchy_and_fields(self):
+        program = parse_source(
+            """
+            abstract class Base { Object cache; }
+            class Impl extends Base { void run() { } }
+            """
+        )
+        assert program.classes["Base"].is_abstract
+        assert program.classes["Base"].fields == ["cache"]
+        assert program.classes["Impl"].superclass == "Base"
+
+    def test_static_flag_and_params(self):
+        program = parse_source("class C { static void m(a, b) { } }")
+        method = program.method("C.m")
+        assert method.is_static and method.params == ("a", "b")
+
+    def test_entry_comment(self):
+        program = parse_source("class C { void go() { } }\n// entry: C.go")
+        assert program.entry == "C.go"
+
+    def test_default_entry(self):
+        program = parse_source("class C { void go() { } }")
+        assert program.entry == "Main.main"
+
+    def test_comments_ignored(self):
+        program = parse_source(
+            """
+            // a leading comment
+            class C { // trailing
+                void m() { x = 1; } // another
+            }
+            """
+        )
+        assert program.method("C.m")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_source("class C @ {}")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("class C { void m() { x = 1 } }")
+
+    def test_keyword_as_name(self):
+        with pytest.raises(ParseError):
+            parse_source("class class { }")
+
+    def test_truncated_input(self):
+        with pytest.raises(ParseError):
+            parse_source("class C { void m() {")
+
+
+class TestRoundtrip:
+    def test_pretty_print_roundtrip(self):
+        source = """
+        class Executor {
+            static void run(env) {
+                cond = 1;
+                s = new Session();
+                if (cond) { s1 = s; s1.proc(); } else { s2 = s; s2.proc(); }
+            }
+        }
+        class Session {
+            Object cache;
+            void proc() {
+                cond = 1;
+                f = new DefaultFactory();
+                f.init();
+                this.cache = f;
+                g = this.cache;
+                while (cond) { cond = cond - cond; }
+                return;
+            }
+        }
+        abstract class Factory { }
+        class DefaultFactory extends Factory { void init() { } }
+        // entry: Executor.run
+        """
+        program = parse_source(source)
+        printed = format_program(program)
+        reparsed = parse_source(printed)
+        assert format_program(reparsed) == printed
+        assert reparsed.entry == "Executor.run"
+
+    def test_generated_corpus_roundtrips(self):
+        from repro.corpus import load_subject
+
+        program = load_subject("minijavac")
+        printed = format_program(program)
+        reparsed = parse_source(printed)
+        assert format_program(reparsed) == printed
+        assert reparsed.statement_count() == program.statement_count()
+
+    def test_parsed_source_analyzable(self):
+        from repro.analyses import singleton_pointsto
+        from repro.engines import LaddderSolver, NaiveSolver
+
+        program = parse_source(
+            """
+            class Main {
+                static void main() {
+                    o = new A();
+                    o = new B();
+                    o.m();
+                }
+            }
+            abstract class Base { }
+            class A extends Base { void m() { } }
+            class B extends Base { void m() { } }
+            // entry: Main.main
+            """
+        )
+        inst = singleton_pointsto(program)
+        ladder = inst.make_solver(LaddderSolver)
+        naive = inst.make_solver(NaiveSolver)
+        assert ladder.relations() == naive.relations()
+        from repro.lattices import C
+
+        assert dict(ladder.relation("ptlub"))["Main.main/o"] == C("Base")

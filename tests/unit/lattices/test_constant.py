@@ -1,0 +1,107 @@
+"""Unit tests for the flat constant-propagation lattice."""
+
+import pytest
+
+from repro.lattices import Const, ConstantLattice
+
+L = ConstantLattice()
+BOT = L.bottom()
+TOP = L.top()
+
+
+class TestOrder:
+    def test_bot_below_everything(self):
+        assert L.leq(BOT, BOT)
+        assert L.leq(BOT, Const(1))
+        assert L.leq(BOT, TOP)
+
+    def test_top_above_everything(self):
+        assert L.leq(Const(1), TOP)
+        assert L.leq(TOP, TOP)
+        assert not L.leq(TOP, Const(1))
+
+    def test_constants_incomparable(self):
+        assert not L.leq(Const(1), Const(2))
+        assert not L.leq(Const(2), Const(1))
+        assert L.leq(Const(1), Const(1))
+
+    def test_non_numeric_constants(self):
+        assert L.leq(Const("a"), TOP)
+        assert not L.leq(Const("a"), Const("b"))
+
+
+class TestJoinMeet:
+    def test_join_equal(self):
+        assert L.join(Const(3), Const(3)) == Const(3)
+
+    def test_join_distinct_is_top(self):
+        assert L.join(Const(3), Const(4)) == TOP
+
+    def test_join_with_bot_is_identity(self):
+        assert L.join(BOT, Const(3)) == Const(3)
+        assert L.join(Const(3), BOT) == Const(3)
+
+    def test_join_with_top_is_top(self):
+        assert L.join(TOP, Const(3)) == TOP
+
+    def test_meet_distinct_is_bot(self):
+        assert L.meet(Const(3), Const(4)) == BOT
+
+    def test_meet_with_top_is_identity(self):
+        assert L.meet(TOP, Const(3)) == Const(3)
+
+    def test_join_all_empty_is_bot(self):
+        assert L.join_all([]) == BOT
+
+    def test_join_all_mixed(self):
+        assert L.join_all([BOT, Const(1), Const(1)]) == Const(1)
+        assert L.join_all([Const(1), Const(2)]) == TOP
+
+
+class TestHelpers:
+    def test_contains(self):
+        assert L.contains(BOT)
+        assert L.contains(TOP)
+        assert L.contains(Const(0))
+        assert not L.contains(42)
+
+    def test_known(self):
+        assert ConstantLattice.known(Const(0))
+        assert not ConstantLattice.known(BOT)
+        assert not ConstantLattice.known(TOP)
+
+    def test_const_factory(self):
+        assert ConstantLattice.const(7) == Const(7)
+
+    def test_lt_strict(self):
+        assert L.lt(BOT, TOP)
+        assert not L.lt(TOP, TOP)
+
+    def test_comparable(self):
+        assert L.comparable(BOT, Const(1))
+        assert not L.comparable(Const(1), Const(2))
+
+
+class TestDual:
+    def test_dual_swaps_order(self):
+        D = L.dual()
+        assert D.leq(TOP, Const(1))
+        assert D.join(Const(1), Const(2)) == BOT
+        assert D.bottom() == TOP
+        assert D.top() == BOT
+
+    def test_double_dual_is_original(self):
+        assert L.dual().dual() is L
+
+
+def test_lattice_equality_and_hash():
+    assert ConstantLattice() == ConstantLattice()
+    assert hash(ConstantLattice()) == hash(ConstantLattice())
+
+
+def test_meet_undefined_on_meetless_lattice():
+    from repro.lattices import LatticeError, SingletonLattice, DictHierarchy
+
+    lat = SingletonLattice(DictHierarchy({"A": None}, {}))
+    with pytest.raises(LatticeError):
+        lat.meet("x", "y")

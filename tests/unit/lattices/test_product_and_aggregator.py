@@ -1,0 +1,171 @@
+"""Unit tests for lattice combinators and well-behaving aggregators."""
+
+import pytest
+
+from repro.lattices import (
+    ChainLattice,
+    Const,
+    ConstantLattice,
+    Interval,
+    IntervalLattice,
+    LatticeError,
+    ProductLattice,
+    check_well_behaving,
+    glb,
+    lub,
+    widen,
+)
+
+CONST = ConstantLattice()
+CHAIN = ChainLattice(["low", "mid", "high"])
+
+
+class TestChain:
+    def test_total_order(self):
+        assert CHAIN.leq("low", "high")
+        assert not CHAIN.leq("high", "mid")
+
+    def test_join_meet(self):
+        assert CHAIN.join("low", "mid") == "mid"
+        assert CHAIN.meet("low", "mid") == "low"
+
+    def test_extremes(self):
+        assert CHAIN.bottom() == "low"
+        assert CHAIN.top() == "high"
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(LatticeError):
+            CHAIN.leq("low", "nope")
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(LatticeError):
+            ChainLattice(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(LatticeError):
+            ChainLattice([])
+
+
+class TestProduct:
+    P = ProductLattice([CONST, CHAIN])
+
+    def test_pointwise_order(self):
+        assert self.P.leq((Const(1), "low"), (Const(1), "high"))
+        assert not self.P.leq((Const(1), "high"), (Const(1), "low"))
+
+    def test_pointwise_join(self):
+        got = self.P.join((Const(1), "low"), (Const(2), "mid"))
+        assert got == (CONST.top(), "mid")
+
+    def test_pointwise_meet(self):
+        got = self.P.meet((CONST.top(), "high"), (Const(2), "mid"))
+        assert got == (Const(2), "mid")
+
+    def test_extremes(self):
+        assert self.P.bottom() == (CONST.bottom(), "low")
+        assert self.P.top() == (CONST.top(), "high")
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(LatticeError):
+            self.P.leq((Const(1),), (Const(1), "low"))
+
+    def test_contains(self):
+        assert self.P.contains((Const(1), "low"))
+        assert not self.P.contains((Const(1), "nope"))
+        assert not self.P.contains("junk")
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(LatticeError):
+            ProductLattice([])
+
+
+class TestAggregator:
+    def test_lub_direction_up(self):
+        agg = lub(CONST)
+        assert agg.direction == "up"
+        assert agg.combine(Const(1), Const(1)) == Const(1)
+        assert agg.combine(Const(1), Const(2)) == CONST.top()
+
+    def test_glb_direction_down(self):
+        agg = glb(CONST)
+        assert agg.direction == "down"
+        assert agg.combine(Const(1), Const(2)) == CONST.bottom()
+        assert agg.dominates(CONST.bottom(), Const(1))
+
+    def test_combine_all(self):
+        agg = lub(CHAIN)
+        assert agg.combine_all(["low", "high", "mid"]) == "high"
+
+    def test_combine_all_empty_raises(self):
+        with pytest.raises(LatticeError):
+            lub(CHAIN).combine_all([])
+
+    def test_dominates(self):
+        agg = lub(CONST)
+        assert agg.dominates(CONST.top(), Const(1))
+        assert not agg.dominates(Const(1), CONST.top())
+
+    def test_strictly_advances(self):
+        agg = lub(CHAIN)
+        assert agg.strictly_advances("low", "mid")
+        assert not agg.strictly_advances("mid", "mid")
+        assert not agg.strictly_advances("mid", "low")
+
+    def test_final_picks_extremal(self):
+        agg = lub(CHAIN)
+        assert agg.final(["low", "high", "mid"]) == "high"
+        down = glb(CHAIN)
+        assert down.final(["low", "high", "mid"]) == "low"
+
+    def test_final_empty_raises(self):
+        with pytest.raises(LatticeError):
+            lub(CHAIN).final([])
+
+    def test_bad_direction_rejected(self):
+        from repro.lattices import Aggregator
+
+        with pytest.raises(LatticeError):
+            Aggregator("x", CONST, CONST.join, "sideways")
+
+
+class TestWellBehavingCheck:
+    def test_lub_passes(self):
+        samples = [CONST.bottom(), Const(1), Const(2), CONST.top()]
+        check_well_behaving(lub(CONST), samples)
+
+    def test_widening_passes(self):
+        lat = IntervalLattice()
+        samples = [lat.bottom(), Interval(0, 0), Interval(0, 5), Interval(-3, 9)]
+        check_well_behaving(widen(lat), samples)
+
+    def test_plain_interval_join_fails_stationarity(self):
+        # The raw hull join has infinite ascending chains; the probe cannot
+        # detect that with static samples, but a deliberately drifting
+        # operator is caught.
+        lat = IntervalLattice()
+
+        def drift(a, b):
+            j = lat.join(a, b)
+            if j == lat.BOT:
+                return j
+            return Interval(j.lo, j.hi + 1)
+
+        from repro.lattices import Aggregator
+
+        bad = Aggregator("drift", lat, drift, "up")
+        with pytest.raises(LatticeError):
+            check_well_behaving(bad, [Interval(0, 0)], max_chain=8)
+
+    def test_non_commutative_rejected(self):
+        from repro.lattices import Aggregator
+
+        first = Aggregator("first", CHAIN, lambda a, b: a, "up")
+        with pytest.raises(LatticeError):
+            check_well_behaving(first, ["low", "mid"])
+
+    def test_non_dominating_rejected(self):
+        from repro.lattices import Aggregator
+
+        floor = Aggregator("floor", CHAIN, CHAIN.meet, "up")
+        with pytest.raises(LatticeError):
+            check_well_behaving(floor, ["low", "mid"])

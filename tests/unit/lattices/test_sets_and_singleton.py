@@ -1,0 +1,173 @@
+"""Unit tests for powerset, k-update, and singleton O/C domains."""
+
+import pytest
+
+from repro.lattices import (
+    C,
+    DictHierarchy,
+    KSetLattice,
+    LatticeError,
+    O,
+    PowersetLattice,
+    SingletonLattice,
+)
+
+S = PowersetLattice()
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestPowerset:
+    def test_order_is_inclusion(self):
+        assert S.leq(fs("a"), fs("a", "b"))
+        assert not S.leq(fs("a", "b"), fs("a"))
+
+    def test_join_union(self):
+        assert S.join(fs("a"), fs("b")) == fs("a", "b")
+
+    def test_meet_intersection(self):
+        assert S.meet(fs("a", "b"), fs("b", "c")) == fs("b")
+
+    def test_bottom_is_empty(self):
+        assert S.bottom() == fs()
+
+    def test_open_universe_has_no_top(self):
+        with pytest.raises(LatticeError):
+            S.top()
+
+    def test_closed_universe_top(self):
+        lat = PowersetLattice(universe=fs("a", "b"))
+        assert lat.top() == fs("a", "b")
+        assert lat.contains(fs("a"))
+        assert not lat.contains(fs("z"))
+
+    def test_helpers(self):
+        assert PowersetLattice.singleton("x") == fs("x")
+        assert PowersetLattice.of("ab") == fs("a", "b")
+
+
+class TestKSet:
+    K = KSetLattice(2)
+    TOP = KSetLattice(2).top()
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(LatticeError):
+            KSetLattice(0)
+
+    def test_small_sets_behave_like_powerset(self):
+        assert self.K.join(fs("a"), fs("b")) == fs("a", "b")
+        assert self.K.leq(fs("a"), fs("a", "b"))
+
+    def test_saturates_beyond_k(self):
+        assert self.K.join(fs("a", "b"), fs("c")) == self.TOP
+
+    def test_top_absorbs(self):
+        assert self.K.join(self.TOP, fs("a")) == self.TOP
+        assert self.K.leq(fs("a", "b"), self.TOP)
+        assert not self.K.leq(self.TOP, fs("a", "b"))
+
+    def test_meet_with_top_is_identity(self):
+        assert self.K.meet(self.TOP, fs("a")) == fs("a")
+
+    def test_join_associative_across_saturation(self):
+        a, b, c = fs("x"), fs("y"), fs("z")
+        assert self.K.join(self.K.join(a, b), c) == self.K.join(a, self.K.join(b, c))
+
+    def test_contains(self):
+        assert self.K.contains(fs("a", "b"))
+        assert not self.K.contains(fs("a", "b", "c"))
+        assert self.K.contains(self.TOP)
+
+    def test_is_concrete(self):
+        assert self.K.is_concrete(fs("a"))
+        assert not self.K.is_concrete(self.TOP)
+
+
+@pytest.fixture
+def hierarchy():
+    # Factory <- DefaultFactory, CustomFactory, DelegatingFactory (Figure 3)
+    parents = {
+        "Object": None,
+        "Factory": "Object",
+        "DefaultFactory": "Factory",
+        "CustomFactory": "Factory",
+        "DelegatingFactory": "Factory",
+        "Session": "Object",
+    }
+    obj_types = {"F1": "DefaultFactory", "F2": "CustomFactory", "S": "Session"}
+    return DictHierarchy(parents, obj_types)
+
+
+class TestSingleton:
+    def test_bot_below_objects_and_classes(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert L.leq(L.bottom(), O("F1"))
+        assert L.leq(L.bottom(), C("Factory"))
+
+    def test_object_below_its_supertypes(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert L.leq(O("F1"), C("DefaultFactory"))
+        assert L.leq(O("F1"), C("Factory"))
+        assert L.leq(O("F1"), C("Object"))
+        assert not L.leq(O("F1"), C("CustomFactory"))
+
+    def test_distinct_objects_incomparable(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert not L.leq(O("F1"), O("F2"))
+        assert not L.leq(O("F2"), O("F1"))
+
+    def test_class_order_follows_subtyping(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert L.leq(C("DefaultFactory"), C("Factory"))
+        assert not L.leq(C("Factory"), C("DefaultFactory"))
+
+    def test_join_two_factories_is_common_class(self, hierarchy):
+        # The exact situation of Figure 4, timestamp 11:
+        # O(F1) lub O(F2) = C(Factory).
+        L = SingletonLattice(hierarchy)
+        assert L.join(O("F1"), O("F2")) == C("Factory")
+
+    def test_join_object_with_class(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert L.join(O("F1"), C("Factory")) == C("Factory")
+        assert L.join(O("S"), C("Factory")) == C("Object")
+
+    def test_join_idempotent(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert L.join(O("F1"), O("F1")) == O("F1")
+
+    def test_class_above_object_never_below(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert not L.leq(C("DefaultFactory"), O("F1"))
+
+    def test_contains(self, hierarchy):
+        L = SingletonLattice(hierarchy)
+        assert L.contains(L.bottom())
+        assert L.contains(O("F1"))
+        assert L.contains(C("Factory"))
+        assert not L.contains("junk")
+
+    def test_no_common_superclass_raises(self):
+        h = DictHierarchy({"A": None, "B": None}, {"x": "A", "y": "B"})
+        L = SingletonLattice(h)
+        with pytest.raises(LatticeError):
+            L.join(O("x"), O("y"))
+
+
+class TestDictHierarchy:
+    def test_is_subtype_reflexive(self, hierarchy):
+        assert hierarchy.is_subtype("Factory", "Factory")
+
+    def test_is_subtype_transitive(self, hierarchy):
+        assert hierarchy.is_subtype("DefaultFactory", "Object")
+
+    def test_not_subtype_across_branches(self, hierarchy):
+        assert not hierarchy.is_subtype("Session", "Factory")
+
+    def test_lcs_of_siblings(self, hierarchy):
+        assert hierarchy.least_common_superclass("DefaultFactory", "CustomFactory") == "Factory"
+
+    def test_lcs_with_ancestor(self, hierarchy):
+        assert hierarchy.least_common_superclass("DefaultFactory", "Factory") == "Factory"

@@ -1,0 +1,110 @@
+"""Unit and exhaustive property tests for the sign domain."""
+
+import itertools
+
+import pytest
+
+from repro.lattices import LatticeError, SignLattice, lub
+from repro.lattices.sign import ELEMENTS
+from repro.lattices import check_join_semilattice, check_partial_order, check_well_behaving
+
+L = SignLattice()
+
+
+class TestLattice:
+    def test_exhaustive_lattice_laws(self):
+        samples = list(ELEMENTS)
+        check_partial_order(L, samples)
+        check_join_semilattice(L, samples)
+        check_well_behaving(lub(L), samples)
+
+    def test_order_examples(self):
+        assert L.leq("Neg", "NonPos")
+        assert L.leq("Zero", "NonPos")
+        assert not L.leq("Pos", "NonPos")
+        assert L.leq("Bot", "Neg") and L.leq("NonZero", "Top")
+
+    def test_join_meet_examples(self):
+        assert L.join("Neg", "Pos") == "NonZero"
+        assert L.join("Neg", "Zero") == "NonPos"
+        assert L.meet("NonPos", "NonNeg") == "Zero"
+        assert L.meet("Neg", "Pos") == "Bot"
+
+    def test_extremes(self):
+        assert L.bottom() == "Bot" and L.top() == "Top"
+
+    def test_unknown_element(self):
+        with pytest.raises(LatticeError):
+            L.leq("Weird", "Top")
+
+
+class TestAbstraction:
+    def test_of(self):
+        assert SignLattice.of(-3) == "Neg"
+        assert SignLattice.of(0) == "Zero"
+        assert SignLattice.of(7) == "Pos"
+
+
+class TestTransferSoundness:
+    CONCRETE = {"Neg": [-3, -1], "Zero": [0], "Pos": [1, 3]}
+
+    def _concretize(self, element):
+        out = []
+        for sign in {"Neg": "-", "Zero": "0", "Pos": "+"}:
+            pass
+        for atom, values in self.CONCRETE.items():
+            if L.leq(atom, element):
+                out.extend(values)
+        return out
+
+    @pytest.mark.parametrize("op,fn", [
+        ("add", lambda x, y: x + y),
+        ("sub", lambda x, y: x - y),
+        ("mul", lambda x, y: x * y),
+    ])
+    def test_sound_over_all_pairs(self, op, fn):
+        """abstract(op)(a, b) must cover op(x, y) for every concretization."""
+        abstract = getattr(L, op)
+        for a, b in itertools.product(ELEMENTS, repeat=2):
+            result = abstract(a, b)
+            for x in self._concretize(a):
+                for y in self._concretize(b):
+                    assert L.leq(SignLattice.of(fn(x, y)), result), (
+                        f"{op}({a},{b})={result} misses {fn(x, y)}"
+                    )
+
+    def test_neg(self):
+        assert L.neg("Pos") == "Neg"
+        assert L.neg("NonPos") == "NonNeg"
+        assert L.neg("Bot") == "Bot"
+
+
+def test_sign_analysis_end_to_end():
+    from repro.analyses import sign_analysis
+    from repro.engines import LaddderSolver
+    from tests.unit.javalite.fixtures import numeric_program
+
+    inst = sign_analysis(numeric_program())
+    solver = inst.make_solver(LaddderSolver)
+    val = {
+        (n.rsplit("/", 1)[-1], v.rsplit("/", 1)[-1]): s
+        for n, v, s in solver.relation("val")
+    }
+    assert val[("exit", "a")] == "Pos"
+    assert val[("exit", "c")] == "Pos"     # 1 + 1
+    assert val[("exit", "q")] == "Pos"     # p * p with p = 2
+    # Loop counter: starts Zero, increments - join covers both.
+    assert L.leq("Zero", val[("exit", "i")])
+    # Incremental: a = -1 flips downstream signs.
+    lit = next(r for r in inst.facts["assignlit"] if r[1].endswith("/a"))
+    solver.update(
+        deletions={"assignlit": {lit}},
+        insertions={"assignlit": {(lit[0], lit[1], -1)}},
+    )
+    val = {
+        (n.rsplit("/", 1)[-1], v.rsplit("/", 1)[-1]): s
+        for n, v, s in solver.relation("val")
+    }
+    assert val[("exit", "a")] == "Neg"
+    assert val[("exit", "c")] == "Neg"     # -1 + -1
+    assert val[("exit", "q")] == "Pos"     # (-2) * (-2)

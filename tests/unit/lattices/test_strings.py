@@ -1,0 +1,139 @@
+"""Unit tests for the string abstract domains."""
+
+import pytest
+
+from repro.lattices import (
+    KStringsLattice,
+    Prefix,
+    PrefixLattice,
+    check_join_semilattice,
+    check_partial_order,
+    check_well_behaving,
+    lub,
+)
+
+L = PrefixLattice()
+BOT, TOP = L.bottom(), L.top()
+
+
+class TestPrefixOrder:
+    def test_longer_prefix_is_lower(self):
+        assert L.leq(Prefix("http://a/b"), Prefix("http://a"))
+        assert not L.leq(Prefix("http://a"), Prefix("http://a/b"))
+
+    def test_extremes(self):
+        assert L.leq(BOT, Prefix("x"))
+        assert L.leq(Prefix("x"), TOP)
+        assert L.leq(BOT, TOP)
+        assert not L.leq(TOP, Prefix("x"))
+
+    def test_empty_prefix_below_top_only(self):
+        assert L.leq(Prefix("abc"), Prefix(""))
+        assert L.leq(Prefix(""), TOP)
+
+    def test_unrelated_incomparable(self):
+        assert not L.leq(Prefix("abc"), Prefix("abd"))
+        assert not L.leq(Prefix("abd"), Prefix("abc"))
+
+
+class TestPrefixJoinMeet:
+    def test_join_common_prefix(self):
+        assert L.join(Prefix("http://a/x"), Prefix("http://a/y")) == Prefix("http://a/")
+
+    def test_join_disjoint_is_empty_prefix(self):
+        assert L.join(Prefix("abc"), Prefix("xyz")) == Prefix("")
+
+    def test_join_with_extremes(self):
+        assert L.join(BOT, Prefix("a")) == Prefix("a")
+        assert L.join(TOP, Prefix("a")) == TOP
+
+    def test_meet_picks_longer(self):
+        assert L.meet(Prefix("ab"), Prefix("abcd")) == Prefix("abcd")
+
+    def test_meet_disjoint_is_bot(self):
+        assert L.meet(Prefix("ab"), Prefix("cd")) == BOT
+
+    def test_of_clips(self):
+        lat = PrefixLattice(max_length=4)
+        assert lat.of("abcdefgh") == Prefix("abcd")
+        assert lat.contains(Prefix("abcd"))
+        assert not lat.contains(Prefix("abcde"))
+
+
+class TestPrefixLaws:
+    def test_lattice_laws_on_samples(self):
+        samples = [BOT, TOP, Prefix(""), Prefix("a"), Prefix("ab"), Prefix("b")]
+        check_partial_order(L, samples)
+        check_join_semilattice(L, samples)
+        check_well_behaving(lub(L), samples)
+
+    def test_chains_bounded_by_length(self):
+        lat = PrefixLattice(max_length=8)
+        acc = lat.of("abcdefgh")
+        # joins only shorten the prefix; chains are bounded by max_length.
+        for other in ("abcdefgx", "abcdx", "abx", "zzz"):
+            nxt = lat.join(acc, lat.of(other))
+            assert lat.leq(acc, nxt)
+            acc = nxt
+        assert acc == Prefix("")
+
+
+class TestKStrings:
+    def test_saturation(self):
+        K = KStringsLattice(2)
+        a = K.literal("GET")
+        b = K.literal("PUT")
+        c = K.literal("POST")
+        assert K.join(a, b) == frozenset({"GET", "PUT"})
+        assert K.join(K.join(a, b), c) == K.top()
+
+    def test_name(self):
+        assert KStringsLattice(3).name == "kstrings(3)"
+
+
+def test_prefix_analysis_end_to_end():
+    """A tiny string-provenance analysis over copies and concatenations."""
+    from repro.datalog import parse
+    from repro.engines import LaddderSolver, NaiveSolver
+
+    lat = PrefixLattice()
+    p = parse(
+        """
+        sval(V, S) :- lit(V, T), S := mk(T).
+        sval(V, S) :- copy(V, W), sv(W, S).
+        sval(V, S2) :- concat(V, W, Suffix), sv(W, S), S2 := app(S, Suffix).
+        sv(V, lubp<S>) :- sval(V, S).
+        .export sv.
+        """
+    )
+    p.register_function("mk", lat.of)
+    p.register_function(
+        "app",
+        lambda s, suffix: lat.of(s.text + suffix) if isinstance(s, Prefix) else s,
+    )
+    p.register_aggregator("lubp", lub(lat))
+    facts = {
+        "lit": {("base", "http://api/"), ("alt", "http://app/")},
+        "copy": {("url", "base")},
+        "concat": {("users", "url", "users")},
+    }
+    l = LaddderSolver(p)
+    for pred, rows in facts.items():
+        l.add_facts(pred, rows)
+    l.solve()
+    sv = dict(l.relation("sv"))
+    assert sv["users"] == Prefix("http://api/users")
+    # A second source makes url's prefix the common part.
+    l.update(insertions={"copy": {("url", "alt")}})
+    sv = dict(l.relation("sv"))
+    # common prefix of http://api/ and http://app/ is http://ap
+    assert sv["url"] == Prefix("http://ap")
+    assert sv["users"] == Prefix("http://apusers")  # concat of widened prefix
+
+    oracle = NaiveSolver(p)
+    full = {k: set(v) for k, v in facts.items()}
+    full["copy"].add(("url", "alt"))
+    for pred, rows in full.items():
+        oracle.add_facts(pred, rows)
+    oracle.solve()
+    assert l.relations() == oracle.relations()

@@ -1,0 +1,86 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = make_parser().parse_args(["analyze", "constprop", "minijavac"])
+        args = make_parser().parse_args(
+            ["analyze", "constprop", "minijavac", "--engine", "seminaive"]
+        )
+        assert args.engine == "seminaive"
+        assert args.scale == 1.0
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["analyze", "nope", "minijavac"])
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["analyze", "constprop", "jdk"])
+
+
+class TestCommands:
+    def test_analyze_prints_results(self, capsys):
+        assert main(["analyze", "pointsto-kupdate", "minijavac", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tuples in ptlub" in out
+        assert "LaddderSolver" in out
+
+    def test_analyze_all_rows(self, capsys):
+        assert main(["analyze", "pointsto-kupdate", "minijavac", "--limit", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" not in out
+
+    def test_analyze_other_engine(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac", "--engine", "seminaive"]
+        ) == 0
+        assert "SemiNaiveSolver" in capsys.readouterr().out
+
+    def test_impact_histogram(self, capsys):
+        assert main(["impact", "pointsto-kupdate", "minijavac", "--changes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "10e1" in out and "impact of 6 changes" in out
+
+    def test_bench_table(self, capsys):
+        assert main(
+            ["bench", "pointsto-kupdate", "minijavac", "--changes", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "init:" in out and "median" in out
+
+    def test_scale_option(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac", "--scale", "0.5"]
+        ) == 0
+        assert "tuples in ptlub" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    def test_explain_primary(self, capsys):
+        assert main(["explain", "pointsto-kupdate", "minijavac"]) == 0
+        out = capsys.readouterr().out
+        assert "why ptlub" in out
+        assert "[input fact]" in out or "[aggregate" in out
+
+    def test_explain_with_match(self, capsys):
+        assert main(
+            ["explain", "pointsto-kupdate", "minijavac",
+             "--predicate", "reach", "--match", "driver"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "funcname" in out  # grounds out at the entry fact
+
+    def test_explain_no_match(self, capsys):
+        assert main(
+            ["explain", "pointsto-kupdate", "minijavac",
+             "--match", "definitely-not-present"]
+        ) == 1
