@@ -10,11 +10,15 @@ Environment knobs (all optional):
 
 Each benchmark prints its paper-style table and also writes it to
 ``benchmarks/results/<name>.txt`` so ``bench_output.txt`` plus that
-directory together hold the full reproduction record.
+directory together hold the full reproduction record.  Machine-readable
+companions go to ``benchmarks/results/BENCH_<name>.json`` via
+:func:`report_json` — solver-metrics exports and summary numbers that
+downstream tooling can diff across runs without parsing ASCII tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -58,3 +62,11 @@ def report(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def report_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result as ``BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

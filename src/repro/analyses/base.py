@@ -15,6 +15,7 @@ from typing import Type
 from ..datalog.program import Program
 from ..engines.base import Solver
 from ..javalite.ast import JProgram
+from ..metrics import SolverMetrics
 
 Facts = dict[str, set[tuple]]
 
@@ -32,10 +33,15 @@ class AnalysisInstance:
     #: Extra artifacts change generators may need (hierarchy, icfg, ...).
     context: dict = field(default_factory=dict)
 
-    def make_solver(self, engine_cls: Type[Solver], solve: bool = True) -> Solver:
+    def make_solver(
+        self,
+        engine_cls: Type[Solver],
+        solve: bool = True,
+        metrics: SolverMetrics | None = None,
+    ) -> Solver:
         """Instantiate ``engine_cls`` on this analysis and optionally run the
         initial (from-scratch) evaluation."""
-        solver = engine_cls(self.program)
+        solver = engine_cls(self.program, metrics=metrics)
         for pred, rows in self.facts.items():
             if rows and pred in solver.idb:
                 continue  # extractor emitted a relation the rules derive

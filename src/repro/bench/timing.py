@@ -16,6 +16,7 @@ from typing import Sequence, Type
 from ..analyses.base import AnalysisInstance
 from ..changes.base import Change
 from ..engines.base import Solver
+from ..metrics import SolverMetrics
 
 
 @dataclass
@@ -46,13 +47,19 @@ def time_initialization(
     engine_cls: Type[Solver],
     repeats: int = 4,
     drop_first: bool = True,
+    metrics: SolverMetrics | None = None,
 ) -> tuple[float, Solver]:
     """Initialization time under the paper's warm-up protocol; returns the
-    mean and the last solved solver (reused for update runs)."""
+    mean and the last solved solver (reused for update runs).
+
+    A ``metrics`` collector, when given, is attached to every repeat (its
+    counters accumulate across them; enabled collection perturbs the
+    timings, so profile runs and headline-number runs should be separate).
+    """
     times = []
     solver = None
     for _ in range(max(1, repeats)):
-        solver = instance.make_solver(engine_cls, solve=False)
+        solver = instance.make_solver(engine_cls, solve=False, metrics=metrics)
         start = time.perf_counter()
         solver.solve()
         times.append(time.perf_counter() - start)
@@ -66,6 +73,7 @@ def run_update_benchmark(
     engine_cls: Type[Solver],
     changes: Sequence[Change],
     repeats: int = 1,
+    metrics: SolverMetrics | None = None,
 ) -> BenchmarkRun:
     """Initialize once, then measure every change's incremental update.
 
@@ -74,7 +82,7 @@ def run_update_benchmark(
     pass is dropped when ``repeats > 1`` (warm-up protocol).
     """
     init_seconds, solver = time_initialization(
-        instance, engine_cls, repeats=1, drop_first=False
+        instance, engine_cls, repeats=1, drop_first=False, metrics=metrics
     )
     run = BenchmarkRun(
         analysis=instance.name, engine=engine_cls.__name__, init_seconds=init_seconds

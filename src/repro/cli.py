@@ -13,17 +13,25 @@ Examples::
 
     python -m repro analyze pointsto-kupdate minijavac
     python -m repro analyze constprop antlr --engine seminaive --limit 10
+    python -m repro analyze sign minijavac --profile
     python -m repro impact interval minijavac --changes 20
     python -m repro bench pointsto-kupdate pmd --engine dredl
+    python -m repro bench constprop minijavac --profile-json profile.json
+
+``analyze`` and ``bench`` accept ``--profile`` (per-stratum and per-rule
+solver metrics as an ASCII table) and ``--profile-json FILE`` (the same
+data in the JSON schema of docs/OBSERVABILITY.md; ``-`` for stdout).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from .analyses import ANALYSES
+from .datalog.errors import SolverError
 from .bench import (
     DISTRIBUTION_HEADERS,
     Distribution,
@@ -35,6 +43,7 @@ from .changes import alloc_site_changes, literal_to_zero_changes
 from .corpus import PRESETS, load_subject
 from .engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver, explain
 from .methodology import bucket_impacts, format_histogram, measure_impacts
+from .metrics import SolverMetrics, format_profile
 
 ENGINES = {
     "laddder": LaddderSolver,
@@ -56,12 +65,40 @@ def _build(args):
     return subject, instance
 
 
+def _make_metrics(args) -> SolverMetrics | None:
+    """A collector when ``--profile``/``--profile-json`` asked for one."""
+    if args.profile or args.profile_json:
+        return SolverMetrics()
+    return None
+
+
+def _emit_profile(args, metrics: SolverMetrics | None) -> None:
+    if metrics is None:
+        return
+    if args.profile:
+        print()
+        print(format_profile(metrics))
+    if args.profile_json:
+        payload = json.dumps(metrics.to_dict(), indent=2, sort_keys=True)
+        if args.profile_json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.profile_json, "w") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                print(f"error: cannot write profile: {exc}", file=sys.stderr)
+                return
+            print(f"profile written to {args.profile_json}")
+
+
 def cmd_analyze(args) -> int:
     """``analyze``: run and print an analysis result relation."""
     subject, instance = _build(args)
     engine = ENGINES[args.engine]
+    metrics = _make_metrics(args)
     start = time.perf_counter()
-    solver = instance.make_solver(engine)
+    solver = instance.make_solver(engine, metrics=metrics)
     elapsed = time.perf_counter() - start
     print(
         f"{instance.name} on {args.subject} "
@@ -75,6 +112,7 @@ def cmd_analyze(args) -> int:
     if args.limit is not None and len(rows) > args.limit:
         print(f"  ... ({len(rows) - args.limit} more)")
     print(f"{len(rows)} tuples in {instance.primary}")
+    _emit_profile(args, metrics)
     return 0
 
 
@@ -93,7 +131,8 @@ def cmd_bench(args) -> int:
     _subject, instance = _build(args)
     engine = ENGINES[args.engine]
     changes = _changes_for(instance, args.changes, args.seed)
-    run = run_update_benchmark(instance, engine, changes)
+    metrics = _make_metrics(args)
+    run = run_update_benchmark(instance, engine, changes, metrics=metrics)
     dist = Distribution.of(run.update_times())
     print(f"init: {run.init_seconds * 1e3:.1f} ms")
     print(
@@ -103,6 +142,7 @@ def cmd_bench(args) -> int:
             title=f"update times (ms), {engine.__name__}",
         )
     )
+    _emit_profile(args, metrics)
     return 0
 
 
@@ -111,7 +151,11 @@ def cmd_explain(args) -> int:
     _subject, instance = _build(args)
     solver = instance.make_solver(LaddderSolver)
     pred = args.predicate or instance.primary
-    rows = sorted(solver.relation(pred), key=repr)
+    try:
+        rows = sorted(solver.relation(pred), key=repr)
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.match:
         rows = [row for row in rows if args.match in repr(row)]
     if not rows:
@@ -139,8 +183,15 @@ def make_parser() -> argparse.ArgumentParser:
                        help="corpus scale factor")
         p.add_argument("--seed", type=int, default=42)
 
+    def profiled(p):
+        p.add_argument("--profile", action="store_true",
+                       help="print per-stratum/per-rule solver metrics")
+        p.add_argument("--profile-json", metavar="FILE", default=None,
+                       help="write solver metrics as JSON (use - for stdout)")
+
     analyze = sub.add_parser("analyze", help="run an analysis, print results")
     common(analyze)
+    profiled(analyze)
     analyze.add_argument("--engine", choices=sorted(ENGINES), default="laddder")
     analyze.add_argument("--limit", type=int, default=20,
                          help="max tuples to print (use -1 for all)")
@@ -154,6 +205,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="one-shot update-time measurement")
     common(bench)
+    profiled(bench)
     bench.add_argument("--engine", choices=sorted(ENGINES), default="laddder")
     bench.add_argument("--changes", type=int, default=20)
     bench.set_defaults(fn=cmd_bench)

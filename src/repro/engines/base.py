@@ -30,6 +30,7 @@ from ..datalog.normalize import normalize
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..datalog.validate import validate
+from ..metrics import SolverMetrics
 
 FactChanges = Mapping[str, Iterable[tuple]]
 
@@ -59,7 +60,7 @@ class Solver(ABC):
     #: Fixpoint guard: iterations per component before declaring divergence.
     MAX_ITERATIONS = 100_000
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
         self.program = program.copy()
         normalize(self.program)
         self.components: list[Component] = validate(self.program)
@@ -68,6 +69,15 @@ class Solver(ABC):
         self.idb = self.program.idb_predicates()
         self._facts: dict[str, set[tuple]] = {}
         self._solved = False
+        #: Observability collector — a disabled instance by default, so the
+        #: hot path only pays when the caller opts in (docs/OBSERVABILITY.md).
+        self.metrics = metrics if metrics is not None else SolverMetrics(enabled=False)
+        self.metrics.engine = type(self).__name__
+
+    def _store_metrics(self) -> SolverMetrics | None:
+        """The metrics object relation stores should count probes into, or
+        None when collection is off (keeps ``matching`` branch-free-ish)."""
+        return self.metrics if self.metrics.active else None
 
     # -- fact management ---------------------------------------------------
 
@@ -82,13 +92,29 @@ class Solver(ABC):
     def facts(self, pred: str) -> frozenset[tuple]:
         return frozenset(self._facts.get(pred, ()))
 
+    def _fact_items(self) -> list[tuple[str, set[tuple]]]:
+        """Staged fact relations worth materializing.  An *empty* bucket for
+        a predicate no rule mentions has no registered arity and no
+        observable effect, so it is skipped rather than tripping the strict
+        relation stores."""
+        return [
+            (pred, rows)
+            for pred, rows in self._facts.items()
+            if rows or pred in self.arities
+        ]
+
     def _check_edb(self, pred: str) -> None:
         if pred in self.idb:
             raise SolverError(f"{pred} is derived; only input relations take facts")
 
     def _check_row(self, pred: str, row: tuple) -> None:
         expected = self.arities.get(pred)
-        if expected is not None and len(row) != expected:
+        if expected is None:
+            # A fact relation no rule mentions: the first row fixes its
+            # arity, so later rows — and the relation stores, which treat an
+            # unknown predicate as an error — see a consistent declaration.
+            self.arities[pred] = len(row)
+        elif len(row) != expected:
             raise SolverError(
                 f"{pred} expects arity {expected}, got {len(row)}: {row!r}"
             )

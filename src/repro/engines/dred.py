@@ -37,11 +37,14 @@ evaluation" (Section 7.3).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..datalog.ast import Constant, Literal, Rule, Variable
 from ..datalog.errors import SolverError
 from ..datalog.planning import delta_plans, plan_body
 from ..datalog.program import Program
 from ..datalog.stratify import Component
+from ..metrics import SolverMetrics
 from .aggspec import AggSpec, compile_agg_specs
 from .base import FactChanges, Solver, UpdateStats
 from .grounding import bind_pinned, instantiate, run_plan
@@ -53,10 +56,17 @@ _MISSING = object()
 class _DredComponent:
     """Compiled plans and live state for one component under DRedL."""
 
-    def __init__(self, component: Component, program: Program, arities: dict):
+    def __init__(
+        self,
+        component: Component,
+        program: Program,
+        arities: dict,
+        metrics: "SolverMetrics | None" = None,
+    ):
         self.component = component
         self.program = program
         self.arities = arities
+        self.metrics = metrics
         self.specs: dict[str, AggSpec] = compile_agg_specs(component.rules, program)
         self.specs_by_collecting: dict[str, list[AggSpec]] = {}
         for spec in self.specs.values():
@@ -97,7 +107,13 @@ class _DredComponent:
     def rel(self, pred: str) -> IndexedRelation:
         relation = self.relations.get(pred)
         if relation is None:
-            relation = IndexedRelation(self.arities.get(pred, 0))
+            arity = self.arities.get(pred)
+            if arity is None:
+                raise SolverError(
+                    f"unknown predicate {pred!r} in component "
+                    f"{sorted(self.component.predicates)}"
+                )
+            relation = IndexedRelation(arity, metrics=self.metrics)
             self.relations[pred] = relation
         return relation
 
@@ -114,7 +130,12 @@ class DRedLSolver(Solver):
     #: solver declares the analysis incompatible (non-per-rule-monotone).
     MAX_ROUNDS = 10_000
 
-    def __init__(self, program: Program, aggregation: str = "inflationary"):
+    def __init__(
+        self,
+        program: Program,
+        aggregation: str = "inflationary",
+        metrics: SolverMetrics | None = None,
+    ):
         """``aggregation`` selects the aggregate-maintenance mode:
 
         * ``"inflationary"`` (default) — intermediate aggregate results are
@@ -129,12 +150,13 @@ class DRedLSolver(Solver):
           oscillate and trip the divergence guard — the behaviour the paper
           reports for IncA.
         """
-        super().__init__(program)
+        super().__init__(program, metrics=metrics)
         if aggregation not in ("inflationary", "rosssagiv"):
             raise ValueError(f"unknown aggregation mode {aggregation!r}")
         self.inflationary = aggregation == "inflationary"
         self._states = [
-            _DredComponent(c, self.program, self.arities) for c in self.components
+            _DredComponent(c, self.program, self.arities, self._store_metrics())
+            for c in self.components
         ]
         self._exported = RelationStore(self.arities)
         self.last_stats: UpdateStats | None = None
@@ -142,14 +164,17 @@ class DRedLSolver(Solver):
     # -- public API ----------------------------------------------------------
 
     def solve(self) -> None:
-        self._exported = RelationStore(self.arities)
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
+        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         for state in self._states:
+            state.metrics = self._store_metrics()
             state.reset()
-        for pred, rows in self._facts.items():
+        for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
                 relation.add(row)
-        for state in self._states:
+        for index, state in enumerate(self._states):
             insertions = set()
             for pred in state.upstream_reads:
                 for row in self._exported.get(pred).tuples:
@@ -157,8 +182,10 @@ class DRedLSolver(Solver):
             for rule, plan in state.static_rules:
                 for binding in run_plan(plan, self.program, state.rel, {}):
                     insertions.add((rule.head.pred, instantiate(rule.head, binding)))
-            self._run_component(state, insertions, set())
+            self._run_component(state, insertions, set(), index)
         self._solved = True
+        if active:
+            self.metrics.solve_seconds += perf_counter() - started
 
     def update(
         self,
@@ -166,6 +193,8 @@ class DRedLSolver(Solver):
         deletions: FactChanges | None = None,
     ) -> UpdateStats:
         self._require_solved()
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
         ins, dels = self._normalize_changes(insertions, deletions)
         pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
         for pred, rows in ins.items():
@@ -180,7 +209,7 @@ class DRedLSolver(Solver):
                 relation.discard(row)
 
         stats = UpdateStats()
-        for state in self._states:
+        for index, state in enumerate(self._states):
             seeds_ins: set[tuple[str, tuple]] = set()
             seeds_del: set[tuple[str, tuple]] = set()
             for pred in state.upstream_reads & pending.keys():
@@ -189,7 +218,7 @@ class DRedLSolver(Solver):
                 seeds_del.update((pred, row) for row in removed)
             if not seeds_ins and not seeds_del:
                 continue
-            diff, work = self._run_component(state, seeds_ins, seeds_del)
+            diff, work = self._run_component(state, seeds_ins, seeds_del, index)
             stats.work += work
             for pred, (added, removed) in diff.items():
                 bucket = pending.setdefault(pred, (set(), set()))
@@ -208,6 +237,8 @@ class DRedLSolver(Solver):
             if removed:
                 stats.deleted[pred] = set(removed)
         self.last_stats = stats
+        if active:
+            self.metrics.update_seconds += perf_counter() - started
         return stats
 
     def relation(self, pred: str) -> frozenset[tuple]:
@@ -248,7 +279,15 @@ class DRedLSolver(Solver):
         state: _DredComponent,
         pending_ins: set[tuple[str, tuple]],
         pending_del: set[tuple[str, tuple]],
+        index: int = 0,
     ) -> tuple[dict[str, tuple[set[tuple], set[tuple]]], int]:
+        metrics = self.metrics
+        stratum = (
+            metrics.stratum(index, state.component.predicates)
+            if metrics.active
+            else None
+        )
+        comp_started = perf_counter() if stratum is not None else 0.0
         net_added: dict[str, set[tuple]] = {}
         net_removed: dict[str, set[tuple]] = {}
         work = 0
@@ -280,6 +319,8 @@ class DRedLSolver(Solver):
         for _ in range(self.MAX_ROUNDS):
             if not pending_del and not pending_ins:
                 break
+            if stratum is not None:
+                round_derived_before = stratum.tuples_derived
             dirty: set[tuple[str, tuple]] = set()  # (agg pred, group key)
 
             # Phase 1: deletion sweep + re-derivation.  Dirtied groups'
@@ -290,7 +331,7 @@ class DRedLSolver(Solver):
             if pending_del:
                 work += self._deletion_sweep(
                     state, pending_del, pending_ins, dirty, record_remove,
-                    overdelete_aggregates=True,
+                    overdelete_aggregates=True, stratum=stratum,
                 )
                 pending_del = set()
                 for spec_pred, key in dirty:
@@ -306,7 +347,7 @@ class DRedLSolver(Solver):
             touched: set[tuple[str, tuple]] = set(dirty)
             work += self._insertion_sweep(
                 state, pending_ins, pending_del, touched, record_add,
-                groups_before,
+                groups_before, stratum=stratum,
             )
             pending_ins = set()
             reconciled: set[tuple[str, tuple]] = set()
@@ -329,10 +370,17 @@ class DRedLSolver(Solver):
                     break
                 work += self._insertion_sweep(
                     state, to_insert, pending_del, touched, record_add,
-                    groups_before,
+                    groups_before, stratum=stratum,
                 )
             else:  # pragma: no cover - bounded by group count
                 raise SolverError("DRedL reconcile loop failed to quiesce")
+
+            if stratum is not None:
+                # All physical inserts of a round happen in phase 2; record
+                # the round's frontier before the (retract-only) cleanup.
+                metrics.round_delta(
+                    stratum, stratum.tuples_derived - round_derived_before
+                )
 
             # Phase 3 (Ross-Sagiv mode): clean up stale aggregate tuples.
             if self.inflationary:
@@ -343,7 +391,7 @@ class DRedLSolver(Solver):
                 final = state.totals[spec_pred].get(key)
                 relation = state.rel(spec_pred)
                 pattern = spec.tuple_for(key, None)
-                for row in list(relation.matching(pattern)):
+                for row in relation.matching(pattern):
                     _, value = spec.split_tuple(row)
                     if final is None or value != final:
                         stale.add((spec_pred, row))
@@ -351,7 +399,7 @@ class DRedLSolver(Solver):
                 cleanup_dirty: set[tuple[str, tuple]] = set()
                 work += self._deletion_sweep(
                     state, stale, pending_ins, cleanup_dirty, record_remove,
-                    overdelete_aggregates=False,
+                    overdelete_aggregates=False, stratum=stratum,
                 )
                 # Reconcile: a decreased total means rules were conditioned
                 # on intermediate aggregates (not per-rule monotone); loop.
@@ -410,15 +458,18 @@ class DRedLSolver(Solver):
                     exported.discard(row)
                 for row in added:
                     exported.add(row)
+        if stratum is not None:
+            metrics.stratum_end(stratum, perf_counter() - comp_started)
         return diff, work
 
     def _deletion_sweep(
         self, state, seeds, pending_ins, dirty, record_remove,
-        overdelete_aggregates: bool,
+        overdelete_aggregates: bool, stratum=None,
     ) -> int:
         """Transitive over-deletion against the pre-sweep state, physical
         removal, then re-derivation of survivors (restorations feed the
         caller's insertion worklist)."""
+        metrics = self.metrics
         work = 0
         removed: set[tuple[str, tuple]] = set()
         negation_reinserts: set[tuple[str, tuple]] = set()
@@ -439,15 +490,23 @@ class DRedLSolver(Solver):
                     if literal.negated:
                         negation_reinserts.add((pred, row))
                         continue
+                    t0 = perf_counter() if stratum is not None else 0.0
+                    enumerated = 0
                     for theta in run_plan(
                         plan, self.program, state.rel, binding, start=1
                     ):
+                        enumerated += 1
                         head = (rule.head.pred, instantiate(rule.head, theta))
                         if head in removed:
                             continue
                         if head[1] in state.rel(head[0]):
                             removed.add(head)
                             next_frontier.append(head)
+                    if stratum is not None:
+                        metrics.rule_fired(
+                            repr(rule), 0, 0, perf_counter() - t0,
+                            stratum, count=False, fired=enumerated,
+                        )
                 for spec in state.specs_by_collecting.get(pred, ()):
                     binding = bind_pinned(spec.plan[0], row)
                     if binding is None:
@@ -462,7 +521,7 @@ class DRedLSolver(Solver):
                     # total), or stale intermediates can keep retracted
                     # conclusions alive through cycles.
                     pattern = spec.tuple_for(key, None)
-                    for total_row in list(state.rel(spec.pred).matching(pattern)):
+                    for total_row in state.rel(spec.pred).matching(pattern):
                         head = (spec.pred, total_row)
                         if head not in removed:
                             removed.add(head)
@@ -478,6 +537,8 @@ class DRedLSolver(Solver):
         for pred, row in removed:
             relation = state.rel(pred)
             if relation.discard(row):
+                if stratum is not None:
+                    metrics.tuples_retracted += 1
                 record_remove(pred, row)
                 if pred in state.component.predicates and pred not in state.specs:
                     overdeleted_local.append((pred, row))
@@ -502,7 +563,8 @@ class DRedLSolver(Solver):
         return work
 
     def _insertion_sweep(
-        self, state, seeds, pending_del, touched, record_add, groups_before
+        self, state, seeds, pending_del, touched, record_add, groups_before,
+        stratum=None,
     ) -> int:
         """Monotone ascension: propagate insertions to quiescence.  Group
         totals only advance; superseded aggregate tuples stay in place (in
@@ -510,14 +572,19 @@ class DRedLSolver(Solver):
         they simply remain, and pruning happens at export) so the state
         being rebuilt is never torn down mid-flight.  Insertions into
         negated atoms seed the next round's deletions."""
+        metrics = self.metrics
         work = 0
         worklist = list(seeds)
         while worklist:
             pred, row = worklist.pop()
             relation = state.rel(pred)
             if not relation.add(row):
+                if stratum is not None:
+                    metrics.derivations(stratum, 0, 1)
                 continue
             work += 1
+            if stratum is not None:
+                metrics.derivations(stratum, 1)
             record_add(pred, row)
             for rule, literal, plan in state.occurrence_plans.get(pred, ()):
                 binding = bind_pinned(literal, row)
@@ -532,12 +599,20 @@ class DRedLSolver(Solver):
                         if head[1] in state.rel(head[0]):
                             pending_del.add(head)
                     continue
+                t0 = perf_counter() if stratum is not None else 0.0
+                enumerated = 0
                 for theta in run_plan(
                     plan, self.program, state.rel, binding, start=1
                 ):
+                    enumerated += 1
                     head_row = instantiate(rule.head, theta)
                     if head_row not in state.rel(rule.head.pred):
                         worklist.append((rule.head.pred, head_row))
+                if stratum is not None:
+                    metrics.rule_fired(
+                        repr(rule), 0, 0, perf_counter() - t0,
+                        stratum, count=False, fired=enumerated,
+                    )
             for spec in state.specs_by_collecting.get(pred, ()):
                 binding = bind_pinned(spec.plan[0], row)
                 if binding is None:

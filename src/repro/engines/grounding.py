@@ -123,7 +123,9 @@ def run_plan(
             return
         relation = lookup(item.pred)
         pattern = pattern_for(item.atom, binding)
-        for row in list(relation.matching(pattern)):
+        # matching() returns a snapshot (see ColumnIndexed.matching), so the
+        # relation may be mutated by consumers while we enumerate.
+        for row in relation.matching(pattern):
             added = unify_tuple(item.atom, row, binding)
             if added is None:
                 continue

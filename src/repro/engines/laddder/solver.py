@@ -42,12 +42,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from operator import itemgetter
+from time import perf_counter
 
 from ...datalog.ast import Literal, Rule
 from ...datalog.errors import SolverError
 from ...datalog.planning import delta_plans, plan_body
 from ...datalog.program import Program
 from ...datalog.stratify import Component
+from ...metrics import SolverMetrics
 from ..aggspec import AggSpec, compile_agg_specs
 from ..base import FactChanges, Solver, UpdateStats
 from ..grounding import bind_pinned, instantiate, run_plan, term_value
@@ -62,10 +64,17 @@ _MISSING = object()
 class _ComponentState:
     """Compiled plans plus runtime state for one dependency component."""
 
-    def __init__(self, component: Component, program: Program, arities: dict):
+    def __init__(
+        self,
+        component: Component,
+        program: Program,
+        arities: dict,
+        metrics: "SolverMetrics | None" = None,
+    ):
         self.component = component
         self.program = program
         self.arities = arities
+        self.metrics = metrics
         self.specs: dict[str, AggSpec] = compile_agg_specs(component.rules, program)
         self.specs_by_collecting: dict[str, list[AggSpec]] = {}
         for spec in self.specs.values():
@@ -103,9 +112,19 @@ class _ComponentState:
     def rel(self, pred: str) -> TimedRelation:
         relation = self.relations.get(pred)
         if relation is None:
-            relation = TimedRelation(self.arities.get(pred, 0))
+            arity = self.arities.get(pred)
+            if arity is None:
+                raise SolverError(
+                    f"unknown predicate {pred!r} in component "
+                    f"{sorted(self.component.predicates)}"
+                )
+            relation = TimedRelation(arity, metrics=self.metrics)
             self.relations[pred] = relation
         return relation
+
+    def timeline_entries(self) -> int:
+        """Differential-count entries across the component (gauge)."""
+        return sum(rel.timeline_entries() for rel in self.relations.values())
 
     def state_size(self) -> int:
         cells = sum(rel.state_size() for rel in self.relations.values())
@@ -124,10 +143,11 @@ class LaddderSolver(Solver):
     #: below this; exceeding it indicates divergence (see Section 4.3).
     MAX_TIMESTAMP = 100_000
 
-    def __init__(self, program: Program):
-        super().__init__(program)
+    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
+        super().__init__(program, metrics=metrics)
         self._states = [
-            _ComponentState(c, self.program, self.arities) for c in self.components
+            _ComponentState(c, self.program, self.arities, self._store_metrics())
+            for c in self.components
         ]
         self._exported = RelationStore(self.arities)
         self.last_stats: UpdateStats | None = None
@@ -135,14 +155,17 @@ class LaddderSolver(Solver):
     # -- public API ----------------------------------------------------------
 
     def solve(self) -> None:
-        self._exported = RelationStore(self.arities)
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
+        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         for state in self._states:
+            state.metrics = self._store_metrics()
             state.reset()
-        for pred, rows in self._facts.items():
+        for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
                 relation.add(row)
-        for state in self._states:
+        for index, state in enumerate(self._states):
             deltas = []
             for pred in sorted(state.upstream_reads):
                 for row in self._exported.get(pred).tuples:
@@ -150,8 +173,11 @@ class LaddderSolver(Solver):
             for rule, plan in state.static_rules:
                 for binding in run_plan(plan, self.program, state.rel, {}):
                     deltas.append((rule.head.pred, instantiate(rule.head, binding), 0, 1))
-            self._compensate(state, deltas)
+            self._compensate(state, deltas, index)
         self._solved = True
+        if active:
+            self.metrics.solve_seconds += perf_counter() - started
+            self._refresh_gauges()
 
     def update(
         self,
@@ -159,6 +185,9 @@ class LaddderSolver(Solver):
         deletions: FactChanges | None = None,
     ) -> UpdateStats:
         self._require_solved()
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
+        self.metrics.epochs += 1
         ins, dels = self._normalize_changes(insertions, deletions)
         pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
         for pred, rows in ins.items():
@@ -173,7 +202,7 @@ class LaddderSolver(Solver):
                 relation.discard(row)
 
         stats = UpdateStats()
-        for state in self._states:
+        for index, state in enumerate(self._states):
             deltas = []
             for pred in sorted(state.upstream_reads & pending.keys()):
                 added, removed = pending[pred]
@@ -183,7 +212,7 @@ class LaddderSolver(Solver):
                     deltas.append((pred, row, 0, -1))
             if not deltas:
                 continue
-            diff, work = self._compensate(state, deltas)
+            diff, work = self._compensate(state, deltas, index)
             stats.work += work
             for pred, (added, removed) in diff.items():
                 bucket = pending.setdefault(pred, (set(), set()))
@@ -202,7 +231,16 @@ class LaddderSolver(Solver):
             if removed:
                 stats.deleted[pred] = set(removed)
         self.last_stats = stats
+        if active:
+            self.metrics.update_seconds += perf_counter() - started
+            self._refresh_gauges()
         return stats
+
+    def _refresh_gauges(self) -> None:
+        """Recompute the post-epoch Laddder gauges (profiling only)."""
+        self.metrics.timeline_entries = sum(
+            state.timeline_entries() for state in self._states
+        )
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
@@ -249,9 +287,19 @@ class LaddderSolver(Solver):
     # -- compensation core -----------------------------------------------
 
     def _compensate(
-        self, state: _ComponentState, deltas: list[tuple[str, tuple, int, int]]
+        self,
+        state: _ComponentState,
+        deltas: list[tuple[str, tuple, int, int]],
+        index: int = 0,
     ) -> tuple[dict[str, tuple[set[tuple], set[tuple]]], int]:
         """Drain one component's queue; returns (exported diff, work)."""
+        metrics = self.metrics
+        stratum = (
+            metrics.stratum(index, state.component.predicates)
+            if metrics.active
+            else None
+        )
+        comp_started = perf_counter() if stratum is not None else 0.0
         counter = itertools.count()
         queue: list[tuple[int, int, str, tuple, int]] = []
         for pred, row, t, d in deltas:
@@ -274,11 +322,14 @@ class LaddderSolver(Solver):
             # keeps compensation of cyclic derivations from chasing itself
             # up the timestamp axis (no push ever targets the current
             # batch, so consolidation is complete).
+            if stratum is not None:
+                metrics.queue_depth(len(queue))
             batch: dict[tuple[str, tuple], int] = {}
             while queue and queue[0][0] == t:
                 _, _, pred, row, delta = heapq.heappop(queue)
                 key = (pred, row)
                 batch[key] = batch.get(key, 0) + delta
+            batch_derived = 0
             for (pred, row), delta in batch.items():
                 if delta == 0:
                     continue
@@ -291,26 +342,46 @@ class LaddderSolver(Solver):
                     )
                 relation.add_delta(row, t, delta)
                 new_first = relation.timelines[row].first()
+                if stratum is not None:
+                    metrics.compensation(pred, row, t, delta)
+                    if delta > 0:
+                        batch_derived += 1
+                    else:
+                        metrics.tuples_retracted += 1
+                    if old_first == new_first:
+                        metrics.derivations(stratum, 0, 1)  # absorbed
                 if old_first != new_first:
                     self._propagate(
-                        state, pred, row, old_first, new_first, queue, counter
+                        state, pred, row, old_first, new_first, queue, counter,
+                        stratum,
                     )
                     self._feed_aggregations(
                         state, pred, row, old_first, new_first, queue, counter,
                         groups_before,
                     )
                 relation.cleanup(row)
+            if stratum is not None:
+                metrics.derivations(stratum, batch_derived)
+                metrics.round_delta(stratum, batch_derived)
 
+        if stratum is not None:
+            diff = self._exported_component_diff(
+                state, presence_before, groups_before
+            )
+            metrics.stratum_end(stratum, perf_counter() - comp_started)
+            return diff, work
         return self._exported_component_diff(state, presence_before, groups_before), work
 
     def _propagate(
-        self, state, pred, row, old_first, new_first, queue, counter
+        self, state, pred, row, old_first, new_first, queue, counter,
+        stratum=None,
     ) -> None:
         """Emit firing-time corrections for every rule instantiation that
         involves ``row``, whose existence moved ``old_first -> new_first``."""
         plans = state.occurrence_plans.get(pred)
         if not plans:
             return
+        metrics = self.metrics
         by_rule: dict[int, set] = {}
         neg_skip = (pred, row)
         for rule, literal, plan in plans:
@@ -318,6 +389,8 @@ class LaddderSolver(Solver):
             binding = bind_pinned(literal, row)
             if binding is None:
                 continue
+            t0 = perf_counter() if stratum is not None else 0.0
+            enumerated = 0
             for theta in run_plan(
                 plan, self.program, state.rel, binding, start=1, neg_skip=neg_skip
             ):
@@ -325,6 +398,7 @@ class LaddderSolver(Solver):
                 if canon in seen:
                     continue
                 seen.add(canon)
+                enumerated += 1
                 t_old, t_new = self._firing_times(
                     state, rule, theta, pred, row, old_first, new_first
                 )
@@ -341,6 +415,13 @@ class LaddderSolver(Solver):
                         queue,
                         (int(t_new), next(counter), rule.head.pred, head_row, 1),
                     )
+            if stratum is not None:
+                # Corrections are counted when applied (in _compensate), so
+                # this records enumeration effort only.
+                metrics.rule_fired(
+                    repr(rule), 0, 0, perf_counter() - t0, stratum,
+                    count=False, fired=enumerated,
+                )
 
     def _firing_times(
         self, state, rule: Rule, theta: dict, pred: str, row: tuple,

@@ -1,9 +1,9 @@
 """Timestamped relation storage for Laddder components.
 
 A :class:`TimedRelation` maps tuples to their differential count
-:class:`~repro.engines.laddder.timeline.Timeline` and maintains the same
-lazy column indexes as :class:`repro.engines.relation.IndexedRelation`, so
-the shared grounding machinery (:func:`repro.engines.grounding.run_plan`)
+:class:`~repro.engines.laddder.timeline.Timeline` and shares the lazy
+column-index maintenance of :class:`repro.engines.relation.ColumnIndexed`,
+so the shared grounding machinery (:func:`repro.engines.grounding.run_plan`)
 works unchanged — a tuple participates in joins while its timeline is
 non-empty.
 
@@ -15,20 +15,25 @@ consequences).  The solver calls :meth:`cleanup` after each propagation.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterator
 
+from ..relation import ColumnIndexed
 from .timeline import NEVER, Timeline
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ...metrics import SolverMetrics
 
-class TimedRelation:
+
+class TimedRelation(ColumnIndexed):
     """Tuples with differential count timelines and lazy column indexes."""
 
-    __slots__ = ("arity", "timelines", "_indexes")
+    __slots__ = ("arity", "timelines", "_indexes", "metrics")
 
-    def __init__(self, arity: int):
+    def __init__(self, arity: int, metrics: "SolverMetrics | None" = None):
         self.arity = arity
         self.timelines: dict[tuple, Timeline] = {}
         self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
+        self.metrics = metrics
 
     # -- the IndexedRelation protocol used by run_plan ---------------------
 
@@ -41,26 +46,8 @@ class TimedRelation:
     def __contains__(self, item: tuple) -> bool:
         return item in self.timelines
 
-    def matching(self, pattern: tuple) -> Iterable[tuple]:
-        cols = tuple(i for i, v in enumerate(pattern) if v is not None)
-        if not cols:
-            return list(self.timelines)
-        if len(cols) == self.arity:
-            exact = tuple(pattern)
-            return (exact,) if exact in self.timelines else ()
-        index = self._index(cols)
-        key = tuple(pattern[c] for c in cols)
-        return index.get(key, ())
-
-    def _index(self, cols: tuple[int, ...]) -> dict[tuple, set[tuple]]:
-        index = self._indexes.get(cols)
-        if index is None:
-            index = {}
-            for item in self.timelines:
-                key = tuple(item[c] for c in cols)
-                index.setdefault(key, set()).add(item)
-            self._indexes[cols] = index
-        return index
+    def _items(self):
+        return self.timelines
 
     # -- timeline maintenance ----------------------------------------------
 
@@ -70,9 +57,7 @@ class TimedRelation:
         if timeline is None:
             timeline = Timeline()
             self.timelines[item] = timeline
-            for cols, index in self._indexes.items():
-                key = tuple(item[c] for c in cols)
-                index.setdefault(key, set()).add(item)
+            self._register(item)
         timeline.add(timestamp, delta)
         return timeline
 
@@ -89,23 +74,15 @@ class TimedRelation:
         if timeline is None or timeline:
             return
         del self.timelines[item]
-        for cols, index in self._indexes.items():
-            key = tuple(item[c] for c in cols)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.discard(item)
-                if not bucket:
-                    del index[key]
+        self._unregister(item)
 
     def present_tuples(self) -> set[tuple]:
         """Tuples that exist at the fixpoint (positive total count)."""
         return {item for item, tl in self.timelines.items() if tl.total() > 0}
 
+    def timeline_entries(self) -> int:
+        """Total differential-count entries across all timelines (gauge)."""
+        return sum(len(tl) for tl in self.timelines.values())
+
     def state_size(self) -> int:
-        timeline_cells = sum(tl.state_size() for tl in self.timelines.values())
-        postings = sum(
-            len(bucket)
-            for index in self._indexes.values()
-            for bucket in index.values()
-        )
-        return len(self.timelines) + timeline_cells + postings
+        return len(self.timelines) + self.timeline_entries() + self._postings()

@@ -16,6 +16,7 @@ epoch's compensation queue, never in a settled timeline.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import islice
 from typing import Iterator
 
 #: Timestamp meaning "never exists" in first/existence computations.
@@ -62,9 +63,13 @@ class Timeline:
             self._deltas.insert(i, delta)
 
     def cumulative(self, timestamp: int) -> int:
-        """Cumulative count at ``timestamp`` (Figure 5, top-left)."""
+        """Cumulative count at ``timestamp`` (Figure 5, top-left).
+
+        Runs a prefix sum over the first ``i`` deltas without materializing
+        a slice copy — probes are frequent, timelines can be long.
+        """
         i = bisect_right(self._times, timestamp)
-        return sum(self._deltas[:i])
+        return sum(islice(self._deltas, i))
 
     def total(self) -> int:
         """Cumulative count at infinity."""

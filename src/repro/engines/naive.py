@@ -13,10 +13,13 @@ what the impact methodology of Section 3 measures.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..datalog.errors import SolverError
 from ..datalog.planning import plan_body
 from ..datalog.program import Program
 from ..datalog.stratify import Component
+from ..metrics import SolverMetrics
 from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
 from .base import FactChanges, Solver, UpdateStats
 from .grounding import instantiate, run_plan
@@ -26,23 +29,27 @@ from .relation import IndexedRelation, RelationStore
 class NaiveSolver(Solver):
     """Iterate ``T̂`` to fixpoint on full relations; prune; export."""
 
-    def __init__(self, program: Program):
-        super().__init__(program)
+    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
+        super().__init__(program, metrics=metrics)
         self._exported = RelationStore(self.arities)
         self._raw = RelationStore(self.arities)
 
     # -- public API ----------------------------------------------------------
 
     def solve(self) -> None:
-        self._exported = RelationStore(self.arities)
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
+        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         self._raw = RelationStore(self.arities)
-        for pred, rows in self._facts.items():
+        for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
                 relation.add(row)
-        for component in self.components:
-            self._solve_component(component)
+        for index, component in enumerate(self.components):
+            self._solve_component(component, index)
         self._solved = True
+        if active:
+            self.metrics.solve_seconds += perf_counter() - started
 
     def update(
         self,
@@ -50,6 +57,8 @@ class NaiveSolver(Solver):
         deletions: FactChanges | None = None,
     ) -> UpdateStats:
         self._require_solved()
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
         before = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
@@ -58,6 +67,8 @@ class NaiveSolver(Solver):
         after = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
+        if active:
+            self.metrics.update_seconds += perf_counter() - started
         return self._exported_diff(before, after)
 
     def relation(self, pred: str) -> frozenset[tuple]:
@@ -76,8 +87,13 @@ class NaiveSolver(Solver):
 
     # -- component evaluation --------------------------------------------
 
-    def _solve_component(self, component: Component) -> None:
-        local = RelationStore(self.arities)
+    def _solve_component(self, component: Component, index: int) -> None:
+        metrics = self.metrics
+        stratum = (
+            metrics.stratum(index, component.predicates) if metrics.active else None
+        )
+        started = perf_counter() if stratum is not None else 0.0
+        local = RelationStore(self.arities, metrics=self._store_metrics())
         plans = [
             (rule, plan_body(rule))
             for rule in component.rules
@@ -92,14 +108,36 @@ class NaiveSolver(Solver):
 
         for iteration in range(self.MAX_ITERATIONS):
             changed = False
+            round_new = 0
             for rule, plan in plans:
                 target = local.get(rule.head.pred)
-                for binding in run_plan(plan, self.program, lookup, {}):
-                    if target.add(instantiate(rule.head, binding)):
+                if stratum is None:
+                    for binding in run_plan(plan, self.program, lookup, {}):
+                        if target.add(instantiate(rule.head, binding)):
+                            changed = True
+                else:
+                    t0 = perf_counter()
+                    derived = dedup = 0
+                    for binding in run_plan(plan, self.program, lookup, {}):
+                        if target.add(instantiate(rule.head, binding)):
+                            derived += 1
+                        else:
+                            dedup += 1
+                    metrics.rule_fired(
+                        repr(rule), derived, dedup, perf_counter() - t0, stratum
+                    )
+                    if derived:
                         changed = True
+                        round_new += derived
             for spec in specs.values():
-                if self._apply_aggregation(spec, lookup, local):
+                advanced = self._apply_aggregation(spec, lookup, local)
+                if advanced:
                     changed = True
+                    round_new += advanced
+                    if stratum is not None:
+                        metrics.derivations(stratum, advanced)
+            if stratum is not None:
+                metrics.round_delta(stratum, round_new)
             if not changed:
                 break
         else:
@@ -110,10 +148,13 @@ class NaiveSolver(Solver):
             )
 
         self._export_component(component, local, specs)
+        if stratum is not None:
+            metrics.stratum_end(stratum, perf_counter() - started)
 
-    def _apply_aggregation(self, spec: AggSpec, lookup, local: RelationStore) -> bool:
+    def _apply_aggregation(self, spec: AggSpec, lookup, local: RelationStore) -> int:
         """One inflationary application: derive the current total per group
-        (keeping previously derived totals — inflation)."""
+        (keeping previously derived totals — inflation).  Returns the number
+        of newly derived total tuples."""
         groups: dict[tuple, object] = {}
         combine = spec.aggregator.combine
         for binding in run_plan(spec.plan, self.program, lookup, {}):
@@ -123,11 +164,11 @@ class NaiveSolver(Solver):
             else:
                 groups[key] = value
         target = local.get(spec.pred)
-        changed = False
+        advanced = 0
         for key, total in groups.items():
             if target.add(spec.tuple_for(key, total)):
-                changed = True
-        return changed
+                advanced += 1
+        return advanced
 
     def _export_component(
         self, component: Component, local: RelationStore, specs: dict[str, AggSpec]

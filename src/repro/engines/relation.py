@@ -2,26 +2,110 @@
 
 An :class:`IndexedRelation` is a set of tuples with lazily built, then
 incrementally maintained, hash indexes on arbitrary column subsets.  Joins
-probe :meth:`matching` with a pattern (``None`` marks a free column); the
-first probe on a column set builds the index, later mutations keep every
-existing index current.
+probe :meth:`ColumnIndexed.matching` with a pattern (``None`` marks a free
+column); the first probe on a column set builds the index, later mutations
+keep every existing index current.
+
+The lazy-index maintenance lives in :class:`ColumnIndexed` so that
+:class:`repro.engines.laddder.state.TimedRelation` (tuples with timelines
+instead of plain membership) shares one implementation instead of carrying
+a drifting copy.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterator
+
+from ..datalog.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..metrics import SolverMetrics
 
 
-class IndexedRelation:
+class ColumnIndexed:
+    """Lazy column-subset hash indexes over a set of same-arity tuples.
+
+    Concrete subclasses own the tuple population: they must define ``arity``,
+    ``__contains__``, an ``_items()`` iterable of stored tuples, and the
+    ``_indexes``/``metrics`` attributes (kept in subclass ``__slots__`` so
+    each class controls its own layout).  Mutations must call
+    :meth:`_register` / :meth:`_unregister` to keep built indexes current.
+    """
+
+    __slots__ = ()
+
+    def _items(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def matching(self, pattern: tuple) -> tuple:
+        """All tuples agreeing with ``pattern`` on its non-None positions.
+
+        Returns a **snapshot**: an immutable sequence detached from the
+        relation's internal buckets, so callers may freely mutate the
+        relation (add/discard/cleanup) while iterating the result.  Do not
+        hold results across mutations expecting them to update.
+        """
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.join_probes += 1
+        cols = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not cols:
+            return tuple(self._items())
+        if len(cols) == self.arity:
+            exact = tuple(pattern)
+            return (exact,) if exact in self else ()
+        index = self._index(cols)
+        bucket = index.get(tuple(pattern[c] for c in cols))
+        return tuple(bucket) if bucket else ()
+
+    def _index(self, cols: tuple[int, ...]) -> dict[tuple, set[tuple]]:
+        index = self._indexes.get(cols)
+        if index is None:
+            index = {}
+            for item in self._items():
+                key = tuple(item[c] for c in cols)
+                index.setdefault(key, set()).add(item)
+            self._indexes[cols] = index
+            if self.metrics is not None:
+                self.metrics.index_builds += 1
+        return index
+
+    def _register(self, item: tuple) -> None:
+        """Insert ``item`` into every built index."""
+        for cols, index in self._indexes.items():
+            key = tuple(item[c] for c in cols)
+            index.setdefault(key, set()).add(item)
+
+    def _unregister(self, item: tuple) -> None:
+        """Remove ``item`` from every built index."""
+        for cols, index in self._indexes.items():
+            key = tuple(item[c] for c in cols)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del index[key]
+
+    def _postings(self) -> int:
+        """Index entry count, for the memory benchmarks."""
+        return sum(
+            len(bucket)
+            for index in self._indexes.values()
+            for bucket in index.values()
+        )
+
+
+class IndexedRelation(ColumnIndexed):
     """A mutable set of same-arity tuples with column indexes."""
 
-    __slots__ = ("arity", "tuples", "_indexes")
+    __slots__ = ("arity", "tuples", "_indexes", "metrics")
 
-    def __init__(self, arity: int):
+    def __init__(self, arity: int, metrics: "SolverMetrics | None" = None):
         self.arity = arity
         self.tuples: set[tuple] = set()
         # cols (sorted tuple of column positions) -> key tuple -> set of tuples
         self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
+        self.metrics = metrics
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -32,14 +116,15 @@ class IndexedRelation:
     def __contains__(self, item: tuple) -> bool:
         return item in self.tuples
 
+    def _items(self):
+        return self.tuples
+
     def add(self, item: tuple) -> bool:
         """Insert; returns True iff the tuple was new."""
         if item in self.tuples:
             return False
         self.tuples.add(item)
-        for cols, index in self._indexes.items():
-            key = tuple(item[c] for c in cols)
-            index.setdefault(key, set()).add(item)
+        self._register(item)
         return True
 
     def discard(self, item: tuple) -> bool:
@@ -47,65 +132,46 @@ class IndexedRelation:
         if item not in self.tuples:
             return False
         self.tuples.discard(item)
-        for cols, index in self._indexes.items():
-            key = tuple(item[c] for c in cols)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.discard(item)
-                if not bucket:
-                    del index[key]
+        self._unregister(item)
         return True
 
     def clear(self) -> None:
         self.tuples.clear()
         self._indexes.clear()
 
-    def matching(self, pattern: tuple) -> Iterable[tuple]:
-        """All tuples agreeing with ``pattern`` on its non-None positions."""
-        cols = tuple(i for i, v in enumerate(pattern) if v is not None)
-        if not cols:
-            return self.tuples
-        if len(cols) == self.arity:
-            exact = tuple(pattern)
-            return (exact,) if exact in self.tuples else ()
-        index = self._index(cols)
-        key = tuple(pattern[c] for c in cols)
-        return index.get(key, ())
-
-    def _index(self, cols: tuple[int, ...]) -> dict[tuple, set[tuple]]:
-        index = self._indexes.get(cols)
-        if index is None:
-            index = {}
-            for item in self.tuples:
-                key = tuple(item[c] for c in cols)
-                index.setdefault(key, set()).add(item)
-            self._indexes[cols] = index
-        return index
-
     def state_size(self) -> int:
         """Rough count of stored entries (tuples plus index postings), used
         by the memory benchmarks."""
-        postings = sum(
-            len(bucket)
-            for index in self._indexes.values()
-            for bucket in index.values()
-        )
-        return len(self.tuples) + postings
+        return len(self.tuples) + self._postings()
 
 
 class RelationStore:
-    """A name -> :class:`IndexedRelation` map with on-demand creation."""
+    """A name -> :class:`IndexedRelation` map with on-demand creation.
 
-    __slots__ = ("relations", "arities")
+    Creation is strict: a predicate absent from the arity map is an error,
+    not an empty nullary relation — silently fabricating one turns typos in
+    rules or queries into wrong (empty) results instead of diagnostics.
+    """
 
-    def __init__(self, arities: dict[str, int]):
+    __slots__ = ("relations", "arities", "metrics")
+
+    def __init__(
+        self, arities: dict[str, int], metrics: "SolverMetrics | None" = None
+    ):
         self.arities = arities
         self.relations: dict[str, IndexedRelation] = {}
+        self.metrics = metrics
 
     def get(self, pred: str) -> IndexedRelation:
         relation = self.relations.get(pred)
         if relation is None:
-            relation = IndexedRelation(self.arities.get(pred, 0))
+            arity = self.arities.get(pred)
+            if arity is None:
+                raise SolverError(
+                    f"unknown predicate {pred!r}: not used by any rule and no "
+                    f"facts were added for it"
+                )
+            relation = IndexedRelation(arity, metrics=self.metrics)
             self.relations[pred] = relation
         return relation
 

@@ -18,11 +18,14 @@ essentially a standard bottom-up Datalog fixpoint evaluation").
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..datalog.ast import Literal
 from ..datalog.errors import SolverError
 from ..datalog.planning import delta_plans, plan_body
 from ..datalog.program import Program
 from ..datalog.stratify import Component
+from ..metrics import SolverMetrics
 from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
 from .base import FactChanges, Solver, UpdateStats
 from .grounding import bind_pinned, instantiate, run_plan
@@ -32,8 +35,8 @@ from .relation import IndexedRelation, RelationStore
 class SemiNaiveSolver(Solver):
     """Delta-driven from-scratch evaluation with running aggregation totals."""
 
-    def __init__(self, program: Program):
-        super().__init__(program)
+    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
+        super().__init__(program, metrics=metrics)
         self._exported = RelationStore(self.arities)
         self._raw = RelationStore(self.arities)
         #: aggregated pred -> group key -> running total (valid per solve()).
@@ -42,16 +45,20 @@ class SemiNaiveSolver(Solver):
     # -- public API ----------------------------------------------------------
 
     def solve(self) -> None:
-        self._exported = RelationStore(self.arities)
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
+        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         self._raw = RelationStore(self.arities)
         self._totals = {}
-        for pred, rows in self._facts.items():
+        for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
                 relation.add(row)
-        for component in self.components:
-            self._solve_component(component)
+        for index, component in enumerate(self.components):
+            self._solve_component(component, index)
         self._solved = True
+        if active:
+            self.metrics.solve_seconds += perf_counter() - started
 
     def update(
         self,
@@ -59,6 +66,8 @@ class SemiNaiveSolver(Solver):
         deletions: FactChanges | None = None,
     ) -> UpdateStats:
         self._require_solved()
+        active = self.metrics.active
+        started = perf_counter() if active else 0.0
         before = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
@@ -67,6 +76,8 @@ class SemiNaiveSolver(Solver):
         after = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
+        if active:
+            self.metrics.update_seconds += perf_counter() - started
         return self._exported_diff(before, after)
 
     def relation(self, pred: str) -> frozenset[tuple]:
@@ -85,8 +96,13 @@ class SemiNaiveSolver(Solver):
 
     # -- component evaluation --------------------------------------------
 
-    def _solve_component(self, component: Component) -> None:
-        local = RelationStore(self.arities)
+    def _solve_component(self, component: Component, index: int) -> None:
+        metrics = self.metrics
+        stratum = (
+            metrics.stratum(index, component.predicates) if metrics.active else None
+        )
+        started = perf_counter() if stratum is not None else 0.0
+        local = RelationStore(self.arities, metrics=self._store_metrics())
         specs = compile_agg_specs(component.rules, self.program)
         plain_rules = [r for r in component.rules if not r.is_aggregation]
         full_plans = [(rule, plan_body(rule)) for rule in plain_rules]
@@ -105,19 +121,42 @@ class SemiNaiveSolver(Solver):
             return self._exported.get(pred)
 
         delta: dict[str, set[tuple]] = {}
+        #: [derived, deduplicated] — kept unconditionally (two cheap list
+        #: increments); folded into ``metrics`` only when collection is on.
+        counts = [0, 0]
 
         def derive(pred: str, row: tuple, next_delta: dict) -> None:
             if local.get(pred).add(row):
                 next_delta.setdefault(pred, set()).add(row)
+                counts[0] += 1
+            else:
+                counts[1] += 1
+
+        def fold_rule(rule, t0: float, before: tuple[int, int]) -> None:
+            metrics.rule_fired(
+                repr(rule),
+                counts[0] - before[0],
+                counts[1] - before[1],
+                perf_counter() - t0,
+                stratum,
+            )
 
         # Seed round: full evaluation (local relations are empty, so this
         # only fires rules satisfiable from upstream alone).
         for rule, plan in full_plans:
+            t0, before = (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
             for binding in run_plan(plan, self.program, lookup, {}):
                 derive(rule.head.pred, instantiate(rule.head, binding), delta)
+            if stratum is not None:
+                fold_rule(rule, t0, before)
         for spec in specs.values():
             if spec.collecting_pred not in component.predicates:
+                before_agg = counts[0]
                 self._seed_upstream_aggregation(spec, lookup, derive, delta)
+                if stratum is not None:
+                    metrics.derivations(stratum, counts[0] - before_agg)
+        if stratum is not None:
+            metrics.round_delta(stratum, sum(len(rows) for rows in delta.values()))
 
         for _ in range(self.MAX_ITERATIONS):
             if not delta:
@@ -126,6 +165,9 @@ class SemiNaiveSolver(Solver):
             for pred, rows in delta.items():
                 for rule, plan in pinned.get(pred, ()):
                     literal: Literal = plan[0]
+                    t0, before = (
+                        (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
+                    )
                     for row in rows:
                         binding = bind_pinned(literal, row)
                         if binding is None:
@@ -138,9 +180,18 @@ class SemiNaiveSolver(Solver):
                                 instantiate(rule.head, full),
                                 next_delta,
                             )
+                    if stratum is not None:
+                        fold_rule(rule, t0, before)
                 for spec in specs.values():
                     if spec.collecting_pred == pred:
+                        before_agg = counts[0]
                         self._advance_aggregation(spec, rows, derive, next_delta)
+                        if stratum is not None:
+                            metrics.derivations(stratum, counts[0] - before_agg)
+            if stratum is not None:
+                metrics.round_delta(
+                    stratum, sum(len(rows) for rows in next_delta.values())
+                )
             delta = next_delta
         else:
             raise SolverError(
@@ -149,6 +200,8 @@ class SemiNaiveSolver(Solver):
             )
 
         self._export_component(component, local, specs)
+        if stratum is not None:
+            metrics.stratum_end(stratum, perf_counter() - started)
 
     def _seed_upstream_aggregation(self, spec, lookup, derive, delta) -> None:
         """Aggregate a collecting relation that lives upstream: its content

@@ -1,0 +1,30 @@
+"""Engine-wide observability: solver metrics and trace hooks.
+
+Usage::
+
+    from repro.metrics import SolverMetrics, format_profile
+
+    metrics = SolverMetrics()                 # enabled collector
+    solver = LaddderSolver(program, metrics=metrics)
+    solver.add_facts(...)
+    solver.solve()
+    print(format_profile(metrics))            # per-stratum/per-rule tables
+    payload = metrics.to_dict()               # stable JSON schema
+
+See ``docs/OBSERVABILITY.md`` for the schema and the :class:`TraceSink`
+hook API.
+"""
+
+from .core import NULL_SINK, RuleStats, SolverMetrics, StratumStats, TraceSink
+from .report import format_profile, format_rule_table, format_stratum_table
+
+__all__ = [
+    "NULL_SINK",
+    "RuleStats",
+    "SolverMetrics",
+    "StratumStats",
+    "TraceSink",
+    "format_profile",
+    "format_rule_table",
+    "format_stratum_table",
+]

@@ -1,0 +1,84 @@
+"""Rendering :class:`~repro.metrics.core.SolverMetrics` for humans.
+
+``format_profile`` is what the CLI's ``--profile`` flag prints: a totals
+line, the per-stratum table, and the per-rule table (sorted by time spent,
+worst first).  The tabular layout reuses the benchmark harness's ASCII
+table renderer so profiles and benchmark reports look alike.
+"""
+
+from __future__ import annotations
+
+from .core import SolverMetrics
+
+STRATUM_HEADERS = ["stratum", "predicates", "ms", "rounds", "derived", "dedup", "max Δ"]
+RULE_HEADERS = ["rule", "ms", "fired", "derived", "dedup"]
+
+
+def _format_table(headers, rows, title):
+    # Deferred import: repro.bench transitively imports the engines, which
+    # import repro.metrics — resolving the renderer at call time keeps this
+    # package importable first.
+    from ..bench.tables import format_table
+
+    return format_table(headers, rows, title=title)
+
+
+def _shorten(text: str, width: int = 48) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def format_stratum_table(metrics: SolverMetrics) -> str:
+    rows = []
+    for index in sorted(metrics.strata):
+        s = metrics.strata[index]
+        rows.append(
+            [
+                s.index,
+                _shorten(", ".join(s.predicates), 40),
+                s.seconds * 1e3,
+                s.rounds,
+                s.tuples_derived,
+                s.tuples_deduplicated,
+                max(s.delta_sizes, default=0),
+            ]
+        )
+    return _format_table(STRATUM_HEADERS, rows, "per-stratum")
+
+
+def format_rule_table(metrics: SolverMetrics, limit: int | None = None) -> str:
+    ranked = sorted(
+        metrics.rules.values(), key=lambda r: r.seconds, reverse=True
+    )
+    if limit is not None:
+        ranked = ranked[:limit]
+    rows = [
+        [_shorten(r.label), r.seconds * 1e3, r.fired, r.derived, r.deduplicated]
+        for r in ranked
+    ]
+    return _format_table(RULE_HEADERS, rows, "per-rule (by time)")
+
+
+def format_profile(metrics: SolverMetrics, rule_limit: int | None = 15) -> str:
+    """The full ``--profile`` report."""
+    lines = [
+        f"profile: {metrics.engine or 'solver'} — "
+        f"solve {metrics.solve_seconds * 1e3:.1f} ms, "
+        f"update {metrics.update_seconds * 1e3:.1f} ms",
+        f"  joins: {metrics.join_probes} probes, "
+        f"{metrics.index_builds} index builds; "
+        f"tuples: {metrics.tuples_derived} derived, "
+        f"{metrics.tuples_deduplicated} deduplicated",
+    ]
+    if metrics.epochs or metrics.support_updates:
+        lines.append(
+            f"  laddder: {metrics.epochs} epochs, "
+            f"{metrics.support_updates} support updates, "
+            f"queue depth ≤ {metrics.max_queue_depth}, "
+            f"{metrics.timeline_entries} timeline entries"
+        )
+    lines.append("")
+    lines.append(format_stratum_table(metrics))
+    if metrics.rules:
+        lines.append("")
+        lines.append(format_rule_table(metrics, limit=rule_limit))
+    return "\n".join(lines)

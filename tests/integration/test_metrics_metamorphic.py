@@ -1,0 +1,108 @@
+"""Cross-engine metamorphic test: identical results, consistent metrics.
+
+All four engines must export identical relations on the same analysis
+instance, and every engine's metrics must satisfy the structural
+invariants of the observability layer:
+
+* ``sum(delta_sizes) == tuples_derived`` — the delta-size convention
+  (every derivation enters the frontier in exactly one round);
+* ``tuples_derived >= |exported IDB tuples|`` — nothing appears in an
+  exported relation without having been derived;
+* per-stratum totals sum to the global totals.
+
+Run on corpus presets so the numbers come from realistic rule/fact shapes,
+and with metrics both enabled and disabled to pin the metamorphic part:
+collection must not change results.
+"""
+
+import pytest
+
+from repro.analyses import constant_propagation, sign_analysis
+from repro.corpus import load_subject
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+from repro.metrics import SolverMetrics
+
+ALL_ENGINES = [NaiveSolver, SemiNaiveSolver, DRedLSolver, LaddderSolver]
+
+CASES = {
+    "sign-minijavac": (sign_analysis, "minijavac"),
+    "constprop-minijavac": (constant_propagation, "minijavac"),
+    "sign-emma": (sign_analysis, "emma"),
+}
+
+
+def solve_with_metrics(instance, engine_cls):
+    metrics = SolverMetrics()
+    solver = instance.make_solver(engine_cls, metrics=metrics)
+    exported = {p: solver.relation(p) for p in solver.program.exported_predicates()}
+    return solver, metrics, exported
+
+
+def assert_invariants(engine_cls, metrics, exported, idb):
+    name = engine_cls.__name__
+    total_delta = sum(sum(s.delta_sizes) for s in metrics.strata.values())
+    assert total_delta == metrics.tuples_derived, (
+        f"{name}: delta sizes {total_delta} != derivations "
+        f"{metrics.tuples_derived}"
+    )
+    exported_idb = sum(len(rows) for p, rows in exported.items() if p in idb)
+    assert metrics.tuples_derived >= exported_idb, (
+        f"{name}: derived {metrics.tuples_derived} < exported {exported_idb}"
+    )
+    assert metrics.tuples_derived == sum(
+        s.tuples_derived for s in metrics.strata.values()
+    )
+    assert metrics.tuples_deduplicated == sum(
+        s.tuples_deduplicated for s in metrics.strata.values()
+    )
+    assert metrics.strata, f"{name}: no strata recorded"
+    for s in metrics.strata.values():
+        assert s.rounds == len(s.delta_sizes)
+        assert s.seconds >= 0.0
+    assert metrics.engine == name
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_engines_agree_and_metrics_consistent(case):
+    build, subject_name = CASES[case]
+    subject = load_subject(subject_name)
+    instance = build(subject)
+    baseline = None
+    for engine_cls in ALL_ENGINES:
+        solver, metrics, exported = solve_with_metrics(instance, engine_cls)
+        if baseline is None:
+            baseline = exported
+        else:
+            assert exported == baseline, f"{engine_cls.__name__} diverges on {case}"
+        assert_invariants(engine_cls, metrics, exported, solver.idb)
+
+
+@pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+def test_collection_does_not_change_results(engine_cls):
+    instance = sign_analysis(load_subject("minijavac"))
+    plain = instance.make_solver(engine_cls)
+    profiled = instance.make_solver(engine_cls, metrics=SolverMetrics())
+    preds = plain.program.exported_predicates()
+    assert {p: plain.relation(p) for p in preds} == {
+        p: profiled.relation(p) for p in preds
+    }
+
+
+def test_update_epoch_metrics_laddder():
+    instance = sign_analysis(load_subject("minijavac"))
+    metrics = SolverMetrics()
+    solver = instance.make_solver(LaddderSolver, metrics=metrics)
+    assert metrics.timeline_entries > 0
+    pred, rows = next(
+        (p, r) for p, r in instance.facts.items() if r and p in solver.edb
+    )
+    row = next(iter(rows))
+    support_before = metrics.support_updates
+    solver.update(deletions={pred: {row}})
+    solver.update(insertions={pred: {row}})
+    assert metrics.epochs == 2
+    assert metrics.support_updates > support_before
+    assert metrics.update_seconds > 0.0
+    # The invariant must keep holding across epochs.
+    total_delta = sum(sum(s.delta_sizes) for s in metrics.strata.values())
+    assert total_delta == metrics.tuples_derived

@@ -1,0 +1,105 @@
+"""Regression tests for the tuple-storage correctness fixes.
+
+Covers the strict ``RelationStore.get`` (an unknown predicate used to be
+silently fabricated as an empty arity-0 relation, turning typos into empty
+results), the snapshot contract of ``ColumnIndexed.matching``, and the
+fact-arity registration that keeps fact-only relations working under the
+strict stores.
+"""
+
+import pytest
+
+from repro.datalog.errors import SolverError
+from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+from repro.engines.laddder.state import TimedRelation
+from repro.engines.relation import IndexedRelation, RelationStore
+from repro.metrics import SolverMetrics
+
+from .helpers import tc_facts, tc_program
+
+ALL_ENGINES = [NaiveSolver, SemiNaiveSolver, DRedLSolver, LaddderSolver]
+
+
+class TestStrictStore:
+    def test_unknown_predicate_raises(self):
+        store = RelationStore({"r": 2})
+        with pytest.raises(SolverError, match="unknown predicate 'typo'"):
+            store.get("typo")
+
+    def test_known_predicate_created_on_demand(self):
+        store = RelationStore({"r": 2})
+        rel = store.get("r")
+        assert rel.arity == 2
+        assert store.get("r") is rel
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_solver_relation_unknown_pred_raises(self, engine_cls):
+        solver = engine_cls(tc_program())
+        solver.add_facts("edge", tc_facts([(1, 2)])["edge"])
+        solver.solve()
+        with pytest.raises(SolverError, match="unknown predicate"):
+            solver.relation("no_such_relation")
+
+    @pytest.mark.parametrize("engine_cls", ALL_ENGINES)
+    def test_fact_only_relation_registers_arity(self, engine_cls):
+        # "annotation" appears in no rule; its arity comes from its facts.
+        solver = engine_cls(tc_program())
+        solver.add_facts("edge", {(1, 2), (2, 3)})
+        solver.add_facts("annotation", {("a", "b", "c")})
+        solver.solve()
+        assert solver.relation("annotation") == frozenset({("a", "b", "c")})
+        assert solver.relation("tc") == frozenset({(1, 2), (2, 3), (1, 3)})
+
+
+class TestMatchingSnapshot:
+    def test_mutation_during_iteration_is_safe(self):
+        rel = IndexedRelation(2)
+        for row in [(1, 10), (1, 20), (2, 30)]:
+            rel.add(row)
+        seen = []
+        for row in rel.matching((1, None)):
+            seen.append(row)
+            rel.add((1, 99))       # same bucket as the snapshot
+            rel.discard((1, 20))
+        assert sorted(seen) == [(1, 10), (1, 20)]
+
+    def test_snapshot_does_not_track_later_adds(self):
+        rel = IndexedRelation(2)
+        rel.add((1, 10))
+        snap = rel.matching((1, None))
+        rel.add((1, 11))
+        assert snap == ((1, 10),)
+
+    def test_full_wildcard_and_exact_patterns(self):
+        rel = IndexedRelation(2)
+        rel.add((1, 2))
+        rel.add((3, 4))
+        assert sorted(rel.matching((None, None))) == [(1, 2), (3, 4)]
+        assert rel.matching((1, 2)) == ((1, 2),)
+        assert rel.matching((1, 9)) == ()
+
+    def test_timed_relation_shares_matching(self):
+        rel = TimedRelation(2)
+        rel.add_delta((1, 10), 0, 1)
+        rel.add_delta((2, 20), 0, 1)
+        snap = rel.matching((1, None))
+        rel.add_delta((1, 30), 0, 1)
+        assert snap == ((1, 10),)
+        assert sorted(rel.matching((1, None))) == [(1, 10), (1, 30)]
+
+
+class TestProbeCounters:
+    def test_probes_and_builds_counted_when_attached(self):
+        m = SolverMetrics()
+        rel = IndexedRelation(2, metrics=m)
+        rel.add((1, 2))
+        rel.matching((1, None))   # builds the {0} index
+        rel.matching((1, None))   # reuses it
+        rel.matching((None, 2))   # builds the {1} index
+        assert m.join_probes == 3
+        assert m.index_builds == 2
+
+    def test_no_metrics_means_no_counting(self):
+        rel = IndexedRelation(2)
+        rel.add((1, 2))
+        assert rel.matching((1, None)) == ((1, 2),)  # must not raise

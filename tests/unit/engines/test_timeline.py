@@ -84,6 +84,44 @@ class TestTransientStates:
         assert not t.exists_at(5)
         assert t.exists_at(9)
 
+    def test_leading_negative_run(self):
+        # A retraction queued before any support: nothing ever exists until
+        # the cumulative count crosses zero.
+        t = tl((1, -2), (3, 1), (6, 2))
+        assert t.first() == 6
+        assert t.existence_changes() == [(6, 1)]
+        assert not t.exists_at(3)
+
+    def test_cancel_to_zero_mid_timeline(self):
+        t = tl((2, 1), (5, -1), (5, 1), (8, -1))
+        # The two entries at 5 merged away; existence toggles at 2 and 8.
+        assert list(t.entries()) == [(2, 1), (8, -1)]
+        assert t.first() == 2
+        assert t.existence_changes() == [(2, 1), (8, -1)]
+
+    def test_negative_tail_ends_existence(self):
+        t = tl((1, 2), (4, -2))
+        assert t.first() == 1
+        assert t.existence_changes() == [(1, 1), (4, -1)]
+        assert t.total() == 0
+        assert not t.is_settled()
+
+    def test_repeated_toggle(self):
+        t = tl((1, 1), (2, -1), (3, 1), (4, -1), (5, 1))
+        assert t.first() == 1
+        assert t.existence_changes() == [
+            (1, 1), (2, -1), (3, 1), (4, -1), (5, 1),
+        ]
+
+    def test_cumulative_prefix_sums_mixed_sign(self):
+        t = tl((1, 3), (4, -2), (7, 5))
+        assert t.cumulative(0) == 0
+        assert t.cumulative(1) == 3
+        assert t.cumulative(4) == 1
+        assert t.cumulative(6) == 1
+        assert t.cumulative(7) == 6
+        assert t.cumulative(100) == t.total() == 6
+
     def test_copy_is_independent(self):
         t = tl((1, 1))
         c = t.copy()

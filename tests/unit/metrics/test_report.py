@@ -1,0 +1,60 @@
+"""Unit tests for the --profile rendering helpers."""
+
+from repro.metrics import (
+    SolverMetrics,
+    format_profile,
+    format_rule_table,
+    format_stratum_table,
+)
+
+
+def sample_metrics() -> SolverMetrics:
+    m = SolverMetrics()
+    m.engine = "DemoSolver"
+    s0 = m.stratum(0, ["edge"])
+    m.round_delta(s0, 4)
+    m.stratum_end(s0, 0.004)
+    s1 = m.stratum(1, ["tc"])
+    m.rule_fired("tc(X, Y) :- edge(X, Y).", 4, 0, 0.002, s1)
+    m.rule_fired("tc(X, Z) :- tc(X, Y), edge(Y, Z).", 2, 3, 0.006, s1)
+    m.round_delta(s1, 6)
+    m.stratum_end(s1, 0.010)
+    m.join_probes = 42
+    m.solve_seconds = 0.02
+    return m
+
+
+class TestStratumTable:
+    def test_contains_each_stratum(self):
+        text = format_stratum_table(sample_metrics())
+        assert "edge" in text and "tc" in text
+        assert "max Δ" in text
+
+
+class TestRuleTable:
+    def test_sorted_by_time_desc(self):
+        text = format_rule_table(sample_metrics())
+        slow = text.index("tc(X, Z)")
+        fast = text.index("tc(X, Y) :- edge")
+        assert slow < fast
+
+    def test_limit(self):
+        text = format_rule_table(sample_metrics(), limit=1)
+        assert "tc(X, Z)" in text
+        assert "tc(X, Y) :- edge(X, Y)." not in text
+
+
+class TestProfile:
+    def test_header_and_sections(self):
+        text = format_profile(sample_metrics())
+        assert "DemoSolver" in text
+        assert "42 probes" in text
+        assert "per-stratum" in text
+        assert "per-rule" in text
+
+    def test_laddder_line_only_when_relevant(self):
+        m = sample_metrics()
+        assert "laddder:" not in format_profile(m)
+        m.epochs = 3
+        m.support_updates = 17
+        assert "laddder: 3 epochs" in format_profile(m)

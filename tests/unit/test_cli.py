@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, make_parser
@@ -64,6 +66,47 @@ class TestCommands:
         assert "tuples in ptlub" in capsys.readouterr().out
 
 
+class TestProfileFlags:
+    def test_analyze_profile_table(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac",
+             "--engine", "seminaive", "--limit", "1", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "profile: SemiNaiveSolver" in out
+        assert "per-stratum" in out and "per-rule" in out
+        assert "probes" in out
+
+    def test_bench_profile_json_file(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        assert main(
+            ["bench", "pointsto-kupdate", "minijavac", "--changes", "2",
+             "--profile-json", str(path)]
+        ) == 0
+        assert f"profile written to {path}" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert data["engine"] == "LaddderSolver"
+        assert data["laddder"]["epochs"] == 4  # 2 change pairs
+        assert data["totals"]["tuples_derived"] > 0
+        assert data["strata"] and data["rules"]
+
+    def test_profile_json_stdout(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac", "--limit", "1",
+             "--profile-json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("\n{") + 1:]  # JSON starts on its own line
+        data = json.loads(payload)
+        assert data["engine"] == "LaddderSolver"
+
+    def test_no_profile_by_default(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac", "--limit", "1"]
+        ) == 0
+        assert "per-stratum" not in capsys.readouterr().out
+
+
 class TestExplainCommand:
     def test_explain_primary(self, capsys):
         assert main(["explain", "pointsto-kupdate", "minijavac"]) == 0
@@ -84,3 +127,12 @@ class TestExplainCommand:
             ["explain", "pointsto-kupdate", "minijavac",
              "--match", "definitely-not-present"]
         ) == 1
+
+    def test_explain_unknown_predicate_clean_error(self, capsys):
+        # The strict stores turn typos into diagnostics, not empty results;
+        # the CLI must surface them as errors, not tracebacks.
+        assert main(
+            ["explain", "pointsto-kupdate", "minijavac",
+             "--predicate", "nosuchpred"]
+        ) == 1
+        assert "unknown predicate 'nosuchpred'" in capsys.readouterr().err
