@@ -12,6 +12,7 @@ import pytest
 
 from repro.datalog import parse, plan_body
 from repro.engines import LaddderSolver
+from repro.engines.compile import KernelCache
 from repro.engines.grounding import run_plan
 from repro.engines.laddder import AggTree, GroupState, Timeline
 from repro.engines.relation import RelationStore
@@ -62,14 +63,20 @@ def test_micro_group_rollup(benchmark):
     benchmark(run)
 
 
-def test_micro_indexed_join(benchmark):
+def _join_fixture():
     program = parse("out(X, Z) :- left(X, Y), right(Y, Z).")
-    rule = program.rules[0]
-    plan = plan_body(rule)
     store = RelationStore({"left": 2, "right": 2})
     for i in range(300):
         store.get("left").add((i % 30, i))
         store.get("right").add((i, i % 20))
+    return program, store
+
+
+def test_micro_indexed_join(benchmark):
+    """The run_plan interpreter on a two-way indexed join — the reference
+    cost; compare against ``test_micro_compiled_join``."""
+    program, store = _join_fixture()
+    plan = plan_body(program.rules[0])
 
     def run():
         return sum(1 for _ in run_plan(plan, program, store.get, {}))
@@ -78,7 +85,38 @@ def test_micro_indexed_join(benchmark):
     assert count == 300
 
 
-def test_micro_laddder_epoch(benchmark):
+def test_micro_compiled_join(benchmark):
+    """The same join through a compiled kernel (the engines' hot path)."""
+    program, store = _join_fixture()
+    kernel = KernelCache(program, interpret=False).kernel(program.rules[0]).fn
+
+    def run():
+        return sum(1 for _ in kernel(store.get))
+
+    count = benchmark(run)
+    assert count == 300
+
+
+def test_micro_compiled_pinned_delta(benchmark):
+    """Delta propagation shape: a pinned kernel driven per changed tuple,
+    as the semi-naive/DRed/Laddder update loops do."""
+    program, store = _join_fixture()
+    rule = program.rules[0]
+    kernel = KernelCache(program, interpret=False).kernel(rule, pinned=0).fn
+    delta = [(i % 30, i) for i in range(0, 300, 3)]
+
+    def run():
+        total = 0
+        for row in delta:
+            total += sum(1 for _ in kernel(store.get, row))
+        return total
+
+    count = benchmark(run)
+    assert count == len(delta)
+
+
+@pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+def test_micro_laddder_epoch(benchmark, backend):
     program = parse(
         """
         tc(X, Y) :- edge(X, Y).
@@ -86,6 +124,7 @@ def test_micro_laddder_epoch(benchmark):
         """
     )
     solver = LaddderSolver(program)
+    solver.kernels.interpret = backend == "interpreted"
     solver.add_facts("edge", [(i, i + 1) for i in range(60)] + [(60, 0)])
     solver.solve()
 

@@ -16,6 +16,12 @@ mirroring Figure 1's ``PTlub(var, lub(lat)) :- PT(var, lat)``.
 Terms are either :class:`Variable` or :class:`Constant`; constants carry
 plain hashable Python values (which may be lattice elements).  Relation
 tuples as stored by the solvers are tuples of such plain values.
+
+All node classes are frozen **slots** dataclasses: AST terms are the
+hottest per-tuple objects in the system (every compile-time specialization
+and every interpreter probe walks them), and slots remove the per-instance
+``__dict__`` — smaller and faster attribute access, while staying
+picklable for checkpointing.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Variable:
     """A logic variable.  Names starting with ``_`` are wildcards."""
 
@@ -39,7 +45,7 @@ class Variable:
         return self.name.startswith("_")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Constant:
     """A constant term wrapping any hashable Python value."""
 
@@ -52,7 +58,7 @@ class Constant:
 Term = Union[Variable, Constant]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AggTerm:
     """An aggregation slot ``op<Var>`` in a rule head.
 
@@ -70,7 +76,7 @@ class AggTerm:
 HeadTerm = Union[Variable, Constant, AggTerm]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Atom:
     """A relational atom ``pred(t1, ..., tn)``."""
 
@@ -91,7 +97,7 @@ class Atom:
         return {a for a in self.args if isinstance(a, Variable)}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Literal:
     """A possibly negated relational body atom."""
 
@@ -107,7 +113,7 @@ class Literal:
         return self.atom.pred
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Eval:
     """``var := fn(args)`` — bind ``var`` to the value of a registered
     function applied to already-bound arguments."""
@@ -121,7 +127,7 @@ class Eval:
         return f"{self.var.name} := {self.fn}({inner})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Test:
     """``?fn(args)`` or a comparison — keep the binding iff ``fn`` holds."""
 
@@ -138,7 +144,7 @@ class Test:
 BodyItem = Union[Literal, Eval, Test]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Head:
     """A rule head: predicate plus argument terms, at most one AggTerm."""
 
@@ -176,7 +182,7 @@ class Head:
         return tuple(a for a in self.args if not isinstance(a, AggTerm))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rule:
     """``head :- body.``  A fact is a rule with an empty body and ground head."""
 

@@ -9,17 +9,31 @@ go.  :func:`plan_body` reorders the body so that:
 * ``Test`` atoms and negated literals run as soon as their arguments are
   bound (negation is safe only on fully bound atoms).
 
-:func:`plan_body_around` pins one chosen positive-literal occurrence first —
-the *delta* position used by semi-naïve and incremental evaluation.
+``pinned`` pins one chosen positive-literal occurrence first — the *delta*
+position used by semi-naïve and incremental evaluation (see
+:func:`delta_plans` / :func:`delta_occurrences`).
 
 Both raise :class:`ValidationError` if no admissible order exists
 (an unbound Eval argument, unsafe negation, ...).
+
+When a *cardinality oracle* (``pred -> live size``) is supplied, positive
+literals are instead chosen by estimated enumeration cost — the most
+selective literal is probed first.  The estimate is the classic
+``size ** (1 - bound/arity)`` reduction: each bound column is assumed to
+cut the relation by one uniform factor.  Without an oracle the original
+greedy most-bound-first order is used, so plans stay stable for callers
+that do not care about cardinalities.
 """
 
 from __future__ import annotations
 
-from .ast import BodyItem, Eval, Literal, Rule, Test, Variable
+from typing import Callable
+
+from .ast import BodyItem, Constant, Eval, Literal, Rule, Test, Variable
 from .errors import ValidationError
+
+#: Maps a predicate name to its current tuple count.
+CardinalityOracle = Callable[[str], int]
 
 
 def _term_vars(args) -> set[Variable]:
@@ -52,17 +66,45 @@ def _overlap(item: BodyItem, bound: set[Variable]) -> int:
     return 0
 
 
+def _estimated_cost(
+    item: Literal, bound: set[Variable], oracle: CardinalityOracle
+) -> float:
+    """Estimated rows enumerated when probing ``item`` with ``bound`` known.
+
+    Each bound column (constant or already-bound variable) is one uniform
+    selectivity factor: ``size ** (1 - bound_cols/arity)``.  A fully bound
+    probe costs ~1 (membership check); a full scan costs ``size``.
+    """
+    size = oracle(item.pred)
+    if size <= 1:
+        return float(max(size, 0))
+    args = item.atom.args
+    if not args:
+        return float(size)
+    bound_cols = sum(
+        1
+        for a in args
+        if isinstance(a, Constant) or (isinstance(a, Variable) and a in bound)
+    )
+    if bound_cols >= len(args):
+        return 1.0
+    return float(size) ** (1.0 - bound_cols / len(args))
+
+
 def plan_body(
     rule: Rule,
     pinned: int | None = None,
     initially_bound: set[Variable] | None = None,
+    oracle: CardinalityOracle | None = None,
 ) -> list[BodyItem]:
     """Return the body items of ``rule`` in an admissible evaluation order.
 
     ``pinned`` (an index into ``rule.body``) forces that item first — it must
     be a relational literal.  ``initially_bound`` variables count as bound
     before the first item (used for head-bound re-derivation checks in
-    DRed).  Raises :class:`ValidationError` if no admissible order exists.
+    DRed).  ``oracle`` switches positive-literal selection from greedy
+    most-bound-first to cardinality-aware least-estimated-cost-first.
+    Raises :class:`ValidationError` if no admissible order exists.
     """
     remaining = list(enumerate(rule.body))
     ordered: list[BodyItem] = []
@@ -104,7 +146,19 @@ def plan_body(
             raise ValidationError(
                 f"no admissible body order for {rule!r}: unbound {stuck!r}"
             )
-        k, item = max(positives, key=lambda pair: _overlap(pair[1], bound))
+        if oracle is None:
+            k, item = max(positives, key=lambda pair: _overlap(pair[1], bound))
+        else:
+            # Least estimated cost; ties broken by bound-variable overlap,
+            # then original body position (deterministic plans).
+            k, item = min(
+                positives,
+                key=lambda pair: (
+                    _estimated_cost(pair[1], bound, oracle),
+                    -_overlap(pair[1], bound),
+                    pair[0],
+                ),
+            )
         remaining.pop(k)
         ordered.append(item)
         bound |= _binds(item)
@@ -126,18 +180,33 @@ def _check_head_bound(rule: Rule, bound: set[Variable]) -> None:
         )
 
 
-def delta_plans(
+def delta_occurrences(
     rule: Rule, include_negated: bool = False
+) -> list[tuple[int, Literal]]:
+    """The relational body occurrences eligible for delta pinning.
+
+    Negated occurrences are included only on request (incremental engines
+    need them: inserting into a negated relation *deletes* derivations and
+    vice versa).
+    """
+    return [
+        (i, item)
+        for i, item in enumerate(rule.body)
+        if isinstance(item, Literal) and (include_negated or not item.negated)
+    ]
+
+
+def delta_plans(
+    rule: Rule,
+    include_negated: bool = False,
+    oracle: CardinalityOracle | None = None,
 ) -> list[tuple[int, list[BodyItem]]]:
     """One plan per relational body occurrence, pinned first.
 
     Semi-naïve and incremental evaluation instantiate the pinned occurrence
-    with delta tuples and join the rest against full relations.  Negated
-    occurrences are included only on request (incremental engines need them:
-    inserting into a negated relation *deletes* derivations and vice versa).
+    with delta tuples and join the rest against full relations.
     """
-    plans = []
-    for i, item in enumerate(rule.body):
-        if isinstance(item, Literal) and (include_negated or not item.negated):
-            plans.append((i, plan_body(rule, pinned=i)))
-    return plans
+    return [
+        (i, plan_body(rule, pinned=i, oracle=oracle))
+        for i, _item in delta_occurrences(rule, include_negated)
+    ]

@@ -31,6 +31,7 @@ from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..datalog.validate import validate
 from ..metrics import SolverMetrics
+from .compile import KernelCache
 
 FactChanges = Mapping[str, Iterable[tuple]]
 
@@ -73,6 +74,11 @@ class Solver(ABC):
         #: hot path only pays when the caller opts in (docs/OBSERVABILITY.md).
         self.metrics = metrics if metrics is not None else SolverMetrics(enabled=False)
         self.metrics.engine = type(self).__name__
+        #: Shared compiled-kernel cache: one specialized enumeration pipeline
+        #: per (rule, pinned occurrence, bound set, emit mode) — see
+        #: repro.engines.compile.  ``REPRO_INTERPRET=1`` swaps in run_plan-
+        #: backed kernels with identical signatures.
+        self.kernels = KernelCache(self.program, metrics=self.metrics)
 
     def _store_metrics(self) -> SolverMetrics | None:
         """The metrics object relation stores should count probes into, or

@@ -1,0 +1,703 @@
+"""Compiled rule kernels: specialized enumeration pipelines per planned body.
+
+:func:`repro.engines.grounding.run_plan` is a recursive generator that
+re-dispatches on AST node types for every tuple and threads bindings through
+a dict — correct, but the dominant cost of every engine.  This module lowers
+each planned body into a flat, specialized Python generator *once* per
+``(rule, pinned occurrence, bound set, emit mode)``:
+
+* variables become fixed local slots instead of dict keys,
+* ``pattern_for``/``unify_tuple`` specialize into per-literal probe-and-bind
+  steps — constants and repeated-variable checks are resolved at compile
+  time, and fully bound probes become plain membership tests,
+* ``Eval``/``Test``/negation become inlined guards with their callables
+  resolved from the program registries up front,
+* the head projection (or aggregation key/value split) is fused into the
+  innermost loop, so no intermediate binding dict ever exists.
+
+The generated source is plain Python compiled with :func:`exec`; the
+original interpreter remains available behind ``REPRO_INTERPRET=1`` (or
+``KernelCache(interpret=True)``) with *identical* kernel signatures, both as
+an escape hatch and as the reference implementation for differential tests.
+
+Kernels are produced and cached by :class:`KernelCache`, one per solver.
+When a cardinality oracle is supplied the body is planned cost-aware
+(:func:`repro.datalog.planning.plan_body` with ``oracle=``) and the relation
+sizes seen at compile time are remembered; :meth:`KernelCache.refresh`
+evicts kernels whose body relations have since grown or shrunk by more than
+``REPRO_REPLAN_FACTOR`` (default 4×), so join orders track cardinality
+shifts between strata visits without ever re-planning inside a fixpoint
+loop.
+
+Emit modes
+----------
+
+``head``
+    yield the instantiated head tuple (the common case);
+``regs``
+    yield the full variable valuation as a tuple in sorted-name order — the
+    Laddder engine's canonical substitution for dedup and firing-time
+    grounding (see :class:`RuleShape`);
+``keyvalue``
+    yield ``(group key, aggregand value)`` for an aggregation rule;
+``exists``
+    yield ``True`` per satisfying substitution (re-derivation checks).
+
+Call signatures (identical in compiled and interpreted mode):
+
+* scan kernels: ``fn(lookup, neg_skip=None)``
+* pinned kernels: ``fn(lookup, row, neg_skip=None)`` — the pinned
+  occurrence is unified against ``row`` in a fused prologue; a mismatch
+  yields nothing (the ``bind_pinned(...) is None`` case);
+* bound kernels: ``fn(lookup, binding, neg_skip=None)`` — ``binding`` is a
+  name->value mapping covering the declared bound set.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Callable, Iterable, Iterator
+
+from ..datalog.ast import (
+    AggTerm,
+    BodyItem,
+    Constant,
+    Eval,
+    Literal,
+    Rule,
+    Term,
+    Test,
+    Variable,
+)
+from ..datalog.planning import CardinalityOracle, plan_body
+from ..datalog.program import Program
+from .grounding import Lookup, bind_pinned, instantiate, run_plan
+
+#: Default re-plan threshold: a kernel is re-planned when one of its body
+#: relations grew or shrank by at least this factor since it was compiled.
+DEFAULT_REPLAN_FACTOR = 4.0
+
+_KERNEL_NAME = "_kernel"
+
+
+def interpret_requested() -> bool:
+    """True when ``REPRO_INTERPRET`` asks for the run_plan fallback."""
+    return os.environ.get("REPRO_INTERPRET", "").strip() not in ("", "0")
+
+
+def replan_factor_from_env() -> float:
+    """The configured re-plan threshold (``<= 0`` disables re-planning)."""
+    raw = os.environ.get("REPRO_REPLAN_FACTOR", "").strip()
+    if not raw:
+        return DEFAULT_REPLAN_FACTOR
+    try:
+        return float(raw)
+    except ValueError:
+        return DEFAULT_REPLAN_FACTOR
+
+
+# ---------------------------------------------------------------------------
+# code generation
+
+
+class _Codegen:
+    """Line buffer + closure environment for one generated function."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 1
+        self.env: dict[str, object] = {}
+        self._consts = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def const(self, value: object) -> str:
+        """Bind ``value`` into the closure environment, return its name.
+
+        Constants may be arbitrary hashable Python objects (lattice
+        elements), so they travel via the environment rather than ``repr``.
+        """
+        name = f"_c{self._consts}"
+        self._consts += 1
+        self.env[name] = value
+        return name
+
+    def source(self, header: str) -> str:
+        body = self.lines or ["    pass"]
+        return header + "\n" + "\n".join(body)
+
+
+def _tuple_expr(parts: list[str]) -> str:
+    if not parts:
+        return "()"
+    if len(parts) == 1:
+        return f"({parts[0]},)"
+    return "(" + ", ".join(parts) + ")"
+
+
+class _KernelBuilder:
+    """Lowers one planned body into a specialized generator function."""
+
+    def __init__(self, program: Program, rule: Rule, plan: list[BodyItem]):
+        self.program = program
+        self.rule = rule
+        self.plan = plan
+        self.g = _Codegen()
+        self._slots: dict[str, str] = {}
+        self.bound: set[str] = set()
+        self._temps = 0
+
+    def slot(self, var_name: str) -> str:
+        name = self._slots.get(var_name)
+        if name is None:
+            name = self._slots[var_name] = f"_v{len(self._slots)}"
+        return name
+
+    def _temp(self) -> str:
+        name = f"_t{self._temps}"
+        self._temps += 1
+        return name
+
+    def term_expr(self, term: Term) -> str:
+        """A bound term as an expression (constant or bound variable)."""
+        if isinstance(term, Constant):
+            return self.g.const(term.value)
+        return self.slot(term.name)
+
+    # -- prologues ---------------------------------------------------------
+
+    def hoist_relations(self, skip_first: bool) -> dict[str, str]:
+        """``_rN = lookup('pred')`` once per predicate the plan touches."""
+        rels: dict[str, str] = {}
+        items = self.plan[1:] if skip_first else self.plan
+        for item in items:
+            if isinstance(item, Literal) and item.pred not in rels:
+                name = f"_r{len(rels)}"
+                rels[item.pred] = name
+                self.g.emit(f"{name} = lookup({item.pred!r})")
+        return rels
+
+    def pinned_prologue(self, literal: Literal) -> None:
+        """Unify ``_row`` against the pinned occurrence; mismatch => return.
+
+        Mirrors :func:`repro.engines.grounding.bind_pinned` exactly:
+        constants are equality-checked, first variable occurrences bind,
+        repeated occurrences are consistency-checked.
+        """
+        g = self.g
+        for i, term in enumerate(literal.atom.args):
+            if isinstance(term, Constant):
+                g.emit(f"if _row[{i}] != {g.const(term.value)}: return")
+            elif term.name in self.bound:
+                g.emit(f"if _row[{i}] != {self.slot(term.name)}: return")
+            else:
+                g.emit(f"{self.slot(term.name)} = _row[{i}]")
+                self.bound.add(term.name)
+
+    def bound_prologue(self, names: Iterable[str]) -> None:
+        """Unpack the declared bound set from the ``_binding`` mapping."""
+        for name in sorted(names):
+            self.g.emit(f"{self.slot(name)} = _binding[{name!r}]")
+            self.bound.add(name)
+
+    # -- body items --------------------------------------------------------
+
+    def positive(self, item: Literal, rels: dict[str, str]) -> None:
+        g = self.g
+        pattern: list[str] = []
+        frees: list[tuple[int, str]] = []
+        repeats: list[tuple[int, str]] = []
+        seen_here: set[str] = set()
+        for i, term in enumerate(item.atom.args):
+            if isinstance(term, Constant):
+                pattern.append(g.const(term.value))
+            elif term.name in self.bound:
+                pattern.append(self.slot(term.name))
+            elif term.name in seen_here:
+                # Repeated free variable within one atom: the first
+                # occurrence binds, later ones filter (unify_tuple).
+                pattern.append("None")
+                repeats.append((i, term.name))
+            else:
+                pattern.append("None")
+                seen_here.add(term.name)
+                frees.append((i, term.name))
+        rel = rels[item.pred]
+        if not frees and not repeats:
+            # Fully bound probe: plain membership, no enumeration.
+            g.emit(f"if {_tuple_expr(pattern)} in {rel}:")
+            g.indent += 1
+            return
+        row = self._temp()
+        g.emit(f"for {row} in {rel}.matching({_tuple_expr(pattern)}):")
+        g.indent += 1
+        for i, name in frees:
+            g.emit(f"{self.slot(name)} = {row}[{i}]")
+            self.bound.add(name)
+        for i, name in repeats:
+            g.emit(f"if {row}[{i}] != {self.slot(name)}: continue")
+
+    def negated(self, item: Literal, rels: dict[str, str]) -> None:
+        # The planner guarantees every argument is bound here.
+        g = self.g
+        parts = [self.term_expr(t) for t in item.atom.args]
+        row = self._temp()
+        g.emit(f"{row} = {_tuple_expr(parts)}")
+        g.emit(
+            f"if (neg_skip is not None and neg_skip == ({item.pred!r}, {row})) "
+            f"or {row} not in {rels[item.pred]}:"
+        )
+        g.indent += 1
+
+    def _callable(self, registry: dict, name: str, kind: str) -> str:
+        fn = registry.get(name)
+        if fn is not None:
+            return self.g.const(fn)
+        # Unknown at compile time: defer the KeyError to kernel run time,
+        # matching the interpreter's failure point.
+        reg = self.g.const(registry)
+        return f"{reg}[{name!r}]"
+
+    def eval_item(self, item: Eval) -> None:
+        g = self.g
+        fn = self._callable(self.program.functions, item.fn, "function")
+        call = f"{fn}({', '.join(self.term_expr(a) for a in item.args)})"
+        if item.var.name in self.bound:
+            g.emit(f"if {call} == {self.slot(item.var.name)}:")
+            g.indent += 1
+        else:
+            g.emit(f"{self.slot(item.var.name)} = {call}")
+            self.bound.add(item.var.name)
+
+    def test_item(self, item: Test) -> None:
+        fn = self._callable(self.program.tests, item.fn, "test")
+        self.g.emit(f"if {fn}({', '.join(self.term_expr(a) for a in item.args)}):")
+        self.g.indent += 1
+
+    def lower_body(self, rels: dict[str, str], start: int) -> None:
+        for item in self.plan[start:]:
+            if isinstance(item, Literal):
+                if item.negated:
+                    self.negated(item, rels)
+                else:
+                    self.positive(item, rels)
+            elif isinstance(item, Eval):
+                self.eval_item(item)
+            elif isinstance(item, Test):
+                self.test_item(item)
+            else:  # pragma: no cover - planner admits only these
+                raise TypeError(f"unknown body item {item!r}")
+
+    # -- emit tails --------------------------------------------------------
+
+    def emit_head(self) -> None:
+        parts = [self.term_expr(t) for t in self.rule.head.args]
+        self.g.emit(f"yield {_tuple_expr(parts)}")
+
+    def emit_regs(self, var_order: tuple[str, ...]) -> None:
+        parts = [self.slot(n) for n in var_order]
+        self.g.emit(f"yield {_tuple_expr(parts)}")
+
+    def emit_keyvalue(self, spec) -> None:
+        key_parts: list[str] = []
+        value = None
+        for i, term in enumerate(spec.head.args):
+            if i == spec.agg_pos:
+                value = self.slot(term.var.name)
+            else:
+                key_parts.append(self.term_expr(term))
+        self.g.emit(f"yield ({_tuple_expr(key_parts)}, {value})")
+
+    def emit_exists(self) -> None:
+        self.g.emit("yield True")
+
+
+def compile_kernel(
+    program: Program,
+    rule: Rule,
+    plan: list[BodyItem],
+    *,
+    mode: str = "scan",
+    bound: frozenset[str] = frozenset(),
+    emit: str = "head",
+    spec=None,
+    var_order: tuple[str, ...] = (),
+) -> Callable:
+    """Generate and ``exec`` one specialized kernel for ``plan``."""
+    builder = _KernelBuilder(program, rule, plan)
+    args = ["lookup"]
+    if mode == "pinned":
+        args.append("_row")
+        builder.pinned_prologue(plan[0])
+    elif mode == "bound":
+        args.append("_binding")
+        builder.bound_prologue(bound)
+    header = f"def {_KERNEL_NAME}({', '.join(args)}, neg_skip=None):"
+    # Relation hoists belong above the prologue lines in execution order,
+    # but the prologue emits straight-line code only, so ordering within the
+    # preamble is irrelevant; keep hoists after to reuse the line buffer.
+    start = 1 if mode == "pinned" else 0
+    prologue = builder.g.lines
+    builder.g.lines = []
+    rels = builder.hoist_relations(skip_first=mode == "pinned")
+    builder.g.lines = builder.g.lines + prologue
+    builder.lower_body(rels, start)
+    if emit == "head":
+        builder.emit_head()
+    elif emit == "regs":
+        builder.emit_regs(var_order)
+    elif emit == "keyvalue":
+        builder.emit_keyvalue(spec)
+    elif emit == "exists":
+        builder.emit_exists()
+    else:  # pragma: no cover
+        raise ValueError(f"unknown emit mode {emit!r}")
+    source = builder.g.source(header)
+    namespace = dict(builder.g.env)
+    code = compile(source, f"<kernel:{rule.head.pred}>", "exec")
+    exec(code, namespace)
+    fn = namespace[_KERNEL_NAME]
+    fn.__kernel_source__ = source
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# interpreter-backed kernels (REPRO_INTERPRET=1)
+
+
+def interpret_kernel(
+    program: Program,
+    rule: Rule,
+    plan: list[BodyItem],
+    *,
+    mode: str = "scan",
+    emit: str = "head",
+    spec=None,
+    var_order: tuple[str, ...] = (),
+) -> Callable:
+    """A ``run_plan``-backed kernel with the compiled call signature."""
+    head = rule.head
+    if emit == "head":
+        def project(binding):
+            return instantiate(head, binding)
+    elif emit == "regs":
+        def project(binding):
+            return tuple(binding[name] for name in var_order)
+    elif emit == "keyvalue":
+        def project(binding):
+            return spec.key_and_value(binding)
+    elif emit == "exists":
+        def project(binding):
+            return True
+    else:  # pragma: no cover
+        raise ValueError(f"unknown emit mode {emit!r}")
+
+    if mode == "scan":
+        def kernel(lookup, neg_skip=None):
+            for binding in run_plan(plan, program, lookup, {}, 0, neg_skip):
+                yield project(binding)
+    elif mode == "pinned":
+        literal = plan[0]
+
+        def kernel(lookup, _row, neg_skip=None):
+            binding = bind_pinned(literal, _row)
+            if binding is None:
+                return
+            for theta in run_plan(plan, program, lookup, binding, 1, neg_skip):
+                yield project(theta)
+    elif mode == "bound":
+        def kernel(lookup, _binding, neg_skip=None):
+            for theta in run_plan(plan, program, lookup, dict(_binding), 0, neg_skip):
+                yield project(theta)
+    else:  # pragma: no cover
+        raise ValueError(f"unknown kernel mode {mode!r}")
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# rule shapes (Laddder): canonical register order + per-literal grounders
+
+
+class RuleShape:
+    """Positional view of one rule over its canonical register tuple.
+
+    ``var_order`` is the sorted tuple of body-variable names; a ``regs``
+    kernel yields valuations in exactly this order, so ``(rule, regs)`` is a
+    canonical substitution key (the compiled analogue of
+    ``tuple(sorted(theta.items()))``).  ``head_of(regs)`` instantiates the
+    head; ``literals`` holds ``(negated, pred, grounder)`` per relational
+    body atom, where ``grounder(regs)`` builds that atom's ground row — the
+    Laddder engine uses these to compute firing times without a binding
+    dict.
+    """
+
+    __slots__ = ("rule", "var_order", "head_of", "literals")
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.var_order = tuple(
+            sorted(v.name for v in rule.body_variables() | rule.head_variables())
+        )
+        index = {name: i for i, name in enumerate(self.var_order)}
+        self.head_of = self._projector(rule.head.args, index)
+        self.literals = tuple(
+            (lit.negated, lit.pred, self._projector(lit.atom.args, index))
+            for lit in rule.body_literals()
+        )
+
+    @staticmethod
+    def _projector(terms, index: dict[str, int]) -> Callable[[tuple], tuple]:
+        env: dict[str, object] = {}
+        parts = []
+        for k, term in enumerate(terms):
+            if isinstance(term, Constant):
+                name = f"_c{k}"
+                env[name] = term.value
+                parts.append(name)
+            elif isinstance(term, AggTerm):  # pragma: no cover - engine guard
+                raise ValueError("cannot project an aggregation slot")
+            else:
+                parts.append(f"_s[{index[term.name]}]")
+        return eval(f"lambda _s: {_tuple_expr(parts)}", env)
+
+
+# ---------------------------------------------------------------------------
+# aggregation extractors: pinned collecting-literal row -> (key, value)
+
+
+def compile_extractor(spec, *, interpret: bool = False) -> Callable:
+    """``row -> (group key, aggregand value) | None`` for one AggSpec.
+
+    The hot path of every engine's aggregation advance binds a collecting
+    tuple against the single body literal and splits it per the head; this
+    fuses both steps.  ``None`` signals a pinned-unification mismatch
+    (constant or repeated-variable conflict in the collecting literal).
+    """
+    literal = spec.rule.body[0]
+    if interpret:
+        def extract(row):
+            binding = bind_pinned(literal, row)
+            if binding is None:
+                return None
+            return spec.key_and_value(binding)
+
+        return extract
+
+    g = _Codegen()
+    slots: dict[str, str] = {}
+    for i, term in enumerate(literal.atom.args):
+        if isinstance(term, Constant):
+            g.emit(f"if _row[{i}] != {g.const(term.value)}: return None")
+        elif term.name in slots:
+            g.emit(f"if _row[{i}] != {slots[term.name]}: return None")
+        else:
+            slots[term.name] = f"_v{len(slots)}"
+            g.emit(f"{slots[term.name]} = _row[{i}]")
+    key_parts: list[str] = []
+    value = None
+    for i, term in enumerate(spec.head.args):
+        if i == spec.agg_pos:
+            value = slots[term.var.name]
+        elif isinstance(term, Constant):
+            key_parts.append(g.const(term.value))
+        else:
+            key_parts.append(slots[term.name])
+    g.emit(f"return ({_tuple_expr(key_parts)}, {value})")
+    source = g.source("def _extract(_row):")
+    namespace = dict(g.env)
+    exec(compile(source, f"<extractor:{spec.pred}>", "exec"), namespace)
+    fn = namespace["_extract"]
+    fn.__kernel_source__ = source
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# the cache
+
+
+class RuleKernel:
+    """One cached kernel: the callable plus its replan bookkeeping."""
+
+    __slots__ = ("fn", "plan", "rule", "mode", "emit", "sizes", "compiled")
+
+    def __init__(self, fn, plan, rule, mode, emit, sizes, compiled):
+        self.fn = fn
+        self.plan = plan
+        self.rule = rule
+        self.mode = mode
+        self.emit = emit
+        #: pred -> relation size at compile time (None: never re-planned).
+        self.sizes = sizes
+        self.compiled = compiled
+
+    def __call__(self, *args, **kwargs) -> Iterator:
+        return self.fn(*args, **kwargs)
+
+
+class KernelCache:
+    """Per-solver cache of compiled kernels, keyed by
+    ``(rule, pinned, bound-set, emit mode)``.
+
+    All four engines share one instance (created in ``Solver.__init__``), so
+    planning/compilation happens once per distinct key for the lifetime of
+    the solver — never inside a fixpoint loop.  ``refresh`` implements the
+    between-strata re-planning policy.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        metrics=None,
+        interpret: bool | None = None,
+        replan_factor: float | None = None,
+    ):
+        self.program = program
+        self.metrics = metrics
+        self.interpret = interpret_requested() if interpret is None else interpret
+        self.replan_factor = (
+            replan_factor_from_env() if replan_factor is None else replan_factor
+        )
+        self._kernels: dict[tuple, RuleKernel] = {}
+        #: rule id -> keys of that rule's kernels (refresh never scans the
+        #: whole cache: updates visit one component at a time and tiny
+        #: epochs cannot afford a sweep over every solver kernel).
+        self._by_rule: dict[int, list[tuple]] = {}
+        self._shapes: dict[int, RuleShape] = {}
+        self._extractors: dict[int, Callable] = {}
+
+    def kernel(
+        self,
+        rule: Rule,
+        *,
+        pinned: int | None = None,
+        bound: Iterable[str] = (),
+        emit: str = "head",
+        oracle: CardinalityOracle | None = None,
+        spec=None,
+    ) -> RuleKernel:
+        """Get or build the kernel for one (rule, pinned, bound, emit)."""
+        bound_names = frozenset(bound)
+        key = (id(rule), pinned, bound_names, emit)
+        cached = self._kernels.get(key)
+        metrics = self.metrics
+        if cached is not None:
+            if metrics is not None:
+                metrics.plan_cache_hits += 1
+            return cached
+        started = perf_counter()
+        initially_bound = {Variable(n) for n in bound_names} or None
+        plan = plan_body(
+            rule, pinned=pinned, initially_bound=initially_bound, oracle=oracle
+        )
+        mode = "pinned" if pinned is not None else ("bound" if bound_names else "scan")
+        var_order = ()
+        if emit == "regs":
+            var_order = self.shape(rule).var_order
+        if self.interpret:
+            fn = interpret_kernel(
+                self.program, rule, plan,
+                mode=mode, emit=emit, spec=spec, var_order=var_order,
+            )
+        else:
+            fn = compile_kernel(
+                self.program, rule, plan,
+                mode=mode, bound=bound_names, emit=emit, spec=spec,
+                var_order=var_order,
+            )
+        sizes = None
+        if oracle is not None:
+            sizes = {
+                item.pred: oracle(item.pred)
+                for item in plan
+                if isinstance(item, Literal)
+            }
+        kernel = RuleKernel(fn, plan, rule, mode, emit, sizes, not self.interpret)
+        self._kernels[key] = kernel
+        self._by_rule.setdefault(id(rule), []).append(key)
+        if metrics is not None:
+            metrics.plan_cache_misses += 1
+            metrics.rules_compiled += 1
+            metrics.compile_seconds += perf_counter() - started
+        return kernel
+
+    def shape(self, rule: Rule) -> RuleShape:
+        shape = self._shapes.get(id(rule))
+        if shape is None:
+            shape = self._shapes[id(rule)] = RuleShape(rule)
+        return shape
+
+    def extractor(self, spec) -> Callable:
+        fn = self._extractors.get(id(spec.rule))
+        if fn is None:
+            fn = compile_extractor(spec, interpret=self.interpret)
+            self._extractors[id(spec.rule)] = fn
+        return fn
+
+    def replan_guard(
+        self, rules: Iterable[Rule]
+    ) -> dict[str, tuple[float, float]]:
+        """Per-predicate safe size intervals for ``rules``' cached kernels.
+
+        ``guard[pred] = (lo, hi)`` such that while every watched predicate's
+        size stays strictly inside its interval, :meth:`refresh` is
+        guaranteed to evict nothing — callers on a hot path can verify the
+        guard (a handful of ``len()`` comparisons) and skip the full sweep.
+        The intervals intersect, per predicate, each kernel's non-eviction
+        range ``(old/factor, factor * max(1, old))``; an empty dict means no
+        kernel can go stale.  Recompute after any refresh that evicted or
+        after new kernels were built.
+        """
+        factor = self.replan_factor
+        guard: dict[str, tuple[float, float]] = {}
+        if factor <= 0:
+            return guard
+        for rule in rules:
+            for key in self._by_rule.get(id(rule), ()):
+                kernel = self._kernels.get(key)
+                if kernel is None or not kernel.sizes:
+                    continue
+                for pred, old in kernel.sizes.items():
+                    lo = old / factor if old >= factor else float("-inf")
+                    hi = factor * max(1, old)
+                    cur = guard.get(pred)
+                    if cur is None:
+                        guard[pred] = (lo, hi)
+                    else:
+                        guard[pred] = (max(cur[0], lo), min(cur[1], hi))
+        return guard
+
+    def refresh(self, rules: Iterable[Rule], oracle: CardinalityOracle) -> int:
+        """Evict kernels of ``rules`` whose cardinality snapshot is stale.
+
+        A snapshot is stale when some body relation's size changed by at
+        least ``replan_factor`` (growth from empty counts).  Evicted keys
+        are re-planned lazily on next request with the fresh oracle.
+        Returns the number of kernels evicted.
+        """
+        factor = self.replan_factor
+        if factor <= 0:
+            return 0
+        stale = []
+        current: dict[str, int] = {}  # memoized oracle reads for this pass
+        for rule in rules:
+            for key in self._by_rule.get(id(rule), ()):
+                kernel = self._kernels.get(key)
+                if kernel is None or not kernel.sizes:
+                    continue
+                for pred, old in kernel.sizes.items():
+                    new = current.get(pred)
+                    if new is None:
+                        new = current[pred] = oracle(pred)
+                    if new == old:
+                        continue
+                    if max(old, new) >= factor * max(1, min(old, new)):
+                        stale.append(key)
+                        break
+        for key in stale:
+            del self._kernels[key]
+            self._by_rule[key[0]].remove(key)
+        if stale and self.metrics is not None:
+            self.metrics.replans_triggered += len(stale)
+        return len(stale)

@@ -41,13 +41,13 @@ from time import perf_counter
 
 from ..datalog.ast import Constant, Literal, Rule, Variable
 from ..datalog.errors import SolverError
-from ..datalog.planning import delta_plans, plan_body
+from ..datalog.planning import delta_occurrences
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
 from .aggspec import AggSpec, compile_agg_specs
 from .base import FactChanges, Solver, UpdateStats
-from .grounding import bind_pinned, instantiate, run_plan
+from .grounding import bind_pinned
 from .relation import IndexedRelation, RelationStore
 
 _MISSING = object()
@@ -72,25 +72,34 @@ class _DredComponent:
         for spec in self.specs.values():
             self.specs_by_collecting.setdefault(spec.collecting_pred, []).append(spec)
         plain_rules = [r for r in component.rules if not r.is_aggregation]
-        self.occurrence_plans: dict[str, list[tuple[Rule, Literal, list]]] = {}
+        self.plain_rules = plain_rules
+        #: pred -> [(rule, pinned literal, occurrence index)] — kernels are
+        #: resolved per epoch (see DRedLSolver._bind_kernels) so join orders
+        #: can follow live cardinalities.
+        self.occurrences: dict[str, list[tuple[Rule, Literal, int]]] = {}
         for rule in plain_rules:
-            for occ, plan in delta_plans(rule, include_negated=True):
-                literal: Literal = rule.body[occ]
-                self.occurrence_plans.setdefault(literal.pred, []).append(
-                    (rule, literal, plan)
+            for occ, literal in delta_occurrences(rule, include_negated=True):
+                self.occurrences.setdefault(literal.pred, []).append(
+                    (rule, literal, occ)
                 )
         self.static_rules = [
-            (rule, plan_body(rule))
-            for rule in plain_rules
-            if not rule.body_literals()
+            rule for rule in plain_rules if not rule.body_literals()
         ]
-        #: Head-bound re-derivation plans per predicate.
-        self.rederive_plans: dict[str, list[tuple[Rule, list]]] = {}
+        #: head pred -> [(rule, head-bound variable names)] for re-derivation.
+        self.rederive_rules: dict[str, list[tuple[Rule, frozenset[str]]]] = {}
         for rule in plain_rules:
-            head_vars = rule.head_variables()
-            self.rederive_plans.setdefault(rule.head.pred, []).append(
-                (rule, plan_body(rule, initially_bound=head_vars))
-            )
+            bound = frozenset(v.name for v in rule.head_variables())
+            self.rederive_rules.setdefault(rule.head.pred, []).append((rule, bound))
+        #: Kernel tables (filled by DRedLSolver._bind_kernels; rebuilt only
+        #: when the cache evicts a stale plan).
+        self.occ_kernels: dict[str, list[tuple[Rule, Literal, object]]] = {}
+        self.rederive_kernels: dict[str, list[tuple[Rule, object]]] = {}
+        self.recompute_kernels: dict[str, object] = {}
+        self.extractors: dict[str, object] = {}
+        self.kernels_bound = False
+        #: pred -> safe size interval (KernelCache.replan_guard); while all
+        #: watched sizes stay inside, refresh cannot evict and is skipped.
+        self.replan_guard: dict[str, tuple[float, float]] | None = None
         reads: set[str] = set()
         for rule in component.rules:
             for literal in rule.body_literals():
@@ -179,9 +188,9 @@ class DRedLSolver(Solver):
             for pred in state.upstream_reads:
                 for row in self._exported.get(pred).tuples:
                     insertions.add((pred, row))
-            for rule, plan in state.static_rules:
-                for binding in run_plan(plan, self.program, state.rel, {}):
-                    insertions.add((rule.head.pred, instantiate(rule.head, binding)))
+            for rule in state.static_rules:
+                for head_row in self.kernels.kernel(rule).fn(state.rel):
+                    insertions.add((rule.head.pred, head_row))
             self._run_component(state, insertions, set(), index)
         self._solved = True
         if active:
@@ -274,6 +283,64 @@ class DRedLSolver(Solver):
     #      inflationary mode skips this phase: intermediates stay in the
     #      internal state and exports are pruned per group instead.
 
+    def _bind_kernels(self, state: _DredComponent) -> None:
+        """Resolve the epoch's kernel tables from the shared cache.
+
+        Runs once per component visit — between strata, never inside the
+        sweeps.  ``refresh`` first evicts kernels whose body cardinalities
+        shifted beyond the re-plan factor, so evicted entries are re-planned
+        here against the live relation sizes; when nothing was evicted the
+        previous visit's tables are still valid and are kept (typical
+        updates touch a few tuples, so this path must stay cheap).
+        """
+        kernels = self.kernels
+        guard = state.replan_guard
+        if state.kernels_bound and guard is not None:
+            rel = state.rel
+            if all(lo < len(rel(p)) < hi for p, (lo, hi) in guard.items()):
+                return  # no watched cardinality left its safe interval
+
+        def oracle(pred: str) -> int:
+            return len(state.rel(pred))
+
+        evicted = kernels.refresh(state.component.rules, oracle)
+        if state.kernels_bound and not evicted:
+            state.replan_guard = kernels.replan_guard(state.component.rules)
+            return
+        state.kernels_bound = True
+        state.occ_kernels = {
+            pred: [
+                (rule, literal, kernels.kernel(rule, pinned=occ, oracle=oracle).fn)
+                for rule, literal, occ in entries
+            ]
+            for pred, entries in state.occurrences.items()
+        }
+        state.rederive_kernels = {
+            pred: [
+                (
+                    rule,
+                    kernels.kernel(
+                        rule, bound=bound, emit="exists", oracle=oracle
+                    ).fn,
+                )
+                for rule, bound in entries
+            ]
+            for pred, entries in state.rederive_rules.items()
+        }
+        state.recompute_kernels = {}
+        state.extractors = {}
+        for spec in state.specs.values():
+            group_vars = frozenset(
+                term.name
+                for pos, term in enumerate(spec.head.args)
+                if pos != spec.agg_pos and isinstance(term, Variable)
+            )
+            state.recompute_kernels[spec.pred] = kernels.kernel(
+                spec.rule, bound=group_vars, emit="keyvalue", spec=spec
+            ).fn
+            state.extractors[spec.pred] = kernels.extractor(spec)
+        state.replan_guard = kernels.replan_guard(state.component.rules)
+
     def _run_component(
         self,
         state: _DredComponent,
@@ -281,6 +348,7 @@ class DRedLSolver(Solver):
         pending_del: set[tuple[str, tuple]],
         index: int = 0,
     ) -> tuple[dict[str, tuple[set[tuple], set[tuple]]], int]:
+        self._bind_kernels(state)
         metrics = self.metrics
         stratum = (
             metrics.stratum(index, state.component.predicates)
@@ -483,23 +551,20 @@ class DRedLSolver(Solver):
             next_frontier: list[tuple[str, tuple]] = []
             for pred, row in frontier:
                 work += 1
-                for rule, literal, plan in state.occurrence_plans.get(pred, ()):
-                    binding = bind_pinned(literal, row)
-                    if binding is None:
-                        continue
+                for rule, literal, kernel in state.occ_kernels.get(pred, ()):
                     if literal.negated:
-                        negation_reinserts.add((pred, row))
+                        if bind_pinned(literal, row) is not None:
+                            negation_reinserts.add((pred, row))
                         continue
+                    head_pred = rule.head.pred
                     t0 = perf_counter() if stratum is not None else 0.0
                     enumerated = 0
-                    for theta in run_plan(
-                        plan, self.program, state.rel, binding, start=1
-                    ):
+                    for head_row in kernel(state.rel, row):
                         enumerated += 1
-                        head = (rule.head.pred, instantiate(rule.head, theta))
+                        head = (head_pred, head_row)
                         if head in removed:
                             continue
-                        if head[1] in state.rel(head[0]):
+                        if head_row in state.rel(head_pred):
                             removed.add(head)
                             next_frontier.append(head)
                     if stratum is not None:
@@ -508,10 +573,10 @@ class DRedLSolver(Solver):
                             stratum, count=False, fired=enumerated,
                         )
                 for spec in state.specs_by_collecting.get(pred, ()):
-                    binding = bind_pinned(spec.plan[0], row)
-                    if binding is None:
+                    split = state.extractors[spec.pred](row)
+                    if split is None:
                         continue
-                    key, _value = spec.key_and_value(binding)
+                    key, _value = split
                     dirty.add((spec.pred, key))
                     if not overdelete_aggregates:
                         continue
@@ -549,16 +614,11 @@ class DRedLSolver(Solver):
             work += 1
 
         for pred, row in negation_reinserts:
-            for rule, literal, plan in state.occurrence_plans.get(pred, ()):
+            for rule, literal, kernel in state.occ_kernels.get(pred, ()):
                 if not literal.negated:
                     continue
-                binding = bind_pinned(literal, row)
-                if binding is None:
-                    continue
-                for theta in run_plan(
-                    plan, self.program, state.rel, binding, start=1
-                ):
-                    pending_ins.add((rule.head.pred, instantiate(rule.head, theta)))
+                for head_row in kernel(state.rel, row):
+                    pending_ins.add((rule.head.pred, head_row))
                     work += 1
         return work
 
@@ -586,38 +646,29 @@ class DRedLSolver(Solver):
             if stratum is not None:
                 metrics.derivations(stratum, 1)
             record_add(pred, row)
-            for rule, literal, plan in state.occurrence_plans.get(pred, ()):
-                binding = bind_pinned(literal, row)
-                if binding is None:
-                    continue
+            for rule, literal, kernel in state.occ_kernels.get(pred, ()):
+                head_pred = rule.head.pred
                 if literal.negated:
-                    for theta in run_plan(
-                        plan, self.program, state.rel, binding, start=1,
-                        neg_skip=(pred, row),
-                    ):
-                        head = (rule.head.pred, instantiate(rule.head, theta))
-                        if head[1] in state.rel(head[0]):
-                            pending_del.add(head)
+                    for head_row in kernel(state.rel, row, neg_skip=(pred, row)):
+                        if head_row in state.rel(head_pred):
+                            pending_del.add((head_pred, head_row))
                     continue
                 t0 = perf_counter() if stratum is not None else 0.0
                 enumerated = 0
-                for theta in run_plan(
-                    plan, self.program, state.rel, binding, start=1
-                ):
+                for head_row in kernel(state.rel, row):
                     enumerated += 1
-                    head_row = instantiate(rule.head, theta)
-                    if head_row not in state.rel(rule.head.pred):
-                        worklist.append((rule.head.pred, head_row))
+                    if head_row not in state.rel(head_pred):
+                        worklist.append((head_pred, head_row))
                 if stratum is not None:
                     metrics.rule_fired(
                         repr(rule), 0, 0, perf_counter() - t0,
                         stratum, count=False, fired=enumerated,
                     )
             for spec in state.specs_by_collecting.get(pred, ()):
-                binding = bind_pinned(spec.plan[0], row)
-                if binding is None:
+                split = state.extractors[spec.pred](row)
+                if split is None:
                     continue
-                key, value = spec.key_and_value(binding)
+                key, value = split
                 totals = state.totals[spec.pred]
                 old_total = totals.get(key)
                 if (spec.pred, key) not in groups_before:
@@ -643,11 +694,11 @@ class DRedLSolver(Solver):
 
     def _rederivable(self, state, pred: str, row: tuple) -> bool:
         """Does ``row`` still have a derivation in the current state?"""
-        for rule, plan in state.rederive_plans.get(pred, ()):
+        for rule, kernel in state.rederive_kernels.get(pred, ()):
             binding = self._bind_head(rule, row)
             if binding is None:
                 continue
-            for _ in run_plan(plan, self.program, state.rel, binding):
+            for _ in kernel(state.rel, binding):
                 return True
         return False
 
@@ -666,8 +717,8 @@ class DRedLSolver(Solver):
 
     def _recompute_total(self, state, spec: AggSpec, key: tuple):
         """Fold the group's surviving aggregands; None if the group is empty."""
-        literal: Literal = spec.plan[0]
-        # Build a pattern binding the group variables of the collecting atom.
+        # Bind the group variables of the collecting atom, then enumerate
+        # the group's surviving aggregands with the head-bound kernel.
         group_binding: dict = {}
         i = 0
         for pos, term in enumerate(spec.head.args):
@@ -676,9 +727,9 @@ class DRedLSolver(Solver):
             if isinstance(term, Variable):
                 group_binding[term.name] = key[i]
             i += 1
+        kernel = state.recompute_kernels[spec.pred]
         total = None
-        for theta in run_plan([literal], self.program, state.rel, dict(group_binding)):
-            theta_key, value = spec.key_and_value(theta)
+        for theta_key, value in kernel(state.rel, group_binding):
             if theta_key != key:
                 continue
             total = value if total is None else spec.aggregator.combine(total, value)

@@ -41,18 +41,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from operator import itemgetter
 from time import perf_counter
 
 from ...datalog.ast import Literal, Rule
 from ...datalog.errors import SolverError
-from ...datalog.planning import delta_plans, plan_body
+from ...datalog.planning import delta_occurrences
 from ...datalog.program import Program
 from ...datalog.stratify import Component
 from ...metrics import SolverMetrics
 from ..aggspec import AggSpec, compile_agg_specs
 from ..base import FactChanges, Solver, UpdateStats
-from ..grounding import bind_pinned, instantiate, run_plan, term_value
+from ..compile import RuleShape
 from ..relation import RelationStore
 from .groups import GroupState
 from .state import TimedRelation
@@ -81,20 +80,27 @@ class _ComponentState:
             self.specs_by_collecting.setdefault(spec.collecting_pred, []).append(spec)
 
         plain_rules = [r for r in component.rules if not r.is_aggregation]
-        #: pred -> [(rule, pinned literal, plan)] for every body occurrence.
-        self.occurrence_plans: dict[str, list[tuple[Rule, Literal, list]]] = {}
+        #: pred -> [(rule, pinned literal, occurrence index)] for every body
+        #: occurrence; kernels are resolved per epoch (LaddderSolver binds
+        #: them in ``_bind_kernels``) so join orders follow cardinalities.
+        self.occurrences: dict[str, list[tuple[Rule, Literal, int]]] = {}
         for rule in plain_rules:
-            for occ, plan in delta_plans(rule, include_negated=True):
-                literal: Literal = rule.body[occ]
-                self.occurrence_plans.setdefault(literal.pred, []).append(
-                    (rule, literal, plan)
+            for occ, literal in delta_occurrences(rule, include_negated=True):
+                self.occurrences.setdefault(literal.pred, []).append(
+                    (rule, literal, occ)
                 )
         #: Rules with no relational body atom fire once, during solve().
         self.static_rules = [
-            (rule, plan_body(rule))
-            for rule in plain_rules
-            if not rule.body_literals()
+            rule for rule in plain_rules if not rule.body_literals()
         ]
+        #: Kernel tables (filled by LaddderSolver._bind_kernels; rebuilt
+        #: only when the cache evicts a stale plan).
+        self.occ_kernels: dict[str, list[tuple[Rule, RuleShape, object]]] = {}
+        self.extractors: dict[str, object] = {}
+        self.kernels_bound = False
+        #: pred -> safe size interval (KernelCache.replan_guard); while all
+        #: watched sizes stay inside, refresh cannot evict and is skipped.
+        self.replan_guard: dict[str, tuple[float, float]] | None = None
         reads: set[str] = set()
         for rule in component.rules:
             for literal in rule.body_literals():
@@ -170,9 +176,9 @@ class LaddderSolver(Solver):
             for pred in sorted(state.upstream_reads):
                 for row in self._exported.get(pred).tuples:
                     deltas.append((pred, row, 0, 1))
-            for rule, plan in state.static_rules:
-                for binding in run_plan(plan, self.program, state.rel, {}):
-                    deltas.append((rule.head.pred, instantiate(rule.head, binding), 0, 1))
+            for rule in state.static_rules:
+                for head_row in self.kernels.kernel(rule).fn(state.rel):
+                    deltas.append((rule.head.pred, head_row, 0, 1))
             self._compensate(state, deltas, index)
         self._solved = True
         if active:
@@ -286,6 +292,53 @@ class LaddderSolver(Solver):
 
     # -- compensation core -----------------------------------------------
 
+    def _bind_kernels(self, state: _ComponentState) -> None:
+        """Resolve the epoch's kernel tables from the shared cache.
+
+        Runs once per component visit, before the queue drains; ``refresh``
+        evicts kernels whose body cardinalities shifted beyond the re-plan
+        factor so they are re-planned here against live relation sizes.
+        When nothing was evicted the tables from the previous visit are
+        still valid and are kept as-is — typical updates touch a few tuples,
+        so this path must stay cheap.
+        Propagation kernels emit canonical register tuples (``regs`` mode) —
+        the positional analogue of the sorted-binding substitution — which
+        the paired :class:`RuleShape` turns into head rows and firing-time
+        groundings.
+        """
+        kernels = self.kernels
+        guard = state.replan_guard
+        if state.kernels_bound and guard is not None:
+            rel = state.rel
+            if all(lo < len(rel(p)) < hi for p, (lo, hi) in guard.items()):
+                return  # no watched cardinality left its safe interval
+
+        def oracle(pred: str) -> int:
+            return len(state.rel(pred))
+
+        evicted = kernels.refresh(state.component.rules, oracle)
+        if state.kernels_bound and not evicted:
+            state.replan_guard = kernels.replan_guard(state.component.rules)
+            return
+        state.kernels_bound = True
+        state.occ_kernels = {
+            pred: [
+                (
+                    rule,
+                    kernels.shape(rule),
+                    kernels.kernel(
+                        rule, pinned=occ, emit="regs", oracle=oracle
+                    ).fn,
+                )
+                for rule, _literal, occ in entries
+            ]
+            for pred, entries in state.occurrences.items()
+        }
+        state.extractors = {
+            spec.pred: kernels.extractor(spec) for spec in state.specs.values()
+        }
+        state.replan_guard = kernels.replan_guard(state.component.rules)
+
     def _compensate(
         self,
         state: _ComponentState,
@@ -293,6 +346,7 @@ class LaddderSolver(Solver):
         index: int = 0,
     ) -> tuple[dict[str, tuple[set[tuple], set[tuple]]], int]:
         """Drain one component's queue; returns (exported diff, work)."""
+        self._bind_kernels(state)
         metrics = self.metrics
         stratum = (
             metrics.stratum(index, state.component.predicates)
@@ -378,42 +432,41 @@ class LaddderSolver(Solver):
     ) -> None:
         """Emit firing-time corrections for every rule instantiation that
         involves ``row``, whose existence moved ``old_first -> new_first``."""
-        plans = state.occurrence_plans.get(pred)
-        if not plans:
+        entries = state.occ_kernels.get(pred)
+        if not entries:
             return
         metrics = self.metrics
         by_rule: dict[int, set] = {}
         neg_skip = (pred, row)
-        for rule, literal, plan in plans:
+        for rule, shape, kernel in entries:
             seen = by_rule.setdefault(id(rule), set())
-            binding = bind_pinned(literal, row)
-            if binding is None:
-                continue
+            head_pred = rule.head.pred
+            head_of = shape.head_of
             t0 = perf_counter() if stratum is not None else 0.0
             enumerated = 0
-            for theta in run_plan(
-                plan, self.program, state.rel, binding, start=1, neg_skip=neg_skip
-            ):
-                canon = tuple(sorted(theta.items(), key=itemgetter(0)))
-                if canon in seen:
+            # ``regs`` is the canonical substitution (values in sorted
+            # variable-name order), so it doubles as the cross-occurrence
+            # dedup key — the positional analogue of sorted(theta.items()).
+            for regs in kernel(state.rel, row, neg_skip=neg_skip):
+                if regs in seen:
                     continue
-                seen.add(canon)
+                seen.add(regs)
                 enumerated += 1
                 t_old, t_new = self._firing_times(
-                    state, rule, theta, pred, row, old_first, new_first
+                    state, shape, regs, pred, row, old_first, new_first
                 )
                 if t_old == t_new:
                     continue
-                head_row = instantiate(rule.head, theta)
+                head_row = head_of(regs)
                 if t_old != NEVER:
                     heapq.heappush(
                         queue,
-                        (int(t_old), next(counter), rule.head.pred, head_row, -1),
+                        (int(t_old), next(counter), head_pred, head_row, -1),
                     )
                 if t_new != NEVER:
                     heapq.heappush(
                         queue,
-                        (int(t_new), next(counter), rule.head.pred, head_row, 1),
+                        (int(t_new), next(counter), head_pred, head_row, 1),
                     )
             if stratum is not None:
                 # Corrections are counted when applied (in _compensate), so
@@ -424,35 +477,35 @@ class LaddderSolver(Solver):
                 )
 
     def _firing_times(
-        self, state, rule: Rule, theta: dict, pred: str, row: tuple,
+        self, state, shape: RuleShape, regs: tuple, pred: str, row: tuple,
         old_first, new_first,
     ) -> tuple[float, float]:
-        """The firing timestamps of θ in the old and new worlds.
+        """The firing timestamps of the substitution in old and new worlds.
 
         All occurrences grounding to the changed ``row`` use its old/new
         first-existence respectively; everything else uses current state.
         A ``NEVER`` body atom makes the whole firing ``NEVER`` in that world.
+        Eval/Test items are timeless (timestamp 0 <= any max) and absent
+        from ``shape.literals``.
         """
         t_old: float = -1.0
         t_new: float = -1.0
-        for item in rule.body:
-            if not isinstance(item, Literal):
-                continue  # Eval/Test are timeless (timestamp 0 <= any max)
-            grounded = tuple(term_value(term, theta) for term in item.atom.args)
-            is_changed = item.pred == pred and grounded == row
-            if item.negated:
+        for negated, lit_pred, grounder in shape.literals:
+            grounded = grounder(regs)
+            is_changed = lit_pred == pred and grounded == row
+            if negated:
                 # Factor exists (at 0) while the atom is ABSENT.
                 if is_changed:
                     f_old = 0.0 if old_first == NEVER else NEVER
                     f_new = 0.0 if new_first == NEVER else NEVER
                 else:
-                    present = state.rel(item.pred).first(grounded) != NEVER
+                    present = state.rel(lit_pred).first(grounded) != NEVER
                     f_old = f_new = NEVER if present else 0.0
             else:
                 if is_changed:
                     f_old, f_new = old_first, new_first
                 else:
-                    f_old = f_new = state.rel(item.pred).first(grounded)
+                    f_old = f_new = state.rel(lit_pred).first(grounded)
             t_old = max(t_old, f_old)
             t_new = max(t_new, f_new)
         return (
@@ -467,11 +520,10 @@ class LaddderSolver(Solver):
         """Route a collecting tuple's existence change into the sequential
         aggregator architecture and queue the resulting output-run diffs."""
         for spec in state.specs_by_collecting.get(pred, ()):
-            literal: Literal = spec.plan[0]
-            binding = bind_pinned(literal, row)
-            if binding is None:
+            split = state.extractors[spec.pred](row)
+            if split is None:
                 continue
-            key, value = spec.key_and_value(binding)
+            key, value = split
             per_pred = state.groups[spec.pred]
             group = per_pred.get(key)
             if group is None:

@@ -16,13 +16,11 @@ from __future__ import annotations
 from time import perf_counter
 
 from ..datalog.errors import SolverError
-from ..datalog.planning import plan_body
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
 from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
 from .base import FactChanges, Solver, UpdateStats
-from .grounding import instantiate, run_plan
 from .relation import IndexedRelation, RelationStore
 
 
@@ -94,11 +92,6 @@ class NaiveSolver(Solver):
         )
         started = perf_counter() if stratum is not None else 0.0
         local = RelationStore(self.arities, metrics=self._store_metrics())
-        plans = [
-            (rule, plan_body(rule))
-            for rule in component.rules
-            if not rule.is_aggregation
-        ]
         specs = compile_agg_specs(component.rules, self.program)
 
         def lookup(pred: str) -> IndexedRelation:
@@ -106,20 +99,39 @@ class NaiveSolver(Solver):
                 return local.get(pred)
             return self._exported.get(pred)
 
+        def oracle(pred: str) -> int:
+            return len(lookup(pred))
+
+        # Re-plan kernels whose body cardinalities shifted since the last
+        # visit (between strata only — never inside the fixpoint loop), then
+        # resolve the per-rule kernels once for the whole component.
+        self.kernels.refresh(component.rules, oracle)
+        kernels = [
+            (rule, self.kernels.kernel(rule, oracle=oracle).fn)
+            for rule in component.rules
+            if not rule.is_aggregation
+        ]
+        agg_kernels = {
+            spec.pred: self.kernels.kernel(
+                spec.rule, emit="keyvalue", oracle=oracle, spec=spec
+            ).fn
+            for spec in specs.values()
+        }
+
         for iteration in range(self.MAX_ITERATIONS):
             changed = False
             round_new = 0
-            for rule, plan in plans:
+            for rule, kernel in kernels:
                 target = local.get(rule.head.pred)
                 if stratum is None:
-                    for binding in run_plan(plan, self.program, lookup, {}):
-                        if target.add(instantiate(rule.head, binding)):
+                    for head_row in kernel(lookup):
+                        if target.add(head_row):
                             changed = True
                 else:
                     t0 = perf_counter()
                     derived = dedup = 0
-                    for binding in run_plan(plan, self.program, lookup, {}):
-                        if target.add(instantiate(rule.head, binding)):
+                    for head_row in kernel(lookup):
+                        if target.add(head_row):
                             derived += 1
                         else:
                             dedup += 1
@@ -130,7 +142,9 @@ class NaiveSolver(Solver):
                         changed = True
                         round_new += derived
             for spec in specs.values():
-                advanced = self._apply_aggregation(spec, lookup, local)
+                advanced = self._apply_aggregation(
+                    spec, agg_kernels[spec.pred], lookup, local
+                )
                 if advanced:
                     changed = True
                     round_new += advanced
@@ -151,14 +165,15 @@ class NaiveSolver(Solver):
         if stratum is not None:
             metrics.stratum_end(stratum, perf_counter() - started)
 
-    def _apply_aggregation(self, spec: AggSpec, lookup, local: RelationStore) -> int:
+    def _apply_aggregation(
+        self, spec: AggSpec, kernel, lookup, local: RelationStore
+    ) -> int:
         """One inflationary application: derive the current total per group
         (keeping previously derived totals — inflation).  Returns the number
         of newly derived total tuples."""
         groups: dict[tuple, object] = {}
         combine = spec.aggregator.combine
-        for binding in run_plan(spec.plan, self.program, lookup, {}):
-            key, value = spec.key_and_value(binding)
+        for key, value in kernel(lookup):
             if key in groups:
                 groups[key] = combine(groups[key], value)
             else:

@@ -20,15 +20,13 @@ from __future__ import annotations
 
 from time import perf_counter
 
-from ..datalog.ast import Literal
 from ..datalog.errors import SolverError
-from ..datalog.planning import delta_plans, plan_body
+from ..datalog.planning import delta_occurrences
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
 from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
 from .base import FactChanges, Solver, UpdateStats
-from .grounding import bind_pinned, instantiate, run_plan
 from .relation import IndexedRelation, RelationStore
 
 
@@ -105,20 +103,38 @@ class SemiNaiveSolver(Solver):
         local = RelationStore(self.arities, metrics=self._store_metrics())
         specs = compile_agg_specs(component.rules, self.program)
         plain_rules = [r for r in component.rules if not r.is_aggregation]
-        full_plans = [(rule, plan_body(rule)) for rule in plain_rules]
-        # Delta plans pinned on component-local positive occurrences, grouped
-        # by the pinned predicate.
-        pinned: dict[str, list[tuple]] = {}
-        for rule in plain_rules:
-            for i, plan in delta_plans(rule):
-                pred = rule.body[i].pred
-                if pred in component.predicates:
-                    pinned.setdefault(pred, []).append((rule, plan))
 
         def lookup(pred: str) -> IndexedRelation:
             if pred in component.predicates:
                 return local.get(pred)
             return self._exported.get(pred)
+
+        def oracle(pred: str) -> int:
+            return len(lookup(pred))
+
+        # Resolve kernels once per component visit (plans are cached across
+        # visits; refresh re-plans only on large cardinality shifts).
+        self.kernels.refresh(component.rules, oracle)
+        full_kernels = [
+            (rule, self.kernels.kernel(rule, oracle=oracle).fn)
+            for rule in plain_rules
+        ]
+        # Delta kernels pinned on component-local positive occurrences,
+        # grouped by the pinned predicate.
+        pinned: dict[str, list[tuple]] = {}
+        for rule in plain_rules:
+            for i, literal in delta_occurrences(rule):
+                if literal.pred in component.predicates:
+                    pinned.setdefault(literal.pred, []).append(
+                        (rule, self.kernels.kernel(rule, pinned=i, oracle=oracle).fn)
+                    )
+        seed_agg_kernels = {
+            spec.pred: self.kernels.kernel(
+                spec.rule, emit="keyvalue", oracle=oracle, spec=spec
+            ).fn
+            for spec in specs.values()
+            if spec.collecting_pred not in component.predicates
+        }
 
         delta: dict[str, set[tuple]] = {}
         #: [derived, deduplicated] — kept unconditionally (two cheap list
@@ -143,16 +159,18 @@ class SemiNaiveSolver(Solver):
 
         # Seed round: full evaluation (local relations are empty, so this
         # only fires rules satisfiable from upstream alone).
-        for rule, plan in full_plans:
+        for rule, kernel in full_kernels:
             t0, before = (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
-            for binding in run_plan(plan, self.program, lookup, {}):
-                derive(rule.head.pred, instantiate(rule.head, binding), delta)
+            for head_row in kernel(lookup):
+                derive(rule.head.pred, head_row, delta)
             if stratum is not None:
                 fold_rule(rule, t0, before)
         for spec in specs.values():
             if spec.collecting_pred not in component.predicates:
                 before_agg = counts[0]
-                self._seed_upstream_aggregation(spec, lookup, derive, delta)
+                self._seed_upstream_aggregation(
+                    spec, seed_agg_kernels[spec.pred], lookup, derive, delta
+                )
                 if stratum is not None:
                     metrics.derivations(stratum, counts[0] - before_agg)
         if stratum is not None:
@@ -163,23 +181,14 @@ class SemiNaiveSolver(Solver):
                 break
             next_delta: dict[str, set[tuple]] = {}
             for pred, rows in delta.items():
-                for rule, plan in pinned.get(pred, ()):
-                    literal: Literal = plan[0]
+                for rule, kernel in pinned.get(pred, ()):
                     t0, before = (
                         (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
                     )
+                    head_pred = rule.head.pred
                     for row in rows:
-                        binding = bind_pinned(literal, row)
-                        if binding is None:
-                            continue
-                        for full in run_plan(
-                            plan, self.program, lookup, binding, start=1
-                        ):
-                            derive(
-                                rule.head.pred,
-                                instantiate(rule.head, full),
-                                next_delta,
-                            )
+                        for head_row in kernel(lookup, row):
+                            derive(head_pred, head_row, next_delta)
                     if stratum is not None:
                         fold_rule(rule, t0, before)
                 for spec in specs.values():
@@ -203,13 +212,12 @@ class SemiNaiveSolver(Solver):
         if stratum is not None:
             metrics.stratum_end(stratum, perf_counter() - started)
 
-    def _seed_upstream_aggregation(self, spec, lookup, derive, delta) -> None:
+    def _seed_upstream_aggregation(self, spec, kernel, lookup, derive, delta) -> None:
         """Aggregate a collecting relation that lives upstream: its content
         is static during this component, so a single full pass suffices."""
         totals = self._totals.setdefault(spec.pred, {})
         combine = spec.aggregator.combine
-        for binding in run_plan(spec.plan, self.program, lookup, {}):
-            key, value = spec.key_and_value(binding)
+        for key, value in kernel(lookup):
             if key in totals:
                 totals[key] = combine(totals[key], value)
             else:
@@ -222,13 +230,13 @@ class SemiNaiveSolver(Solver):
         new inflationary total tuple when a group's total advances."""
         totals = self._totals.setdefault(spec.pred, {})
         combine = spec.aggregator.combine
-        literal: Literal = spec.plan[0]
+        extract = self.kernels.extractor(spec)
         touched: set[tuple] = set()
         for row in collect_rows:
-            binding = bind_pinned(literal, row)
-            if binding is None:
+            split = extract(row)
+            if split is None:
                 continue
-            key, value = spec.key_and_value(binding)
+            key, value = split
             if key in totals:
                 new_total = combine(totals[key], value)
             else:

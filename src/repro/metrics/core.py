@@ -135,6 +135,11 @@ class SolverMetrics:
         "support_updates",
         "max_queue_depth",
         "timeline_entries",
+        "rules_compiled",
+        "compile_seconds",
+        "plan_cache_hits",
+        "plan_cache_misses",
+        "replans_triggered",
         "strata",
         "rules",
     )
@@ -166,6 +171,14 @@ class SolverMetrics:
         self.support_updates = 0
         self.max_queue_depth = 0
         self.timeline_entries = 0
+        # Rule-compilation counters (see repro.engines.compile).  Compile
+        # events are rare — once per (rule, pinned, bound-set) — so these are
+        # recorded even while disabled, like the relation probe counters.
+        self.rules_compiled = 0
+        self.compile_seconds = 0.0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.replans_triggered = 0
         self.strata: dict[int, StratumStats] = {}
         self.rules: dict[str, RuleStats] = {}
 
@@ -271,6 +284,13 @@ class SolverMetrics:
                 "support_updates": self.support_updates,
                 "max_queue_depth": self.max_queue_depth,
                 "timeline_entries": self.timeline_entries,
+            },
+            "compile": {
+                "rules_compiled": self.rules_compiled,
+                "compile_seconds": self.compile_seconds,
+                "plan_cache_hits": self.plan_cache_hits,
+                "plan_cache_misses": self.plan_cache_misses,
+                "replans_triggered": self.replans_triggered,
             },
             "strata": [
                 self.strata[i].to_dict() for i in sorted(self.strata)

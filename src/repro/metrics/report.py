@@ -76,6 +76,14 @@ def format_profile(metrics: SolverMetrics, rule_limit: int | None = 15) -> str:
             f"queue depth ≤ {metrics.max_queue_depth}, "
             f"{metrics.timeline_entries} timeline entries"
         )
+    if metrics.rules_compiled or metrics.plan_cache_hits:
+        lines.append(
+            f"  compile: {metrics.rules_compiled} kernels in "
+            f"{metrics.compile_seconds * 1e3:.1f} ms; plan cache "
+            f"{metrics.plan_cache_hits} hits / "
+            f"{metrics.plan_cache_misses} misses; "
+            f"{metrics.replans_triggered} re-plans"
+        )
     lines.append("")
     lines.append(format_stratum_table(metrics))
     if metrics.rules:

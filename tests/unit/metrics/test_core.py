@@ -147,9 +147,16 @@ class TestExport:
         m.stratum_end(s, 0.1)
         m.join_probes = 10
         d = m.to_dict()
-        assert set(d) == {"engine", "totals", "laddder", "strata", "rules"}
+        assert set(d) == {"engine", "totals", "laddder", "compile", "strata", "rules"}
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10
+        assert set(d["compile"]) == {
+            "rules_compiled",
+            "compile_seconds",
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "replans_triggered",
+        }
         assert d["strata"][0]["delta_sizes"] == [1]
         assert d["rules"]["r"]["derived"] == 1
         json.dumps(d)  # must be directly serializable
