@@ -16,15 +16,19 @@ Public surface:
 * :mod:`repro.corpus`, :mod:`repro.changes`, :mod:`repro.methodology`,
   :mod:`repro.bench` — the evaluation harness (subjects, synthesized
   changes, impact methodology, measurement).
+* :mod:`repro.robustness` — guarded (transactional) solving, fixpoint
+  watchdogs, runtime self-checks, and the fault-injection harness.
 """
 
 from .datalog import Program, parse
 from .engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+from .robustness import GuardedSolver
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DRedLSolver",
+    "GuardedSolver",
     "LaddderSolver",
     "NaiveSolver",
     "Program",

@@ -31,7 +31,14 @@ import sys
 import time
 
 from .analyses import ANALYSES
-from .datalog.errors import SolverError
+from .datalog.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    DatalogError,
+    InvariantViolationError,
+    RollbackError,
+    SolverError,
+)
 from .bench import (
     DISTRIBUTION_HEADERS,
     Distribution,
@@ -44,12 +51,21 @@ from .corpus import PRESETS, load_subject
 from .engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver, explain
 from .methodology import bucket_impacts, format_histogram, measure_impacts
 from .metrics import SolverMetrics, format_profile
+from .robustness import GuardedSolver
 
 ENGINES = {
     "laddder": LaddderSolver,
     "dredl": DRedLSolver,
     "seminaive": SemiNaiveSolver,
     "naive": NaiveSolver,
+}
+
+#: Exit codes for the typed failure modes (documented in docs/ROBUSTNESS.md).
+EXIT_CODES = {
+    BudgetExceededError: 3,
+    InvariantViolationError: 4,
+    CheckpointError: 5,
+    RollbackError: 6,
 }
 
 
@@ -70,6 +86,22 @@ def _make_metrics(args) -> SolverMetrics | None:
     if args.profile or args.profile_json:
         return SolverMetrics()
     return None
+
+
+def _solver_setup(args):
+    """A per-solver configuration hook for ``--deadline``/``--self-check``."""
+    deadline = getattr(args, "deadline", None)
+    self_check = getattr(args, "self_check", False)
+    if deadline is None and not self_check:
+        return None
+
+    def setup(solver):
+        if deadline is not None:
+            solver.budget.deadline = deadline
+        if self_check:
+            solver.self_check = True
+
+    return setup
 
 
 def _emit_profile(args, metrics: SolverMetrics | None) -> None:
@@ -94,16 +126,34 @@ def _emit_profile(args, metrics: SolverMetrics | None) -> None:
 
 def cmd_analyze(args) -> int:
     """``analyze``: run and print an analysis result relation."""
+    from pathlib import Path
+
+    from .engines.checkpoint import load_checkpoint, save_checkpoint
+
     subject, instance = _build(args)
     engine = ENGINES[args.engine]
     metrics = _make_metrics(args)
+    setup = _solver_setup(args)
+    ckpt = Path(args.checkpoint) if args.checkpoint else None
     start = time.perf_counter()
-    solver = instance.make_solver(engine, metrics=metrics)
+    restored = ckpt is not None and ckpt.exists()
+    if restored:
+        inner = load_checkpoint(engine, instance.program, ckpt)
+    else:
+        inner = instance.make_solver(engine, solve=False, metrics=metrics)
+    if setup is not None:
+        setup(inner)
+    solver = GuardedSolver(inner) if args.guard else inner
+    if not restored:
+        solver.solve()
+        if ckpt is not None:
+            save_checkpoint(inner, ckpt)
     elapsed = time.perf_counter() - start
+    source = "restored from checkpoint in" if restored else ""
     print(
         f"{instance.name} on {args.subject} "
         f"({subject.statement_count()} stmts) via {engine.__name__}: "
-        f"{elapsed:.2f}s"
+        f"{source} {elapsed:.2f}s".replace(":  ", ": ")
     )
     rows = sorted(solver.relation(instance.primary), key=repr)
     shown = rows if args.limit is None else rows[: args.limit]
@@ -132,7 +182,10 @@ def cmd_bench(args) -> int:
     engine = ENGINES[args.engine]
     changes = _changes_for(instance, args.changes, args.seed)
     metrics = _make_metrics(args)
-    run = run_update_benchmark(instance, engine, changes, metrics=metrics)
+    run = run_update_benchmark(
+        instance, engine, changes, metrics=metrics,
+        setup=_solver_setup(args), guard=args.guard,
+    )
     dist = Distribution.of(run.update_times())
     print(f"init: {run.init_seconds * 1e3:.1f} ms")
     print(
@@ -189,12 +242,29 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile-json", metavar="FILE", default=None,
                        help="write solver metrics as JSON (use - for stdout)")
 
+    def guarded(p):
+        p.add_argument("--deadline", type=float, metavar="SECONDS",
+                       default=None,
+                       help="wall-clock budget per solve/update; exceeding "
+                            "it raises instead of hanging (exit code 3)")
+        p.add_argument("--self-check", action="store_true",
+                       help="validate engine invariants between strata "
+                            "(slow; exit code 4 on violation)")
+        p.add_argument("--guard", action="store_true",
+                       help="run updates transactionally with rollback and "
+                            "from-scratch fallback on failure")
+
     analyze = sub.add_parser("analyze", help="run an analysis, print results")
     common(analyze)
     profiled(analyze)
+    guarded(analyze)
     analyze.add_argument("--engine", choices=sorted(ENGINES), default="laddder")
     analyze.add_argument("--limit", type=int, default=20,
                          help="max tuples to print (use -1 for all)")
+    analyze.add_argument("--checkpoint", metavar="FILE", default=None,
+                         help="restore solver state from FILE if it exists, "
+                              "else solve and save it there (exit code 5 on "
+                              "a corrupt or mismatched file)")
     analyze.set_defaults(fn=cmd_analyze)
 
     impact = sub.add_parser("impact", help="Section 3 impact methodology")
@@ -206,6 +276,7 @@ def make_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="one-shot update-time measurement")
     common(bench)
     profiled(bench)
+    guarded(bench)
     bench.add_argument("--engine", choices=sorted(ENGINES), default="laddder")
     bench.add_argument("--changes", type=int, default=20)
     bench.set_defaults(fn=cmd_bench)
@@ -223,11 +294,26 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Typed solver failures map to distinct nonzero exit codes with a
+    one-line message on stderr (see ``EXIT_CODES``; docs/ROBUSTNESS.md):
+    watchdog trip 3, invariant violation 4, checkpoint failure 5, rolled-
+    back update 6, any other Datalog/solver error 2.
+    """
     args = make_parser().parse_args(argv)
     if getattr(args, "limit", None) == -1:
         args.limit = None
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except DatalogError as exc:
+        code = 2
+        for err_cls, err_code in EXIT_CODES.items():
+            if isinstance(exc, err_cls):
+                code = err_code
+                break
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return code
 
 
 if __name__ == "__main__":  # pragma: no cover

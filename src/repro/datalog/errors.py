@@ -23,3 +23,35 @@ class ValidationError(DatalogError):
 
 class SolverError(DatalogError):
     """Runtime failure inside a solver (divergence guard, bad input facts)."""
+
+
+class BudgetExceededError(SolverError):
+    """A fixpoint watchdog tripped: iteration ceiling, wall-clock deadline,
+    or a strictly-ascending aggregation chain exceeded its budget.
+
+    Raised *instead of hanging* on diverging (non-Noetherian / non-monotone)
+    analyses; see docs/ROBUSTNESS.md."""
+
+
+class InvariantViolationError(SolverError):
+    """A runtime self-check found corrupted engine state.
+
+    Carries a ``dump`` dict with engine, component, and the violated
+    invariant — enough to file a reproducible bug instead of silently
+    propagating corruption into downstream strata."""
+
+    def __init__(self, message: str, dump: dict | None = None):
+        super().__init__(message)
+        self.dump = dump or {}
+
+
+class CheckpointError(SolverError):
+    """A checkpoint file is corrupt, truncated, version-mismatched, or was
+    taken from a different program/engine than the one loading it."""
+
+
+class RollbackError(SolverError):
+    """A guarded update failed and was rolled back to the pre-update state.
+
+    The original failure is chained as ``__cause__``; the solver is left
+    bit-equal to its state before the update was attempted."""

@@ -21,16 +21,19 @@ timestamps are never visible (paper Section 4.1, postprocessing).
 
 from __future__ import annotations
 
+import os
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from ..datalog.errors import SolverError, ValidationError
+from ..datalog.errors import BudgetExceededError, SolverError, ValidationError
 from ..datalog.normalize import normalize
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..datalog.validate import validate
 from ..metrics import SolverMetrics
+from ..robustness.watchdog import Budget
 from .compile import KernelCache
 
 FactChanges = Mapping[str, Iterable[tuple]]
@@ -62,6 +65,10 @@ class Solver(ABC):
     MAX_ITERATIONS = 100_000
 
     def __init__(self, program: Program, metrics: SolverMetrics | None = None):
+        #: The caller's program as handed in, before normalization — the
+        #: guard's graceful-degradation path rebuilds a reference solver
+        #: from it (re-normalizing a normalized program is not idempotent).
+        self.source_program = program
         self.program = program.copy()
         normalize(self.program)
         self.components: list[Component] = validate(self.program)
@@ -79,6 +86,18 @@ class Solver(ABC):
         #: repro.engines.compile.  ``REPRO_INTERPRET=1`` swaps in run_plan-
         #: backed kernels with identical signatures.
         self.kernels = KernelCache(self.program, metrics=self.metrics)
+        #: Fixpoint watchdog budgets (docs/ROBUSTNESS.md): iteration
+        #: ceilings, wall-clock deadline, ascending-chain counter.  Defaults
+        #: come from REPRO_MAX_ITERS / REPRO_MAX_CHAIN; mutate in place
+        #: (``solver.budget.deadline = 5.0``) or assign a fresh Budget.
+        self.budget = Budget.from_env()
+        #: Run invariant self-checks after every solved component when set
+        #: (``--self-check`` / REPRO_SELF_CHECK=1); violations raise
+        #: InvariantViolationError with a diagnostic dump.
+        self.self_check = bool(os.environ.get("REPRO_SELF_CHECK"))
+        #: Active undo log installed by repro.robustness.guard.UpdateGuard;
+        #: None outside a guarded update.
+        self._undo: list | None = None
 
     def _store_metrics(self) -> SolverMetrics | None:
         """The metrics object relation stores should count probes into, or
@@ -133,25 +152,40 @@ class Solver(ABC):
         inserting a present fact or deleting an absent one is a no-op."""
         ins: dict[str, set[tuple]] = {}
         dels: dict[str, set[tuple]] = {}
+        undo = self._undo
         for pred, rows in (deletions or {}).items():
             self._check_edb(pred)
-            bucket = self._facts.setdefault(pred, set())
+            bucket = self._fact_bucket(pred, undo)
             for row in rows:
                 row = tuple(row)
                 self._check_row(pred, row)
                 if row in bucket:
                     bucket.discard(row)
                     dels.setdefault(pred, set()).add(row)
+                    if undo is not None:
+                        undo.append((bucket.add, row))
         for pred, rows in (insertions or {}).items():
             self._check_edb(pred)
-            bucket = self._facts.setdefault(pred, set())
+            bucket = self._fact_bucket(pred, undo)
             for row in rows:
                 row = tuple(row)
                 self._check_row(pred, row)
                 if row not in bucket:
                     bucket.add(row)
                     ins.setdefault(pred, set()).add(row)
+                    if undo is not None:
+                        undo.append((bucket.discard, row))
         return ins, dels
+
+    def _fact_bucket(self, pred: str, undo: list | None) -> set[tuple]:
+        """``self._facts`` bucket for ``pred``, journaling creation so a
+        rolled-back update does not leave phantom empty buckets behind."""
+        bucket = self._facts.get(pred)
+        if bucket is None:
+            bucket = self._facts[pred] = set()
+            if undo is not None:
+                undo.append((self._facts.pop, pred, None))
+        return bucket
 
     # -- solving -------------------------------------------------------------
 
@@ -180,6 +214,47 @@ class Solver(ABC):
     def state_size(self) -> int:
         """Engine-specific count of stored entries, for memory comparisons."""
         return 0
+
+    # -- robustness hooks ----------------------------------------------------
+
+    def _poll_budget(self, context: str) -> None:
+        """Wall-clock deadline check; called once per outer fixpoint step."""
+        budget = self.budget
+        if budget.deadline is None:
+            return
+        try:
+            budget.poll(context)
+        except BudgetExceededError:
+            self.metrics.watchdog_trips += 1
+            raise
+
+    def _chain_advance(self, pred: str, key: tuple) -> None:
+        """Tick the strictly-ascending-chain counter for one aggregation
+        group; trips BudgetExceededError on a non-Noetherian climb."""
+        try:
+            self.budget.chain_advance(pred, key)
+        except BudgetExceededError:
+            self.metrics.watchdog_trips += 1
+            raise
+
+    def _budget_exceeded(self, message: str) -> BudgetExceededError:
+        """Build the iteration-ceiling error, counting the trip."""
+        self.metrics.watchdog_trips += 1
+        return BudgetExceededError(message)
+
+    def _run_self_check(self, index: int) -> None:
+        """Validate engine invariants for component ``index`` if self-check
+        mode is on; the time spent is metered separately so profiles show
+        what the mode costs."""
+        if not self.self_check:
+            return
+        from ..robustness.selfcheck import check_component
+
+        t0 = time.perf_counter()
+        try:
+            check_component(self, index)
+        finally:
+            self.metrics.selfcheck_seconds += time.perf_counter() - t0
 
     # -- shared helpers ------------------------------------------------------
 

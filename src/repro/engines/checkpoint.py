@@ -12,21 +12,40 @@ Checkpointing therefore snapshots only the solver's *data* state and
 re-attaches it to a freshly constructed solver for the same program — the
 caller rebuilds the program (cheap) and the checkpoint supplies the
 expensive fixpoint.
+
+File format (v2): a fixed binary envelope followed by the pickled payload.
+
+    MAGIC (9 bytes) | version (u16 BE) | sha256(payload) (32 bytes) | payload
+
+The checksum makes truncation and bit-rot detectable *before* the pickle
+is parsed (a truncated pickle can otherwise deserialize into silently
+partial state), and the payload carries a program hash so a checkpoint
+cannot be restored into a program it was not taken from.  All failure
+modes raise :class:`CheckpointError`.  Writes go through a temp file and
+an atomic rename, so a crash mid-write never leaves a half-written file
+at the destination path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
+import os
 import pickle
 import pickletools
+import struct
 from pathlib import Path
 from typing import Type
 
-from ..datalog.errors import SolverError
+from ..datalog.errors import CheckpointError
+from ..robustness import faults as _faults
 from .base import Solver
 
-#: Format marker stored in every checkpoint.
-MAGIC = "repro-checkpoint-v1"
+#: Envelope marker leading every checkpoint file.
+MAGIC = b"REPROCKPT"
+#: Current checkpoint format version.
+VERSION = 2
+_HEADER = struct.Struct(f">{len(MAGIC)}sH32s")
 
 #: Attributes captured per solver class (data only — no compiled plans,
 #: no registered callables).
@@ -36,6 +55,12 @@ _STATE_ATTRS = {
     "SemiNaiveSolver": ["_facts", "_exported", "_raw", "_totals", "_solved"],
     "NaiveSolver": ["_facts", "_exported", "_raw", "_solved"],
 }
+
+
+def program_hash(program) -> str:
+    """Stable fingerprint of a program's rules (order-sensitive)."""
+    text = "\n".join(repr(rule) for rule in program.rules)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _component_state(solver) -> list | None:
@@ -54,24 +79,62 @@ def _component_state(solver) -> list | None:
 
 
 def save_checkpoint(solver: Solver, path: str | Path) -> int:
-    """Serialize a solved solver's state; returns the byte size written."""
+    """Serialize a solved solver's state; returns the byte size written.
+
+    The file is written to a sibling temp path and renamed into place, so
+    an interrupted save leaves any previous checkpoint at ``path`` intact.
+    """
     if not solver._solved:
-        raise SolverError("cannot checkpoint an unsolved solver")
+        raise CheckpointError("cannot checkpoint an unsolved solver")
     cls_name = type(solver).__name__
     if cls_name not in _STATE_ATTRS:
-        raise SolverError(f"checkpointing not supported for {cls_name}")
+        raise CheckpointError(f"checkpointing not supported for {cls_name}")
     payload = {
-        "magic": MAGIC,
         "solver": cls_name,
-        "rules": [repr(rule) for rule in solver.program.rules],  # fingerprint
+        "program": program_hash(solver.program),
         "attrs": {name: getattr(solver, name) for name in _STATE_ATTRS[cls_name]},
         "components": _component_state(solver),
     }
     buffer = io.BytesIO()
     pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
-    data = pickletools.optimize(buffer.getvalue())
-    Path(path).write_bytes(data)
+    body = pickletools.optimize(buffer.getvalue())
+    data = _HEADER.pack(MAGIC, VERSION, hashlib.sha256(body).digest()) + body
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        if _faults.ACTIVE is not None:
+            _faults.fire("checkpoint.write")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return len(data)
+
+
+def _read_body(path: Path) -> bytes:
+    """Validate the envelope; return the checksummed payload bytes."""
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if len(data) < _HEADER.size or not data.startswith(MAGIC):
+        raise CheckpointError(f"{path} is not a repro checkpoint")
+    _, version, digest = _HEADER.unpack_from(data)
+    if version != VERSION:
+        raise CheckpointError(
+            f"{path} has checkpoint format version {version}, "
+            f"but this build reads version {VERSION}; re-run the initial "
+            f"analysis to regenerate it"
+        )
+    body = data[_HEADER.size:]
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(
+            f"{path} failed its payload checksum — the file is truncated "
+            f"or corrupt; re-run the initial analysis to regenerate it"
+        )
+    return body
 
 
 def load_checkpoint(
@@ -81,18 +144,27 @@ def load_checkpoint(
 
     ``program`` must be (rule-for-rule) the program the checkpoint was taken
     from; registered callables come from it, the fixpoint state from disk.
+    Any mismatch — engine class, program hash, format version, corrupt or
+    truncated file — raises :class:`CheckpointError`.
     """
-    payload = pickle.loads(Path(path).read_bytes())
-    if payload.get("magic") != MAGIC:
-        raise SolverError(f"{path} is not a repro checkpoint")
+    path = Path(path)
+    body = _read_body(path)
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:  # checksummed, so this indicates a format bug
+        raise CheckpointError(
+            f"{path} payload failed to deserialize: {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or "solver" not in payload:
+        raise CheckpointError(f"{path} is not a repro checkpoint")
     if payload["solver"] != solver_cls.__name__:
-        raise SolverError(
+        raise CheckpointError(
             f"checkpoint was taken from {payload['solver']}, "
             f"not {solver_cls.__name__}"
         )
     solver = solver_cls(program)
-    if [repr(rule) for rule in solver.program.rules] != payload["rules"]:
-        raise SolverError(
+    if payload["program"] != program_hash(solver.program):
+        raise CheckpointError(
             "checkpoint does not match the program (rules differ); "
             "re-run the initial analysis"
         )
@@ -102,7 +174,7 @@ def load_checkpoint(
     if components is not None:
         states = solver._states
         if len(states) != len(components):
-            raise SolverError("checkpoint component count mismatch")
+            raise CheckpointError("checkpoint component count mismatch")
         for state, entry in zip(states, components):
             state.relations = entry["relations"]
             if "groups" in entry:

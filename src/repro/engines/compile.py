@@ -72,6 +72,7 @@ from ..datalog.ast import (
 )
 from ..datalog.planning import CardinalityOracle, plan_body
 from ..datalog.program import Program
+from ..robustness import faults as _faults
 from .grounding import Lookup, bind_pinned, instantiate, run_plan
 
 #: Default re-plan threshold: a kernel is re-planned when one of its body
@@ -587,25 +588,41 @@ class KernelCache:
                 metrics.plan_cache_hits += 1
             return cached
         started = perf_counter()
-        initially_bound = {Variable(n) for n in bound_names} or None
-        plan = plan_body(
-            rule, pinned=pinned, initially_bound=initially_bound, oracle=oracle
-        )
-        mode = "pinned" if pinned is not None else ("bound" if bound_names else "scan")
-        var_order = ()
-        if emit == "regs":
-            var_order = self.shape(rule).var_order
-        if self.interpret:
-            fn = interpret_kernel(
-                self.program, rule, plan,
-                mode=mode, emit=emit, spec=spec, var_order=var_order,
+        if metrics is not None:
+            metrics.plan_cache_misses += 1
+        # Exception safety: nothing is registered (no ``_kernels`` entry, no
+        # ``_by_rule`` key) until the build fully succeeds, so a kernel that
+        # raises mid-stratum leaves the cache exactly as it was and a retry
+        # re-plans from scratch.  The time already spent is still metered.
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.fire("compile.build")
+            initially_bound = {Variable(n) for n in bound_names} or None
+            plan = plan_body(
+                rule, pinned=pinned, initially_bound=initially_bound, oracle=oracle
             )
-        else:
-            fn = compile_kernel(
-                self.program, rule, plan,
-                mode=mode, bound=bound_names, emit=emit, spec=spec,
-                var_order=var_order,
+            mode = (
+                "pinned" if pinned is not None
+                else ("bound" if bound_names else "scan")
             )
+            var_order = ()
+            if emit == "regs":
+                var_order = self.shape(rule).var_order
+            if self.interpret:
+                fn = interpret_kernel(
+                    self.program, rule, plan,
+                    mode=mode, emit=emit, spec=spec, var_order=var_order,
+                )
+            else:
+                fn = compile_kernel(
+                    self.program, rule, plan,
+                    mode=mode, bound=bound_names, emit=emit, spec=spec,
+                    var_order=var_order,
+                )
+        except BaseException:
+            if metrics is not None:
+                metrics.compile_seconds += perf_counter() - started
+            raise
         sizes = None
         if oracle is not None:
             sizes = {
@@ -617,7 +634,6 @@ class KernelCache:
         self._kernels[key] = kernel
         self._by_rule.setdefault(id(rule), []).append(key)
         if metrics is not None:
-            metrics.plan_cache_misses += 1
             metrics.rules_compiled += 1
             metrics.compile_seconds += perf_counter() - started
         return kernel

@@ -45,6 +45,7 @@ from ..datalog.planning import delta_occurrences
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
+from ..robustness import faults as _faults
 from .aggspec import AggSpec, compile_agg_specs
 from .base import FactChanges, Solver, UpdateStats
 from .grounding import bind_pinned
@@ -108,6 +109,11 @@ class _DredComponent:
         self.upstream_reads = frozenset(reads - component.predicates)
         self.relations: dict[str, IndexedRelation] = {}
         self.totals: dict[str, dict[tuple, object]] = {p: {} for p in self.specs}
+        #: Undo log installed by UpdateGuard for the duration of a guarded
+        #: update; newly created relations inherit it and their creation is
+        #: itself journaled.  (``totals`` is snapshot-restored by the guard
+        #: instead — it is mutated by plain dict assignment in the sweeps.)
+        self.journal: list | None = None
 
     def reset(self) -> None:
         self.relations = {}
@@ -124,6 +130,9 @@ class _DredComponent:
                 )
             relation = IndexedRelation(arity, metrics=self.metrics)
             self.relations[pred] = relation
+            if self.journal is not None:
+                relation.journal = self.journal
+                self.journal.append((self.relations.pop, pred, None))
         return relation
 
     def state_size(self) -> int:
@@ -175,6 +184,7 @@ class DRedLSolver(Solver):
     def solve(self) -> None:
         active = self.metrics.active
         started = perf_counter() if active else 0.0
+        self.budget.begin()
         self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         for state in self._states:
             state.metrics = self._store_metrics()
@@ -192,6 +202,7 @@ class DRedLSolver(Solver):
                 for head_row in self.kernels.kernel(rule).fn(state.rel):
                     insertions.add((rule.head.pred, head_row))
             self._run_component(state, insertions, set(), index)
+            self._run_self_check(index)
         self._solved = True
         if active:
             self.metrics.solve_seconds += perf_counter() - started
@@ -204,6 +215,7 @@ class DRedLSolver(Solver):
         self._require_solved()
         active = self.metrics.active
         started = perf_counter() if active else 0.0
+        self.budget.begin()
         ins, dels = self._normalize_changes(insertions, deletions)
         pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
         for pred, rows in ins.items():
@@ -228,6 +240,7 @@ class DRedLSolver(Solver):
             if not seeds_ins and not seeds_del:
                 continue
             diff, work = self._run_component(state, seeds_ins, seeds_del, index)
+            self._run_self_check(index)
             stats.work += work
             for pred, (added, removed) in diff.items():
                 bucket = pending.setdefault(pred, (set(), set()))
@@ -384,9 +397,11 @@ class DRedLSolver(Solver):
         #: mode derives aggregated-predicate exports from these).
         groups_before: dict[tuple[str, tuple], object] = {}
 
-        for _ in range(self.MAX_ROUNDS):
+        max_rounds = self.budget.iterations(self.MAX_ROUNDS)
+        for _ in range(max_rounds):
             if not pending_del and not pending_ins:
                 break
+            self._poll_budget(f"DRedL round, component {index}")
             if stratum is not None:
                 round_derived_before = stratum.tuples_derived
             dirty: set[tuple[str, tuple]] = set()  # (agg pred, group key)
@@ -493,8 +508,8 @@ class DRedLSolver(Solver):
                         totals[key] = recomputed
                         pending_ins.add((spec_pred, spec.tuple_for(key, recomputed)))
         else:
-            raise SolverError(
-                f"DRedL exceeded {self.MAX_ROUNDS} delete/re-derive rounds in "
+            raise self._budget_exceeded(
+                f"DRedL exceeded {max_rounds} delete/re-derive rounds in "
                 f"component {sorted(state.component.predicates)} — the "
                 f"analysis is not per-rule ⊑-monotonic (Ross–Sagiv); "
                 f"use LaddderSolver"
@@ -548,8 +563,11 @@ class DRedLSolver(Solver):
         ]
         removed.update(frontier)
         while frontier:
+            self._poll_budget("DRedL deletion sweep")
             next_frontier: list[tuple[str, tuple]] = []
             for pred, row in frontier:
+                if _faults.ACTIVE is not None:
+                    _faults.fire("kernel.emit")
                 work += 1
                 for rule, literal, kernel in state.occ_kernels.get(pred, ()):
                     if literal.negated:
@@ -637,6 +655,13 @@ class DRedLSolver(Solver):
         worklist = list(seeds)
         while worklist:
             pred, row = worklist.pop()
+            if _faults.ACTIVE is not None:
+                _faults.fire("kernel.emit")
+            if work & 1023 == 1023:
+                # The worklist loop has no outer round boundary; poll the
+                # deadline every ~1k applied tuples so a runaway ascension
+                # cannot outlive the wall-clock budget.
+                self._poll_budget("DRedL insertion sweep")
             relation = state.rel(pred)
             if not relation.add(row):
                 if stratum is not None:
@@ -665,6 +690,8 @@ class DRedLSolver(Solver):
                         stratum, count=False, fired=enumerated,
                     )
             for spec in state.specs_by_collecting.get(pred, ()):
+                if _faults.ACTIVE is not None:
+                    _faults.fire("aggregate.combine")
                 split = state.extractors[spec.pred](row)
                 if split is None:
                     continue
@@ -689,6 +716,11 @@ class DRedLSolver(Solver):
                         worklist.append((spec.pred, total_row))
                     continue
                 totals[key] = new_total
+                # The one loop in DRedL with no round guard: a strictly
+                # advancing group total feeds itself back into the worklist,
+                # so a non-Noetherian lattice diverges *here* — tick the
+                # ascending-chain watchdog.
+                self._chain_advance(spec.pred, key)
                 worklist.append((spec.pred, spec.tuple_for(key, new_total)))
         return work
 

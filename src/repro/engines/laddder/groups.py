@@ -24,7 +24,7 @@ from .aggtree import AggTree
 class GroupState:
     """Trees, totals, and output runs for one aggregation group."""
 
-    __slots__ = ("_combine", "_times", "_trees", "_totals", "rollup_steps")
+    __slots__ = ("_combine", "_times", "_trees", "_totals", "rollup_steps", "journal")
 
     def __init__(self, combine: Callable[[object, object], object]):
         self._combine = combine
@@ -33,6 +33,11 @@ class GroupState:
         self._totals: dict[int, object] = {}  # rolled-up R_i per timestamp
         #: instrumentation: total roll-up combine steps (ablation benches).
         self.rollup_steps = 0
+        #: undo-log list installed by UpdateGuard; insert/remove append their
+        #: inverses so a failed update can be replayed backwards.  Group
+        #: state is a pure function of the per-timestamp aggregand multisets,
+        #: so inverse replay restores trees *and* rolled-up totals.
+        self.journal: list | None = None
 
     def __bool__(self) -> bool:
         return bool(self._times)
@@ -46,9 +51,13 @@ class GroupState:
             insort(self._times, timestamp)
         tree.insert(value)
         self._roll_from(timestamp)
+        if self.journal is not None:
+            self.journal.append((self.remove, timestamp, value))
 
     def remove(self, timestamp: int, value: object) -> None:
         """Remove one aggregand that appeared at ``timestamp`` and re-roll."""
+        if self.journal is not None:
+            self.journal.append((self.insert, timestamp, value))
         tree = self._trees[timestamp]
         tree.remove(value)
         if not tree:
@@ -114,6 +123,36 @@ class GroupState:
     def state_size(self) -> int:
         return sum(len(tree) for tree in self._trees.values()) + len(self._times)
 
+    def check_consistency(self) -> str | None:
+        """Self-check: re-derive every rolled-up total from the trees with
+        no early stop and compare against the stored ``R_i``.  Returns a
+        description of the first mismatch, or None if consistent.
+
+        This is the invariant the Figure 6 early stop relies on: a stored
+        total must equal the fold of all aggregands at or before its
+        timestamp.  A buggy combine (non-deterministic, mutating) or a
+        missed re-roll shows up here instead of as a wrong export three
+        strata later.
+        """
+        if set(self._totals) != set(self._times):
+            return (
+                f"totals keyed at {sorted(self._totals)} but time index is "
+                f"{self._times}"
+            )
+        running = None
+        for t in self._times:
+            tree = self._trees.get(t)
+            if tree is None or not tree:
+                return f"timestamp {t} listed without a non-empty aggregand tree"
+            local = tree.aggregate()
+            running = local if running is None else self._combine(running, local)
+            if self._totals[t] != running:
+                return (
+                    f"stored total at t={t} is {self._totals[t]!r} but "
+                    f"re-derived fold gives {running!r}"
+                )
+        return None
+
 
 class NaiveGroupState(GroupState):
     """Ablation variant: no trees, no early stop — refold every timestamp's
@@ -136,8 +175,12 @@ class NaiveGroupState(GroupState):
             self._trees[timestamp] = AggTree(self._combine)  # placeholder key
             insort(self._times, timestamp)
         self._refold()
+        if self.journal is not None:
+            self.journal.append((self.remove, timestamp, value))
 
     def remove(self, timestamp: int, value: object) -> None:
+        if self.journal is not None:
+            self.journal.append((self.insert, timestamp, value))
         bucket = self._values[timestamp]
         bucket.remove(value)
         if not bucket:
@@ -158,3 +201,15 @@ class NaiveGroupState(GroupState):
                     running = self._combine(running, value)
                     self.rollup_steps += 1
             self._totals[t] = running
+
+    def check_consistency(self) -> str | None:
+        running = None
+        for t in self._times:
+            for value in self._values.get(t, ()):
+                running = value if running is None else self._combine(running, value)
+            if self._totals.get(t) != running:
+                return (
+                    f"stored total at t={t} is {self._totals.get(t)!r} but "
+                    f"re-derived fold gives {running!r}"
+                )
+        return None

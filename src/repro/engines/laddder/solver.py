@@ -49,6 +49,7 @@ from ...datalog.planning import delta_occurrences
 from ...datalog.program import Program
 from ...datalog.stratify import Component
 from ...metrics import SolverMetrics
+from ...robustness import faults as _faults
 from ..aggspec import AggSpec, compile_agg_specs
 from ..base import FactChanges, Solver, UpdateStats
 from ..compile import RuleShape
@@ -110,6 +111,10 @@ class _ComponentState:
 
         self.relations: dict[str, TimedRelation] = {}
         self.groups: dict[str, dict[tuple, GroupState]] = {p: {} for p in self.specs}
+        #: Undo log installed by UpdateGuard for the duration of a guarded
+        #: update; newly created relations inherit it and their creation is
+        #: itself journaled.
+        self.journal: list | None = None
 
     def reset(self) -> None:
         self.relations = {}
@@ -126,6 +131,9 @@ class _ComponentState:
                 )
             relation = TimedRelation(arity, metrics=self.metrics)
             self.relations[pred] = relation
+            if self.journal is not None:
+                relation.journal = self.journal
+                self.journal.append((self.relations.pop, pred, None))
         return relation
 
     def timeline_entries(self) -> int:
@@ -163,6 +171,7 @@ class LaddderSolver(Solver):
     def solve(self) -> None:
         active = self.metrics.active
         started = perf_counter() if active else 0.0
+        self.budget.begin()
         self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         for state in self._states:
             state.metrics = self._store_metrics()
@@ -180,6 +189,7 @@ class LaddderSolver(Solver):
                 for head_row in self.kernels.kernel(rule).fn(state.rel):
                     deltas.append((rule.head.pred, head_row, 0, 1))
             self._compensate(state, deltas, index)
+            self._run_self_check(index)
         self._solved = True
         if active:
             self.metrics.solve_seconds += perf_counter() - started
@@ -193,6 +203,7 @@ class LaddderSolver(Solver):
         self._require_solved()
         active = self.metrics.active
         started = perf_counter() if active else 0.0
+        self.budget.begin()
         self.metrics.epochs += 1
         ins, dels = self._normalize_changes(insertions, deletions)
         pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
@@ -219,6 +230,7 @@ class LaddderSolver(Solver):
             if not deltas:
                 continue
             diff, work = self._compensate(state, deltas, index)
+            self._run_self_check(index)
             stats.work += work
             for pred, (added, removed) in diff.items():
                 bucket = pending.setdefault(pred, (set(), set()))
@@ -363,14 +375,16 @@ class LaddderSolver(Solver):
         groups_before: dict[str, dict[tuple, object]] = {}
         work = 0
 
+        max_timestamp = self.budget.iterations(self.MAX_TIMESTAMP)
         while queue:
             t = queue[0][0]
-            if t > self.MAX_TIMESTAMP:
-                raise SolverError(
-                    f"timestamp {t} exceeds MAX_TIMESTAMP in component "
-                    f"{sorted(state.component.predicates)} — diverging "
+            if t > max_timestamp:
+                raise self._budget_exceeded(
+                    f"timestamp {t} exceeds MAX_TIMESTAMP ({max_timestamp}) in "
+                    f"component {sorted(state.component.predicates)} — diverging "
                     f"analysis? (check eventual ⊑-monotonicity / widening)"
                 )
+            self._poll_budget(f"laddder compensation, component {index}")
             # Consolidate the whole timestamp batch first: opposite-sign
             # corrections for the same tuple cancel here, which is what
             # keeps compensation of cyclic derivations from chasing itself
@@ -394,6 +408,8 @@ class LaddderSolver(Solver):
                     presence_before.setdefault(pred, {}).setdefault(
                         row, old_first != NEVER
                     )
+                if _faults.ACTIVE is not None:
+                    _faults.fire("timeline.append")
                 relation.add_delta(row, t, delta)
                 new_first = relation.timelines[row].first()
                 if stratum is not None:
@@ -439,6 +455,8 @@ class LaddderSolver(Solver):
         by_rule: dict[int, set] = {}
         neg_skip = (pred, row)
         for rule, shape, kernel in entries:
+            if _faults.ACTIVE is not None:
+                _faults.fire("kernel.emit")
             seen = by_rule.setdefault(id(rule), set())
             head_pred = rule.head.pred
             head_of = shape.head_of
@@ -519,7 +537,10 @@ class LaddderSolver(Solver):
     ) -> None:
         """Route a collecting tuple's existence change into the sequential
         aggregator architecture and queue the resulting output-run diffs."""
+        undo = self._undo
         for spec in state.specs_by_collecting.get(pred, ()):
+            if _faults.ACTIVE is not None:
+                _faults.fire("aggregate.combine")
             split = state.extractors[spec.pred](row)
             if split is None:
                 continue
@@ -528,6 +549,9 @@ class LaddderSolver(Solver):
             group = per_pred.get(key)
             if group is None:
                 group = per_pred[key] = GroupState(spec.aggregator.combine)
+                if undo is not None:
+                    group.journal = undo
+                    undo.append((per_pred.pop, key, None))
             before = groups_before.setdefault(spec.pred, {})
             if key not in before:
                 before[key] = group.final() if group else _MISSING
@@ -576,6 +600,8 @@ class LaddderSolver(Solver):
                     added.add(spec.tuple_for(key, new_final))
                 if group is not None and not group:
                     del per_pred[key]
+                    if self._undo is not None:
+                        self._undo.append((per_pred.__setitem__, key, group))
             if added or removed:
                 diff[pred] = (added, removed)
         for pred, entries in presence_before.items():

@@ -27,13 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 class TimedRelation(ColumnIndexed):
     """Tuples with differential count timelines and lazy column indexes."""
 
-    __slots__ = ("arity", "timelines", "_indexes", "metrics")
+    __slots__ = ("arity", "timelines", "_indexes", "metrics", "journal")
 
     def __init__(self, arity: int, metrics: "SolverMetrics | None" = None):
         self.arity = arity
         self.timelines: dict[tuple, Timeline] = {}
         self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
         self.metrics = metrics
+        self.journal: list | None = None
 
     # -- the IndexedRelation protocol used by run_plan ---------------------
 
@@ -59,7 +60,23 @@ class TimedRelation(ColumnIndexed):
             self.timelines[item] = timeline
             self._register(item)
         timeline.add(timestamp, delta)
+        if self.journal is not None:
+            self.journal.append((self._undo_delta, item, timestamp, -delta))
         return timeline
+
+    def _undo_delta(self, item: tuple, timestamp: int, delta: int) -> None:
+        """Journal replay target: cancel one recorded delta.
+
+        Timeline content is exactly the running sum of every ``add_delta``
+        ever applied, so replaying negated deltas in reverse reconstructs
+        the pre-update timelines — including ones :meth:`cleanup` physically
+        dropped mid-update.  The trailing cleanup matters: without it a
+        delta-and-its-inverse pair would leave an *empty* timeline behind,
+        and an empty-timeline dict entry wrongly satisfies membership
+        probes in joins.
+        """
+        self.add_delta(item, timestamp, delta)
+        self.cleanup(item)
 
     def first(self, item: tuple) -> float:
         """First-existence timestamp of ``item``, or ``NEVER``."""

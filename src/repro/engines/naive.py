@@ -15,10 +15,10 @@ from __future__ import annotations
 
 from time import perf_counter
 
-from ..datalog.errors import SolverError
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
+from ..robustness import faults as _faults
 from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
 from .base import FactChanges, Solver, UpdateStats
 from .relation import IndexedRelation, RelationStore
@@ -37,6 +37,7 @@ class NaiveSolver(Solver):
     def solve(self) -> None:
         active = self.metrics.active
         started = perf_counter() if active else 0.0
+        self.budget.begin()
         self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         self._raw = RelationStore(self.arities)
         for pred, rows in self._fact_items():
@@ -45,6 +46,7 @@ class NaiveSolver(Solver):
                 relation.add(row)
         for index, component in enumerate(self.components):
             self._solve_component(component, index)
+            self._run_self_check(index)
         self._solved = True
         if active:
             self.metrics.solve_seconds += perf_counter() - started
@@ -118,10 +120,14 @@ class NaiveSolver(Solver):
             for spec in specs.values()
         }
 
-        for iteration in range(self.MAX_ITERATIONS):
+        max_iterations = self.budget.iterations(self.MAX_ITERATIONS)
+        for iteration in range(max_iterations):
+            self._poll_budget(f"naive fixpoint, component {index}")
             changed = False
             round_new = 0
             for rule, kernel in kernels:
+                if _faults.ACTIVE is not None:
+                    _faults.fire("kernel.emit")
                 target = local.get(rule.head.pred)
                 if stratum is None:
                     for head_row in kernel(lookup):
@@ -155,9 +161,9 @@ class NaiveSolver(Solver):
             if not changed:
                 break
         else:
-            raise SolverError(
+            raise self._budget_exceeded(
                 f"component {sorted(component.predicates)} exceeded "
-                f"{self.MAX_ITERATIONS} iterations — diverging analysis? "
+                f"{max_iterations} iterations — diverging analysis? "
                 f"(check eventual ⊑-monotonicity and widening)"
             )
 
@@ -171,6 +177,8 @@ class NaiveSolver(Solver):
         """One inflationary application: derive the current total per group
         (keeping previously derived totals — inflation).  Returns the number
         of newly derived total tuples."""
+        if _faults.ACTIVE is not None:
+            _faults.fire("aggregate.combine")
         groups: dict[tuple, object] = {}
         combine = spec.aggregator.combine
         for key, value in kernel(lookup):

@@ -96,9 +96,15 @@ class ColumnIndexed:
 
 
 class IndexedRelation(ColumnIndexed):
-    """A mutable set of same-arity tuples with column indexes."""
+    """A mutable set of same-arity tuples with column indexes.
 
-    __slots__ = ("arity", "tuples", "_indexes", "metrics")
+    When ``journal`` is set (a list, installed by
+    :class:`repro.robustness.guard.UpdateGuard`), every mutation appends its
+    inverse as a ``(bound_method, *args)`` entry; replaying the journal in
+    reverse restores the pre-update tuple population exactly.
+    """
+
+    __slots__ = ("arity", "tuples", "_indexes", "metrics", "journal")
 
     def __init__(self, arity: int, metrics: "SolverMetrics | None" = None):
         self.arity = arity
@@ -106,6 +112,7 @@ class IndexedRelation(ColumnIndexed):
         # cols (sorted tuple of column positions) -> key tuple -> set of tuples
         self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
         self.metrics = metrics
+        self.journal: list | None = None
 
     def __len__(self) -> int:
         return len(self.tuples)
@@ -125,6 +132,8 @@ class IndexedRelation(ColumnIndexed):
             return False
         self.tuples.add(item)
         self._register(item)
+        if self.journal is not None:
+            self.journal.append((self.discard, item))
         return True
 
     def discard(self, item: tuple) -> bool:
@@ -133,10 +142,20 @@ class IndexedRelation(ColumnIndexed):
             return False
         self.tuples.discard(item)
         self._unregister(item)
+        if self.journal is not None:
+            self.journal.append((self.add, item))
         return True
 
     def clear(self) -> None:
+        if self.journal is not None and self.tuples:
+            self.journal.append((self._restore, set(self.tuples)))
         self.tuples.clear()
+        self._indexes.clear()
+
+    def _restore(self, items: set) -> None:
+        """Journal replay target for :meth:`clear`: reinstate the dropped
+        population wholesale (indexes rebuild lazily)."""
+        self.tuples = set(items)
         self._indexes.clear()
 
     def state_size(self) -> int:
@@ -153,7 +172,7 @@ class RelationStore:
     rules or queries into wrong (empty) results instead of diagnostics.
     """
 
-    __slots__ = ("relations", "arities", "metrics")
+    __slots__ = ("relations", "arities", "metrics", "journal")
 
     def __init__(
         self, arities: dict[str, int], metrics: "SolverMetrics | None" = None
@@ -161,6 +180,7 @@ class RelationStore:
         self.arities = arities
         self.relations: dict[str, IndexedRelation] = {}
         self.metrics = metrics
+        self.journal: list | None = None
 
     def get(self, pred: str) -> IndexedRelation:
         relation = self.relations.get(pred)
@@ -173,6 +193,9 @@ class RelationStore:
                 )
             relation = IndexedRelation(arity, metrics=self.metrics)
             self.relations[pred] = relation
+            if self.journal is not None:
+                relation.journal = self.journal
+                self.journal.append((self.relations.pop, pred, None))
         return relation
 
     def __contains__(self, pred: str) -> bool:

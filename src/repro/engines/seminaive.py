@@ -20,11 +20,11 @@ from __future__ import annotations
 
 from time import perf_counter
 
-from ..datalog.errors import SolverError
 from ..datalog.planning import delta_occurrences
 from ..datalog.program import Program
 from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
+from ..robustness import faults as _faults
 from .aggspec import AggSpec, compile_agg_specs, prune_aggregated
 from .base import FactChanges, Solver, UpdateStats
 from .relation import IndexedRelation, RelationStore
@@ -45,6 +45,7 @@ class SemiNaiveSolver(Solver):
     def solve(self) -> None:
         active = self.metrics.active
         started = perf_counter() if active else 0.0
+        self.budget.begin()
         self._exported = RelationStore(self.arities, metrics=self._store_metrics())
         self._raw = RelationStore(self.arities)
         self._totals = {}
@@ -54,6 +55,7 @@ class SemiNaiveSolver(Solver):
                 relation.add(row)
         for index, component in enumerate(self.components):
             self._solve_component(component, index)
+            self._run_self_check(index)
         self._solved = True
         if active:
             self.metrics.solve_seconds += perf_counter() - started
@@ -160,6 +162,8 @@ class SemiNaiveSolver(Solver):
         # Seed round: full evaluation (local relations are empty, so this
         # only fires rules satisfiable from upstream alone).
         for rule, kernel in full_kernels:
+            if _faults.ACTIVE is not None:
+                _faults.fire("kernel.emit")
             t0, before = (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
             for head_row in kernel(lookup):
                 derive(rule.head.pred, head_row, delta)
@@ -176,12 +180,16 @@ class SemiNaiveSolver(Solver):
         if stratum is not None:
             metrics.round_delta(stratum, sum(len(rows) for rows in delta.values()))
 
-        for _ in range(self.MAX_ITERATIONS):
+        max_iterations = self.budget.iterations(self.MAX_ITERATIONS)
+        for _ in range(max_iterations):
             if not delta:
                 break
+            self._poll_budget(f"semi-naive fixpoint, component {index}")
             next_delta: dict[str, set[tuple]] = {}
             for pred, rows in delta.items():
                 for rule, kernel in pinned.get(pred, ()):
+                    if _faults.ACTIVE is not None:
+                        _faults.fire("kernel.emit")
                     t0, before = (
                         (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
                     )
@@ -203,9 +211,9 @@ class SemiNaiveSolver(Solver):
                 )
             delta = next_delta
         else:
-            raise SolverError(
+            raise self._budget_exceeded(
                 f"component {sorted(component.predicates)} exceeded "
-                f"{self.MAX_ITERATIONS} rounds — diverging analysis?"
+                f"{max_iterations} rounds of iterations — diverging analysis?"
             )
 
         self._export_component(component, local, specs)
@@ -215,6 +223,8 @@ class SemiNaiveSolver(Solver):
     def _seed_upstream_aggregation(self, spec, kernel, lookup, derive, delta) -> None:
         """Aggregate a collecting relation that lives upstream: its content
         is static during this component, so a single full pass suffices."""
+        if _faults.ACTIVE is not None:
+            _faults.fire("aggregate.combine")
         totals = self._totals.setdefault(spec.pred, {})
         combine = spec.aggregator.combine
         for key, value in kernel(lookup):
@@ -228,6 +238,8 @@ class SemiNaiveSolver(Solver):
     def _advance_aggregation(self, spec, collect_rows, derive, next_delta) -> None:
         """Fold newly collected aggregands into running group totals; emit a
         new inflationary total tuple when a group's total advances."""
+        if _faults.ACTIVE is not None:
+            _faults.fire("aggregate.combine")
         totals = self._totals.setdefault(spec.pred, {})
         combine = spec.aggregator.combine
         extract = self.kernels.extractor(spec)
@@ -244,6 +256,7 @@ class SemiNaiveSolver(Solver):
             if key not in totals or new_total != totals[key]:
                 totals[key] = new_total
                 touched.add(key)
+                self._chain_advance(spec.pred, key)
         for key in touched:
             derive(spec.pred, spec.tuple_for(key, totals[key]), next_delta)
 

@@ -140,6 +140,10 @@ class SolverMetrics:
         "plan_cache_hits",
         "plan_cache_misses",
         "replans_triggered",
+        "rollbacks",
+        "fallback_resolves",
+        "watchdog_trips",
+        "selfcheck_seconds",
         "strata",
         "rules",
     )
@@ -179,6 +183,14 @@ class SolverMetrics:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.replans_triggered = 0
+        # Robustness counters (see repro.robustness / docs/ROBUSTNESS.md).
+        # Guard/watchdog events are rare and worth keeping even while
+        # disabled: a rollback you cannot see in a profile is a rollback
+        # you will not investigate.
+        self.rollbacks = 0
+        self.fallback_resolves = 0
+        self.watchdog_trips = 0
+        self.selfcheck_seconds = 0.0
         self.strata: dict[int, StratumStats] = {}
         self.rules: dict[str, RuleStats] = {}
 
@@ -291,6 +303,12 @@ class SolverMetrics:
                 "plan_cache_hits": self.plan_cache_hits,
                 "plan_cache_misses": self.plan_cache_misses,
                 "replans_triggered": self.replans_triggered,
+            },
+            "robustness": {
+                "rollbacks": self.rollbacks,
+                "fallback_resolves": self.fallback_resolves,
+                "watchdog_trips": self.watchdog_trips,
+                "selfcheck_seconds": self.selfcheck_seconds,
             },
             "strata": [
                 self.strata[i].to_dict() for i in sorted(self.strata)

@@ -84,6 +84,18 @@ def format_profile(metrics: SolverMetrics, rule_limit: int | None = 15) -> str:
             f"{metrics.plan_cache_misses} misses; "
             f"{metrics.replans_triggered} re-plans"
         )
+    if (
+        metrics.rollbacks
+        or metrics.fallback_resolves
+        or metrics.watchdog_trips
+        or metrics.selfcheck_seconds
+    ):
+        lines.append(
+            f"  robustness: {metrics.rollbacks} rollbacks, "
+            f"{metrics.fallback_resolves} fallback re-solves, "
+            f"{metrics.watchdog_trips} watchdog trips; self-check "
+            f"{metrics.selfcheck_seconds * 1e3:.1f} ms"
+        )
     lines.append("")
     lines.append(format_stratum_table(metrics))
     if metrics.rules:

@@ -1,0 +1,249 @@
+"""Transactional update application with rollback and graceful degradation.
+
+The engines mutate deep structure in place during an epoch — exported
+stores, per-component relations and timelines, aggregation group state,
+staged fact sets.  An exception mid-update (a bad aggregator, a watchdog
+trip, a kernel bug) would otherwise strand that state half-mutated, with
+the exported view disagreeing with the internal support structure.
+
+:class:`UpdateGuard` makes one update transactional with an **undo log**:
+every mutable container touched during the update appends the *inverse* of
+each mutation as a ``(bound_method, *args)`` entry into one shared journal.
+On success, :meth:`UpdateGuard.commit` throws the journal away; on failure,
+:meth:`UpdateGuard.rollback` replays it in reverse, restoring the solver to
+a bit-equal pre-update state.  Cost is O(tuples touched), not O(state) —
+the same asymptotics the paper's incrementality argument rests on, so
+guarding does not forfeit the speedup being measured.
+
+:class:`GuardedSolver` wraps any engine with that discipline, plus
+**graceful degradation**: after a rollback it can rebuild the answer from
+scratch with the reference semi-naive engine on the post-change facts and
+swap the result in, so one poisoned epoch degrades to a from-scratch solve
+instead of an outage.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from ..datalog.errors import BudgetExceededError, RollbackError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engines.base import FactChanges, Solver, UpdateStats
+
+
+class UpdateGuard:
+    """One transaction over a solver's mutable state.
+
+    ``install()`` threads a shared undo list through every journaling
+    container the solver owns (exported store, component relations,
+    timelines, aggregation groups, staged facts) and snapshots the few
+    structures that are mutated by plain assignment instead (DRed group
+    totals, semi-naive running totals, the arity map).  Exactly one of
+    ``commit()`` / ``rollback()`` must follow.
+    """
+
+    def __init__(self, solver: "Solver"):
+        self.solver = solver
+        self.undo: list[tuple] = []
+        #: every object whose ``journal`` attribute we set; detached on exit.
+        self._journaled: list = []
+        #: attribute-reference restores: (obj, attr, value-before).
+        self._attr_restores: list[tuple] = []
+        #: dicts restored by clear+update (identity is shared, e.g. arities).
+        self._dict_restores: list[tuple] = []
+
+    # -- installation ------------------------------------------------------
+
+    def _attach(self, obj) -> None:
+        obj.journal = self.undo
+        self._journaled.append(obj)
+
+    def _journal_store(self, store) -> None:
+        self._attach(store)
+        for relation in store.relations.values():
+            self._attach(relation)
+
+    def install(self) -> "UpdateGuard":
+        solver = self.solver
+        undo = self.undo
+        solver._undo = undo
+
+        # Structures mutated by plain assignment: snapshot-and-restore.
+        # arities is shared by identity with every relation store, so it is
+        # restored in place; the dict itself only ever *gains* entries (a
+        # new fact predicate fixes its arity in _check_row).
+        self._dict_restores.append((solver.arities, dict(solver.arities)))
+        for attr in ("_exported", "_raw", "_totals", "last_stats"):
+            if hasattr(solver, attr):
+                self._attr_restores.append((solver, attr, getattr(solver, attr)))
+
+        # The exported store is mutated in place by the incremental engines
+        # (and merely replaced — old object untouched — by the re-solving
+        # ones, for which the attribute restore above suffices).
+        self._journal_store(solver._exported)
+
+        # Per-component deep state of the incremental engines.
+        for comp in getattr(solver, "_states", ()):
+            self._attach(comp)
+            for relation in comp.relations.values():
+                self._attach(relation)
+            groups = getattr(comp, "groups", None)
+            if groups is not None:  # Laddder aggregation state
+                for per_pred in groups.values():
+                    for group in per_pred.values():
+                        self._attach(group)
+            totals = getattr(comp, "totals", None)
+            if totals is not None:  # DRed group totals: assigned, not journaled
+                self._attr_restores.append(
+                    (comp, "totals", {pred: dict(g) for pred, g in totals.items()})
+                )
+        return self
+
+    # -- resolution --------------------------------------------------------
+
+    def _detach(self) -> None:
+        for obj in self._journaled:
+            obj.journal = None
+        self._journaled.clear()
+        self.solver._undo = None
+
+    def commit(self) -> None:
+        """The update succeeded: discard the journal and detach."""
+        self._detach()
+        self.undo.clear()
+
+    def rollback(self) -> None:
+        """Replay the journal in reverse, restoring bit-equal pre-update
+        state.  Journals are detached *first* so the inverse operations do
+        not journal themselves."""
+        self._detach()
+        for entry in reversed(self.undo):
+            entry[0](*entry[1:])
+        self.undo.clear()
+        for obj, attr, value in self._attr_restores:
+            setattr(obj, attr, value)
+        self._attr_restores.clear()
+        for live, snapshot in self._dict_restores:
+            live.clear()
+            live.update(snapshot)
+        self._dict_restores.clear()
+
+
+class GuardedSolver:
+    """Drop-in wrapper making ``update``/``solve`` failure-safe.
+
+    * ``update`` runs under an :class:`UpdateGuard`.  On any exception the
+      solver is rolled back to bit-equal pre-update state; then either the
+      (typed) error propagates — wrapped as :class:`RollbackError` with the
+      cause chained — or, with ``fallback=True``, the answer is recomputed
+      from scratch by the reference semi-naive engine on the post-change
+      facts and swapped in as the new inner solver.
+    * Watchdog trips (:class:`BudgetExceededError`) always roll back and
+      re-raise: the caller set a resource budget, and a from-scratch
+      fallback would burn strictly more of it.
+    * With ``self_check`` enabled, the whole-state invariant validation
+      runs *before* commit, so a corrupted-but-quiet update rolls back too.
+
+    Everything else (``relation``, ``add_facts``, ``metrics``, ...)
+    delegates to the wrapped solver — tests that compare a guarded and an
+    unguarded engine can treat the two interchangeably.
+    """
+
+    def __init__(self, solver: "Solver", fallback: bool = True,
+                 self_check: bool | None = None):
+        self.solver = solver
+        self.fallback = fallback
+        if self_check is not None:
+            solver.self_check = self_check
+
+    def __getattr__(self, name: str):
+        return getattr(self.solver, name)
+
+    # -- guarded lifecycle -------------------------------------------------
+
+    def solve(self) -> None:
+        try:
+            self.solver.solve()
+        except BudgetExceededError:
+            raise
+        except Exception:
+            if not self.fallback:
+                raise
+            # From-scratch solve has no pre-state worth restoring; degrade
+            # by replacing the engine outright.
+            self._adopt_reference()
+
+    def update(
+        self,
+        insertions: "FactChanges | None" = None,
+        deletions: "FactChanges | None" = None,
+    ) -> "UpdateStats":
+        solver = self.solver
+        guard = UpdateGuard(solver).install()
+        try:
+            stats = solver.update(insertions=insertions, deletions=deletions)
+            if solver.self_check:
+                self._final_self_check()
+        except BudgetExceededError:
+            guard.rollback()
+            solver.metrics.rollbacks += 1
+            raise
+        except Exception as exc:
+            guard.rollback()
+            solver.metrics.rollbacks += 1
+            if not self.fallback:
+                raise RollbackError(
+                    f"update failed ({type(exc).__name__}: {exc}) and was "
+                    f"rolled back to the pre-update state"
+                ) from exc
+            before = {
+                pred: solver.relation(pred)
+                for pred in solver.program.exported_predicates()
+            }
+            reference = self._adopt_reference(insertions, deletions)
+            after = {
+                pred: reference.relation(pred)
+                for pred in reference.program.exported_predicates()
+            }
+            return solver._exported_diff(before, after)
+        else:
+            guard.commit()
+            return stats
+
+    # -- internals ---------------------------------------------------------
+
+    def _final_self_check(self) -> None:
+        """Whole-solver invariant validation before commit: catches
+        corruption that per-component checks inside the engine cannot see
+        (components the epoch skipped, exported-store drift)."""
+        from .selfcheck import check_solver
+
+        solver = self.solver
+        t0 = time.perf_counter()
+        try:
+            check_solver(solver)
+        finally:
+            solver.metrics.selfcheck_seconds += time.perf_counter() - t0
+
+    def _adopt_reference(self, insertions=None, deletions=None):
+        """Degrade gracefully: re-solve from scratch with the reference
+        semi-naive engine on the post-change facts and make it the inner
+        solver."""
+        from ..engines.seminaive import SemiNaiveSolver
+
+        solver = self.solver
+        reference = SemiNaiveSolver(solver.source_program, metrics=solver.metrics)
+        reference.budget = solver.budget
+        reference.self_check = solver.self_check
+        for pred, rows in solver._facts.items():
+            if rows:
+                reference.add_facts(pred, rows)
+        # Stage the epoch's change on top of the (rolled-back, pre-update)
+        # facts, then solve once.
+        reference._normalize_changes(insertions, deletions)
+        reference.solve()
+        solver.metrics.fallback_resolves += 1
+        self.solver = reference
+        return reference

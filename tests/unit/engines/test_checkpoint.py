@@ -3,8 +3,10 @@
 import pytest
 
 from repro.datalog import SolverError
+from repro.datalog.errors import CheckpointError
 from repro.engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
-from repro.engines.checkpoint import load_checkpoint, save_checkpoint
+from repro.engines.checkpoint import MAGIC, load_checkpoint, save_checkpoint
+from repro.robustness import FaultInjected, inject
 
 from .helpers import (
     const_prop_program,
@@ -99,6 +101,74 @@ class TestValidation:
         path.write_bytes(pickle.dumps({"whatever": 1}))
         with pytest.raises(SolverError, match="not a repro checkpoint"):
             load_checkpoint(LaddderSolver, tc_program(), path)
+
+
+class TestEnvelopeHardening:
+    """Format v2: version field, payload checksum, atomic writes.
+
+    A corrupt, truncated, or stale checkpoint must fail *loudly* with a
+    typed :class:`CheckpointError` — never deserialize into silently
+    partial solver state."""
+
+    def _saved(self, tmp_path):
+        solver = load(LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        path = tmp_path / "tc.ckpt"
+        save_checkpoint(solver, path)
+        return path
+
+    def test_errors_are_typed(self, tmp_path):
+        solver = LaddderSolver(tc_program())
+        with pytest.raises(CheckpointError):
+            save_checkpoint(solver, tmp_path / "x.ckpt")
+        assert issubclass(CheckpointError, SolverError)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(LaddderSolver, tc_program(), path)
+
+    def test_truncated_below_header_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(LaddderSolver, tc_program(), path)
+
+    def test_bit_flip_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip bits inside the pickled payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(LaddderSolver, tc_program(), path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        # The u16 version sits right after the magic; pretend a v1 file.
+        data[len(MAGIC)] = 0
+        data[len(MAGIC) + 1] = 1
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="format version 1"):
+            load_checkpoint(LaddderSolver, tc_program(), path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(LaddderSolver, tc_program(), tmp_path / "no.ckpt")
+
+    def test_interrupted_write_preserves_old_checkpoint(self, tmp_path):
+        path = self._saved(tmp_path)
+        original = path.read_bytes()
+        solver = load(LaddderSolver, tc_program(), tc_facts({(5, 6)}))
+        with inject("checkpoint.write"):
+            with pytest.raises(FaultInjected):
+                save_checkpoint(solver, path)
+        # Atomic rename discipline: the old file is intact, no temp debris.
+        assert path.read_bytes() == original
+        assert list(tmp_path.iterdir()) == [path]
+        restored = load_checkpoint(LaddderSolver, tc_program(), path)
+        assert restored.relation("tc") == frozenset({(1, 2), (2, 3), (1, 3)})
 
 
 def test_checkpoint_beats_reinit_on_corpus(tmp_path):

@@ -327,6 +327,33 @@ class TestKernelCache:
         cache.kernel(rule)  # no oracle => no size snapshot
         assert cache.refresh([rule], lambda pred: 10**6) == 0
 
+    def test_failed_compile_leaves_cache_clean(self):
+        # Exception safety: a failure mid-build must not leave a partial
+        # registration behind (a poisoned entry would serve every later
+        # request for that specialization), and the metrics must stay
+        # balanced — the miss and the time spent are real, the compile
+        # never completed.
+        from repro.robustness import FaultInjected, inject
+
+        p = parse("p(X) :- e(X).")
+        rule = p.rules[0]
+        m = SolverMetrics()
+        cache = KernelCache(p, metrics=m, interpret=False)
+        with inject("compile.build"):
+            with pytest.raises(FaultInjected):
+                cache.kernel(rule)
+        assert cache._kernels == {}
+        assert m.plan_cache_misses == 1
+        assert m.rules_compiled == 0
+        assert m.compile_seconds > 0
+        # The next request recovers: a fresh miss, a real compile.
+        kernel = cache.kernel(rule)
+        _, lookup = make_lookup({"e": {(1,)}})
+        assert list(kernel.fn(lookup)) == [(1,)]
+        assert m.plan_cache_misses == 2
+        assert m.rules_compiled == 1
+        assert len(cache._kernels) == 1
+
     def test_env_toggles(self, monkeypatch):
         monkeypatch.delenv("REPRO_INTERPRET", raising=False)
         monkeypatch.delenv("REPRO_REPLAN_FACTOR", raising=False)

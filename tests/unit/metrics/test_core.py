@@ -147,9 +147,18 @@ class TestExport:
         m.stratum_end(s, 0.1)
         m.join_probes = 10
         d = m.to_dict()
-        assert set(d) == {"engine", "totals", "laddder", "compile", "strata", "rules"}
+        assert set(d) == {
+            "engine", "totals", "laddder", "compile", "strata", "rules",
+            "robustness",
+        }
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10
+        assert set(d["robustness"]) == {
+            "rollbacks",
+            "fallback_resolves",
+            "watchdog_trips",
+            "selfcheck_seconds",
+        }
         assert set(d["compile"]) == {
             "rules_compiled",
             "compile_seconds",

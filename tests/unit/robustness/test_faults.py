@@ -1,0 +1,82 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.robustness import FAULT_SITES, FaultInjected, FaultPlan, inject
+from repro.robustness import faults
+
+
+class TestFaultPlan:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan("no.such.site")
+
+    def test_bad_at_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("kernel.emit", at=0)
+
+    def test_fires_on_nth_hit(self):
+        plan = FaultPlan("kernel.emit", at=3)
+        plan.fire("kernel.emit")
+        plan.fire("kernel.emit")
+        with pytest.raises(FaultInjected, match="kernel.emit"):
+            plan.fire("kernel.emit")
+        assert plan.hits == 3 and plan.fired == 1
+
+    def test_other_sites_ignored(self):
+        plan = FaultPlan("kernel.emit")
+        plan.fire("aggregate.combine")
+        assert plan.hits == 0
+
+    def test_times_bounds_firing(self):
+        plan = FaultPlan("kernel.emit", at=1, times=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                plan.fire("kernel.emit")
+        plan.fire("kernel.emit")  # budget exhausted: no more raises
+        assert plan.fired == 2
+
+    def test_custom_exception_type(self):
+        class Boom(RuntimeError):
+            pass
+
+        plan = FaultPlan("kernel.emit", exc=Boom)
+        with pytest.raises(Boom):
+            plan.fire("kernel.emit")
+
+
+class TestInjectContext:
+    def test_arms_and_disarms(self):
+        assert faults.ACTIVE is None
+        with inject("kernel.emit") as plan:
+            assert faults.ACTIVE is plan
+        assert faults.ACTIVE is None
+
+    def test_disarms_on_exception(self):
+        with pytest.raises(FaultInjected):
+            with inject("kernel.emit"):
+                faults.fire("kernel.emit")
+        assert faults.ACTIVE is None
+
+    def test_no_nesting(self):
+        with inject("kernel.emit"):
+            with pytest.raises(RuntimeError, match="do not nest"):
+                with inject("aggregate.combine"):
+                    pass  # pragma: no cover
+
+    def test_module_fire_without_plan_is_noop(self):
+        faults.fire("kernel.emit")  # nothing armed: must not raise
+
+    def test_fault_injected_is_not_a_solver_error(self):
+        # Recovery paths must treat injected faults as *unexpected*
+        # failures, exactly like a genuine engine bug.
+        from repro.datalog.errors import SolverError
+
+        assert not issubclass(FaultInjected, SolverError)
+
+    def test_site_registry(self):
+        assert "kernel.emit" in FAULT_SITES
+        assert "aggregate.combine" in FAULT_SITES
+        assert "timeline.append" in FAULT_SITES
+        assert "checkpoint.write" in FAULT_SITES
+        assert "compile.build" in FAULT_SITES

@@ -107,6 +107,62 @@ class TestProfileFlags:
         assert "per-stratum" not in capsys.readouterr().out
 
 
+class TestRobustnessFlags:
+    def test_flags_parse(self):
+        args = make_parser().parse_args(
+            ["analyze", "constprop", "minijavac",
+             "--deadline", "2.5", "--self-check", "--guard"]
+        )
+        assert args.deadline == 2.5
+        assert args.self_check and args.guard
+        args = make_parser().parse_args(
+            ["bench", "constprop", "minijavac", "--guard"]
+        )
+        assert args.guard and args.deadline is None and not args.self_check
+
+    def test_guarded_analyze_succeeds(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac", "--limit", "1",
+             "--guard", "--self-check"]
+        ) == 0
+        assert "tuples in ptlub" in capsys.readouterr().out
+
+    def test_guarded_bench_succeeds(self, capsys):
+        assert main(
+            ["bench", "constprop", "minijavac", "--changes", "1", "--guard"]
+        ) == 0
+        assert "median" in capsys.readouterr().out
+
+    def test_deadline_trip_exits_3(self, capsys):
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac", "--deadline=-1"]
+        ) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("error: BudgetExceededError:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_checkpoint_save_then_restore(self, capsys, tmp_path):
+        path = tmp_path / "a.ckpt"
+        argv = ["analyze", "pointsto-kupdate", "minijavac",
+                "--limit", "1", "--checkpoint", str(path)]
+        assert main(argv) == 0
+        assert path.exists()
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "restored from checkpoint" in second
+        assert first.splitlines()[-1] == second.splitlines()[-1]  # same tuples
+
+    def test_corrupt_checkpoint_exits_5(self, capsys, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        assert main(
+            ["analyze", "pointsto-kupdate", "minijavac",
+             "--checkpoint", str(path)]
+        ) == 5
+        assert "error: CheckpointError:" in capsys.readouterr().err
+
+
 class TestExplainCommand:
     def test_explain_primary(self, capsys):
         assert main(["explain", "pointsto-kupdate", "minijavac"]) == 0
