@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands mirroring the library's main workflows:
+Subcommands mirroring the library's main workflows:
 
 * ``analyze``  — run one of the five analyses on a benchmark subject (or a
   scaled variant) with a chosen engine; print exported relations.
@@ -8,6 +8,8 @@ Three subcommands mirroring the library's main workflows:
   impacts, print the Figure 2 histogram.
 * ``bench``    — a one-shot update-time measurement (init + change series
   distribution) without the pytest harness.
+* ``check``    — static diagnostics (docs/STATIC_CHECKS.md) for bundled
+  analyses and/or ``.dl`` source files; exit 2 on errors, 1 on warnings.
 
 Examples::
 
@@ -17,6 +19,8 @@ Examples::
     python -m repro impact interval minijavac --changes 20
     python -m repro bench pointsto-kupdate pmd --engine dredl
     python -m repro bench constprop minijavac --profile-json profile.json
+    python -m repro check --all
+    python -m repro check examples/reachability.dl --json -
 
 ``analyze`` and ``bench`` accept ``--profile`` (per-stratum and per-rule
 solver metrics as an ASCII table) and ``--profile-json FILE`` (the same
@@ -222,6 +226,136 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _load_registry_hook(spec: str):
+    """Resolve a ``module:function`` spec to a callable taking a Program.
+
+    The hook runs after parsing each ``.dl`` target and registers whatever
+    the source needs — aggregators, Eval functions, Test predicates — since
+    those live outside the textual syntax."""
+    import importlib
+
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"--registry expects module:function, got {spec!r}")
+    module = importlib.import_module(module_name)
+    hook = getattr(module, attr)
+    if not callable(hook):
+        raise ValueError(f"{spec} is not callable")
+    return hook
+
+
+def _check_one_target(target: str, args, subjects: dict):
+    """Check one ``check`` target; returns ``(display_name, CheckResult)``.
+
+    A target is either a bundled analysis name (checked against the default
+    subject's program) or a path to a ``.dl`` source file."""
+    from .datalog import Span, check_program, parse
+    from .datalog.check import CheckResult, Diagnostic
+    from .datalog.errors import ParseError
+
+    deep = not args.fast
+    if target in ANALYSES:
+        subject = subjects.get(args.subject)
+        if subject is None:
+            subject = subjects[args.subject] = load_subject(args.subject)
+        program = ANALYSES[target](subject).program
+        return target, check_program(program, normalize_first=True, deep=deep)
+
+    try:
+        with open(target) as handle:
+            source = handle.read()
+    except OSError as exc:
+        result = CheckResult()
+        result.diagnostics.append(
+            Diagnostic(
+                code="DLC002",
+                severity="error",
+                message=f"cannot read {target}: {exc.strerror or exc}",
+                span=Span(source=target),
+                hint="pass a bundled analysis name or a .dl file path",
+            )
+        )
+        return target, result
+    try:
+        program = parse(source, source_name=target)
+    except ParseError as exc:
+        result = CheckResult()
+        result.diagnostics.append(
+            Diagnostic(
+                code="DLC001",
+                severity="error",
+                message=str(exc),
+                span=Span(source=target),
+                hint="fix the syntax error; later passes need a parse tree",
+            )
+        )
+        return target, result
+    if args.registry:
+        _load_registry_hook(args.registry)(program)
+    return target, check_program(program, normalize_first=True, deep=deep)
+
+
+def cmd_check(args) -> int:
+    """``check``: static diagnostics, human-readable or ``--json``.
+
+    Exit code is the worst finding across all targets: 2 for errors, 1 for
+    warnings only, 0 for a clean bill (info diagnostics never fail a run).
+    """
+    targets = list(args.targets)
+    if args.all:
+        targets = sorted(ANALYSES) + targets
+    if not targets:
+        print("error: no targets (pass analysis names, .dl paths, or --all)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        subjects: dict = {}
+        checked = [_check_one_target(t, args, subjects) for t in targets]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    worst = max(result.exit_code() for _, result in checked)
+    if args.json:
+        payload = {
+            "version": 1,
+            "exit_code": worst,
+            "targets": [
+                {"name": name, **result.to_dict()} for name, result in checked
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print(f"report written to {args.json}")
+        return worst
+
+    from .datalog.check import Diagnostic
+
+    for name, result in checked:
+        counts = ", ".join(
+            f"{sum(1 for d in result.diagnostics if d.severity == sev)} {sev}"
+            for sev in ("error", "warning", "info")
+        )
+        dead = f", {len(result.dead_rules)} dead rules" if result.dead_rules else ""
+        print(f"{name}: {counts}{dead} ({result.seconds * 1e3:.1f} ms)")
+        for diag in sorted(result.diagnostics, key=Diagnostic.sort_key):
+            print("  " + diag.format().replace("\n", "\n  "))
+        if args.report and result.report:
+            for entry in result.report:
+                engines = ", ".join(
+                    eng for eng, ok in entry["engines"].items() if ok
+                )
+                preds = ", ".join(entry["predicates"])
+                print(f"  stratum {entry['component']} [{preds}]: {engines}"
+                      + (f" — {entry['note']}" if entry["note"] else ""))
+    return worst
+
+
 def make_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -290,6 +424,29 @@ def make_parser() -> argparse.ArgumentParser:
     explain_cmd.add_argument("--match", default=None,
                              help="substring selecting the tuple")
     explain_cmd.set_defaults(fn=cmd_explain)
+
+    check_cmd = sub.add_parser(
+        "check", help="static diagnostics for analyses and .dl files"
+    )
+    check_cmd.add_argument("targets", nargs="*",
+                           help="bundled analysis names and/or .dl file paths")
+    check_cmd.add_argument("--all", action="store_true",
+                           help="check every bundled analysis")
+    check_cmd.add_argument("--subject", choices=sorted(PRESETS),
+                           default="minijavac",
+                           help="subject used to instantiate analysis targets")
+    check_cmd.add_argument("--json", metavar="FILE", default=None,
+                           help="write the JSON report (docs/check_schema."
+                                "json; use - for stdout)")
+    check_cmd.add_argument("--fast", action="store_true",
+                           help="skip the sampled aggregator-law checks")
+    check_cmd.add_argument("--report", action="store_true",
+                           help="print the per-stratum incrementalizability "
+                                "report")
+    check_cmd.add_argument("--registry", metavar="MOD:FN", default=None,
+                           help="import hook(program) registering aggregators"
+                                "/functions for parsed .dl targets")
+    check_cmd.set_defaults(fn=cmd_check)
     return parser
 
 

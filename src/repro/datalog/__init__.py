@@ -7,6 +7,7 @@ The public surface mirrors IncA's front end: write rules as text
 """
 
 from .ast import (
+    BUILDER_SPAN,
     AggTerm,
     Atom,
     BodyItem,
@@ -15,6 +16,7 @@ from .ast import (
     Head,
     Literal,
     Rule,
+    Span,
     Term,
     Test,
     Variable,
@@ -24,10 +26,12 @@ from .ast import (
     head,
     let,
     negated,
+    span_of,
     test,
     var,
     vars,
 )
+from .check import CheckResult, Diagnostic, check_program, live_slice
 from .errors import DatalogError, ParseError, SolverError, ValidationError
 from .normalize import collecting_name, factor_aggregations, normalize
 from .parser import parse
@@ -38,11 +42,12 @@ from .stratify import Component, stratify
 from .validate import validate
 
 __all__ = [
-    "AggTerm", "Atom", "BodyItem", "Component", "Constant", "DatalogError",
-    "Eval", "Head", "Literal", "ParseError", "Program", "Rule", "SolverError",
-    "Term", "Test", "ValidationError", "Variable", "agg", "atom",
+    "BUILDER_SPAN", "AggTerm", "Atom", "BodyItem", "CheckResult", "Component",
+    "Constant", "DatalogError", "Diagnostic", "Eval", "Head", "Literal",
+    "ParseError", "Program", "Rule", "SolverError", "Span", "Term", "Test",
+    "ValidationError", "Variable", "agg", "atom", "check_program",
     "collecting_name", "const", "delta_plans", "factor_aggregations",
     "format_program", "format_relation", "format_relations", "format_strata",
-    "head", "let", "negated", "normalize", "parse", "plan_body", "stratify",
-    "test", "validate", "var", "vars",
+    "head", "let", "live_slice", "negated", "normalize", "parse", "plan_body",
+    "span_of", "stratify", "test", "validate", "var", "vars",
 ]

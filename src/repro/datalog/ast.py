@@ -31,6 +31,40 @@ from typing import Union
 
 
 @dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open source region ``source:line:column .. end_line:end_column``.
+
+    ``source`` names where the text came from (a file path, ``<string>`` for
+    :func:`repro.datalog.parser.parse` on a literal, ``<builder>`` for rules
+    assembled through the AST helper functions).  Lines and columns are
+    1-based; a zero line means "no position" (synthetic nodes).
+    """
+
+    source: str = "<builder>"
+    line: int = 0
+    column: int = 0
+    end_line: int = 0
+    end_column: int = 0
+
+    def __str__(self) -> str:
+        if not self.line:
+            return self.source
+        return f"{self.source}:{self.line}:{self.column}"
+
+
+#: The shared synthetic span attached (implicitly) to builder-made rules.
+BUILDER_SPAN = Span()
+
+
+def span_of(node: object) -> Span:
+    """The node's span, or the synthetic ``<builder>`` span if it has none."""
+    span = getattr(node, "span", None)
+    if span is None and isinstance(node, Literal):
+        span = node.atom.span
+    return span if span is not None else BUILDER_SPAN
+
+
+@dataclass(frozen=True, slots=True)
 class Variable:
     """A logic variable.  Names starting with ``_`` are wildcards."""
 
@@ -78,10 +112,16 @@ HeadTerm = Union[Variable, Constant, AggTerm]
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """A relational atom ``pred(t1, ..., tn)``."""
+    """A relational atom ``pred(t1, ..., tn)``.
+
+    ``span`` (here and on the other node classes) records the source region
+    the node was parsed from; it is excluded from equality/hash/repr so
+    structurally identical rules from different positions stay equal.
+    """
 
     pred: str
     args: tuple[Term, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)
@@ -121,6 +161,7 @@ class Eval:
     var: Variable
     fn: str
     args: tuple[Term, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)
@@ -135,6 +176,7 @@ class Test:
 
     fn: str
     args: tuple[Term, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)
@@ -150,6 +192,7 @@ class Head:
 
     pred: str
     args: tuple[HeadTerm, ...]
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(a) for a in self.args)
@@ -188,6 +231,7 @@ class Rule:
 
     head: Head
     body: tuple[BodyItem, ...] = field(default_factory=tuple)
+    span: Span | None = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         if not self.body:

@@ -18,7 +18,20 @@ class ParseError(DatalogError):
 
 class ValidationError(DatalogError):
     """The program violates a structural assumption (safety, stratification,
-    ASM1–ASM3, unresolved aggregator or function names, ...)."""
+    ASM1–ASM3, unresolved aggregator or function names, ...).
+
+    ``code`` carries the diagnostic code of the corresponding static check
+    (see docs/STATIC_CHECKS.md) and ``span`` the offending rule's source
+    position; both are optional for callers raising ad hoc."""
+
+    def __init__(self, message: str, *, code: str | None = None, span=None):
+        #: The message without the span prefix (for re-wrapping).
+        self.raw_message = message
+        if span is not None and getattr(span, "line", 0):
+            message = f"{span}: {message}"
+        super().__init__(message)
+        self.code = code
+        self.span = span
 
 
 class SolverError(DatalogError):

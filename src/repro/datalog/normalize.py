@@ -23,7 +23,19 @@ from __future__ import annotations
 
 import itertools
 
-from .ast import AggTerm, Atom, Constant, Eval, Head, Literal, Rule, Term, Test, Variable
+from .ast import (
+    AggTerm,
+    Atom,
+    Constant,
+    Eval,
+    Head,
+    Literal,
+    Rule,
+    Term,
+    Test,
+    Variable,
+    span_of,
+)
 from .errors import ValidationError
 from .program import Program
 
@@ -54,13 +66,23 @@ def _rename_rule(rule: Rule, counter) -> Rule:
     def fix_body(item):
         if isinstance(item, Literal):
             return Literal(
-                Atom(item.atom.pred, tuple(fix_term(t) for t in item.atom.args)),
+                Atom(
+                    item.atom.pred,
+                    tuple(fix_term(t) for t in item.atom.args),
+                    span=item.atom.span,
+                ),
                 item.negated,
             )
         if isinstance(item, Eval):
-            return Eval(item.var, item.fn, tuple(fix_term(t) for t in item.args))
+            return Eval(
+                item.var, item.fn,
+                tuple(fix_term(t) for t in item.args),
+                span=item.span,
+            )
         if isinstance(item, Test):
-            return Test(item.fn, tuple(fix_term(t) for t in item.args))
+            return Test(
+                item.fn, tuple(fix_term(t) for t in item.args), span=item.span
+            )
         return item
 
     head_args = []
@@ -69,7 +91,11 @@ def _rename_rule(rule: Rule, counter) -> Rule:
             head_args.append(fix_term(arg))
         else:
             head_args.append(arg)
-    return Rule(Head(rule.head.pred, tuple(head_args)), tuple(fix_body(b) for b in rule.body))
+    return Rule(
+        Head(rule.head.pred, tuple(head_args), span=rule.head.span),
+        tuple(fix_body(b) for b in rule.body),
+        span=rule.span,
+    )
 
 
 def factor_aggregations(program: Program) -> Program:
@@ -86,8 +112,11 @@ def factor_aggregations(program: Program) -> Program:
             new_rules.extend(rules)
             continue
         if len(agg_rules) != len(rules):
+            plain = next(r for r in rules if not r.is_aggregation)
             raise ValidationError(
-                f"predicate {pred} mixes aggregation and plain rules"
+                f"predicate {pred} mixes aggregation and plain rules",
+                code="DLC305",
+                span=span_of(plain),
             )
         _check_consistent_aggregation(pred, agg_rules)
 
@@ -107,7 +136,13 @@ def factor_aggregations(program: Program) -> Program:
                     collect_args.append(arg.var)
                 else:
                     collect_args.append(arg)
-            new_rules.append(Rule(Head(collect, tuple(collect_args)), rule.body))
+            new_rules.append(
+                Rule(
+                    Head(collect, tuple(collect_args), span=rule.head.span),
+                    rule.body,
+                    span=rule.span,
+                )
+            )
         # A single canonical aggregation over the collecting relation.
         fresh = [Variable(f"G{i}") for i in range(len(first.head.args))]
         agg_head_args: list = []
@@ -120,8 +155,9 @@ def factor_aggregations(program: Program) -> Program:
             collect_body_args.append(fresh[i])
         new_rules.append(
             Rule(
-                Head(pred, tuple(agg_head_args)),
+                Head(pred, tuple(agg_head_args), span=first.head.span),
                 (Literal(Atom(collect, tuple(collect_body_args))),),
+                span=first.span,
             )
         )
     program.rules = new_rules
@@ -156,7 +192,9 @@ def _head_shape(rule: Rule) -> tuple[list, int, AggTerm]:
     if len(positions) != 1:
         raise ValidationError(
             f"rule for {rule.head.pred} must have exactly one aggregation "
-            f"slot, found {len(positions)}"
+            f"slot, found {len(positions)}",
+            code="DLC304",
+            span=span_of(rule),
         )
     pos = positions[0]
     return list(rule.head.group_terms()), pos, rule.head.args[pos]
@@ -168,14 +206,18 @@ def _check_consistent_aggregation(pred: str, rules: list[Rule]) -> None:
         positions = rule.head.agg_positions()
         if len(positions) != 1:
             raise ValidationError(
-                f"rule for {pred} must have exactly one aggregation slot"
+                f"rule for {pred} must have exactly one aggregation slot",
+                code="DLC304",
+                span=span_of(rule),
             )
         term = rule.head.args[positions[0]]
         shapes.add((rule.head.arity, positions[0], term.op))
     if len(shapes) != 1:
         raise ValidationError(
             f"aggregation rules for {pred} disagree on arity, slot, or "
-            f"operator: {sorted(shapes)}"
+            f"operator: {sorted(shapes)}",
+            code="DLC306",
+            span=span_of(rules[-1]),
         )
 
 

@@ -18,7 +18,17 @@ Grammar (informal)::
 
 Identifiers starting with an uppercase letter or ``_`` are variables
 (Prolog convention); ``_`` alone is a wildcard and is renamed apart.
-Comments run from ``//`` or ``#`` to end of line.
+Comments run from ``//`` or ``#`` to end of line.  String literals accept
+the usual backslash escapes (``\\n \\t \\r \\\\ \\' \\" \\xHH \\uHHHH
+\\UHHHHHHHH``), so any string constant the pretty printer emits via Python
+``repr`` lexes back to the same value.
+
+Every parsed rule (and its head, atoms, Evals, and Tests) carries a
+:class:`repro.datalog.ast.Span` recording where in the source it came from;
+static diagnostics (:mod:`repro.datalog.check`) and validation errors cite
+these positions.  Predicates used with conflicting arities are rejected at
+parse time — catching the typo at its source line instead of surfacing later
+as a confusing relation-store error.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from .ast import (
     HeadTerm,
     Literal,
     Rule,
+    Span,
     Term,
     Test,
     Variable,
@@ -44,6 +55,17 @@ from .program import Program
 
 _SYMBOLS = [":-", ":=", "<=", ">=", "==", "!=", "(", ")", ",", ".", "!", "?", "<", ">"]
 _COMPARISONS = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne"}
+
+#: Single-character escape sequences inside string literals.
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
 
 
 @dataclass(frozen=True)
@@ -97,16 +119,41 @@ class _Lexer:
 
         if ch in "\"'":
             quote = ch
+            parts: list[str] = []
             end = self.pos + 1
-            while end < len(src) and src[end] != quote:
-                if src[end] == "\n":
+            while True:
+                if end >= len(src) or src[end] == "\n":
                     raise ParseError("unterminated string", line, column)
+                if src[end] == quote:
+                    break
+                if src[end] == "\\":
+                    if end + 1 >= len(src):
+                        raise ParseError("unterminated string", line, column)
+                    esc = src[end + 1]
+                    if esc in _ESCAPES:
+                        parts.append(_ESCAPES[esc])
+                        end += 2
+                        continue
+                    width = {"x": 2, "u": 4, "U": 8}.get(esc)
+                    if width is None:
+                        raise ParseError(
+                            f"unknown string escape \\{esc}", line, column
+                        )
+                    digits = src[end + 2 : end + 2 + width]
+                    try:
+                        if len(digits) != width:
+                            raise ValueError
+                        parts.append(chr(int(digits, 16)))
+                    except ValueError:
+                        raise ParseError(
+                            f"bad \\{esc} escape in string", line, column
+                        ) from None
+                    end += 2 + width
+                    continue
+                parts.append(src[end])
                 end += 1
-            if end >= len(src):
-                raise ParseError("unterminated string", line, column)
-            text = src[self.pos + 1 : end]
             self._advance(end + 1 - self.pos)
-            return _Token("STRING", text, line, column)
+            return _Token("STRING", "".join(parts), line, column)
 
         if ch.isdigit() or (
             ch == "-" and self.pos + 1 < len(src) and src[self.pos + 1].isdigit()
@@ -140,10 +187,43 @@ class _Lexer:
 
 
 class _Parser:
-    def __init__(self, tokens: list[_Token]):
+    def __init__(self, tokens: list[_Token], source_name: str = "<string>"):
         self.tokens = tokens
+        self.source_name = source_name
         self.index = 0
         self._wildcards = itertools.count()
+        # pred -> (arity, first token seen); rejects conflicting re-use at
+        # parse time instead of surfacing later as a relation-store error.
+        self._arities: dict[str, tuple[int, _Token]] = {}
+
+    def _span(self, start: _Token, end: _Token | None = None) -> Span:
+        last = end if end is not None else start
+        return Span(
+            self.source_name,
+            start.line,
+            start.column,
+            last.line,
+            last.column + max(len(last.text), 1) - 1,
+        )
+
+    def _note_arity(self, name: _Token, arity: int) -> None:
+        seen = self._arities.get(name.text)
+        if seen is None:
+            self._arities[name.text] = (arity, name)
+            return
+        if seen[0] != arity:
+            first = seen[1]
+            where = (
+                f"at line {first.line}, column {first.column}"
+                if first.line
+                else "by an existing rule"
+            )
+            raise ParseError(
+                f"predicate {name.text} used with arity {arity} but "
+                f"declared with arity {seen[0]} {where}",
+                name.line,
+                name.column,
+            )
 
     # -- token plumbing ----------------------------------------------------
 
@@ -198,6 +278,7 @@ class _Parser:
         program.exports.update(names)
 
     def _parse_rule(self) -> Rule:
+        start = self._peek()
         head = self._parse_head()
         body: tuple = ()
         if self._at_sym(":-"):
@@ -207,8 +288,8 @@ class _Parser:
                 self._take()
                 items.append(self._parse_body_item())
             body = tuple(items)
-        self._expect("SYM", ".")
-        return Rule(head, body)
+        stop = self._expect("SYM", ".")
+        return Rule(head, body, span=self._span(start, stop))
 
     def _parse_head(self) -> Head:
         name = self._expect("IDENT")
@@ -217,8 +298,9 @@ class _Parser:
         while self._at_sym(","):
             self._take()
             args.append(self._parse_head_term())
-        self._expect("SYM", ")")
-        return Head(name.text, tuple(args))
+        stop = self._expect("SYM", ")")
+        self._note_arity(name, len(args))
+        return Head(name.text, tuple(args), span=self._span(name, stop))
 
     def _parse_head_term(self) -> HeadTerm:
         # "op<Var>" — aggregation slot.
@@ -235,22 +317,28 @@ class _Parser:
             self._take()
             return Literal(self._parse_atom(), negated=True)
         if self._at_sym("?"):
-            self._take()
+            mark = self._take()
             name = self._expect("IDENT")
             args = self._parse_paren_terms()
-            return Test(name.text, args)
+            return Test(name.text, args, span=self._span(mark, name))
         if self._peek().kind == "VAR" and self._at_sym(":=", 1):
             variable = self._take()
             self._take()  # ":="
             name = self._expect("IDENT")
             args = self._parse_paren_terms()
-            return Eval(Variable(variable.text), name.text, args)
+            return Eval(
+                Variable(variable.text), name.text, args,
+                span=self._span(variable, name),
+            )
         # Comparison sugar: term CMP term.
         if self._looks_like_comparison():
+            mark = self._peek()
             left = self._parse_term()
-            op = self._take().text
+            op = self._take()
             right = self._parse_term()
-            return Test(_COMPARISONS[op], (left, right))
+            return Test(
+                _COMPARISONS[op.text], (left, right), span=self._span(mark, op)
+            )
         return Literal(self._parse_atom())
 
     def _looks_like_comparison(self) -> bool:
@@ -263,7 +351,8 @@ class _Parser:
     def _parse_atom(self) -> Atom:
         name = self._expect("IDENT")
         args = self._parse_paren_terms()
-        return Atom(name.text, args)
+        self._note_arity(name, len(args))
+        return Atom(name.text, args, span=self._span(name))
 
     def _parse_paren_terms(self) -> tuple[Term, ...]:
         self._expect("SYM", "(")
@@ -297,13 +386,28 @@ class _Parser:
         )
 
 
-def parse(source: str, program: Program | None = None) -> Program:
+def parse(
+    source: str,
+    program: Program | None = None,
+    source_name: str = "<string>",
+) -> Program:
     """Parse Datalog source text into a (new or existing) :class:`Program`.
 
     Registered functions, tests, and aggregators are *not* part of the text;
-    register them on the program before or after parsing.
+    register them on the program before or after parsing.  ``source_name``
+    labels the :class:`Span` attached to every parsed rule (e.g. a file
+    path).  Predicates used with conflicting arities — against each other or
+    against rules already on ``program`` — raise :class:`ParseError` at the
+    offending position.
     """
     if program is None:
         program = Program()
     tokens = _Lexer(source).tokens()
-    return _Parser(tokens).parse_program(program)
+    parser = _Parser(tokens, source_name=source_name)
+    # Seed arities from the existing program so incremental parses stay
+    # consistent with rules added through the builder API.
+    anchor = _Token("IDENT", "", 0, 0)
+    for rule in program.rules:
+        for atom_like in [rule.head, *(lit.atom for lit in rule.body_literals())]:
+            parser._arities.setdefault(atom_like.pred, (atom_like.arity, anchor))
+    return parser.parse_program(program)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .ast import Rule
+from .ast import Rule, span_of
 from .errors import ValidationError
 from .program import Program
 
@@ -136,11 +136,21 @@ def stratify(program: Program) -> list[Component]:
         for pred in scc:
             member_of[pred] = i
 
-    for src, dst in graph.negated_pairs:
+    for src, dst in sorted(graph.negated_pairs):
         if member_of.get(src) == member_of.get(dst):
+            culprit = next(
+                (
+                    r for r in program.rules
+                    if r.head.pred == dst
+                    and any(l.negated and l.pred == src for l in r.body_literals())
+                ),
+                None,
+            )
             raise ValidationError(
                 f"negation inside a recursive component: !{src} feeds {dst} "
-                f"(ASM3 requires stratified negation)"
+                f"(ASM3 requires stratified negation)",
+                code="DLC301",
+                span=span_of(culprit) if culprit is not None else None,
             )
 
     components: list[Component] = []

@@ -1,105 +1,46 @@
 """Static validation of programs against the paper's assumptions.
 
-Checks performed (on the *normalized* program):
-
-* consistent predicate arities,
-* rule safety — an admissible body order exists and head variables are bound,
-* registered names — every ``Eval``/``Test``/aggregator name resolves,
-* ASM3 stratified negation (via :func:`repro.datalog.stratify.stratify`),
-* ASM3 aggregator agreement — all aggregators inside one dependency
-  component share a single direction (a proxy for "agree on the same ⊑
-  ordering direction per produced lattice"; we additionally require a single
-  lattice per component's aggregations, which all paper analyses satisfy),
-* ASM1.1 shape — aggregation rules aggregate a collecting relation
-  (guaranteed by normalization; re-checked here),
-* aggregated predicates are not also EDB inputs.
+Since the static checker landed (:mod:`repro.datalog.check`,
+docs/STATIC_CHECKS.md), this module is a thin wrapper: :func:`validate` runs
+the structural passes — arity consistency, name resolution, aggregation
+shape (ASM1.1), rule safety, stratified negation and aggregator agreement
+(ASM3), and column-sort inference — and raises the first error-severity
+:class:`Diagnostic` as a :class:`ValidationError` carrying the diagnostic
+code and source span.  All four engines therefore report identical
+diagnostics at load time, and the ``repro check`` CLI shows the same
+findings (plus warnings, the deep ASM2 law checks, and the dead-rule slice)
+without raising.
 
 Eventual ⊑-monotonicity (ASM1.3) is a semantic property of the analysis the
-developer promises (paper Section 4.3: "the analysis developer only has to
-check that for each non-⊑-monotonic rule, another rule exists that will
-eventually dominate the decrease"); it cannot be checked statically and is
-exercised dynamically by the solvers' divergence guards.
+developer promises (paper Section 4.3); the checker audits aggregation
+paths structurally (DLC504) and the solvers' divergence guards exercise it
+dynamically.
 """
 
 from __future__ import annotations
 
-from .ast import Eval, Literal, Test
+from .check import CheckResult, check_program
 from .errors import ValidationError
-from .planning import plan_body
 from .program import Program
-from .stratify import Component, stratify
+from .stratify import Component
 
 
 def validate(program: Program) -> list[Component]:
-    """Validate a normalized program; returns its dependency components."""
-    program.arities()
-    _check_names(program)
-    _check_safety(program)
-    components = stratify(program)  # raises on non-stratified negation
-    _check_aggregation(program, components)
-    return components
+    """Validate a normalized program; returns its dependency components.
+
+    Raises :class:`ValidationError` for the first error-severity diagnostic
+    the static checker finds (in pass order, so messages match the historic
+    ones).  Use :func:`repro.datalog.check.check_program` directly to get
+    every finding, including warnings, at once.
+    """
+    return raise_on_error(check_program(program))
 
 
-def _check_names(program: Program) -> None:
-    for rule in program.rules:
-        for item in rule.body:
-            if isinstance(item, Eval) and item.fn not in program.functions:
-                raise ValidationError(
-                    f"unknown function {item.fn!r} in {rule!r}; register it "
-                    f"with program.register_function"
-                )
-            if isinstance(item, Test) and item.fn not in program.tests:
-                raise ValidationError(
-                    f"unknown test {item.fn!r} in {rule!r}; register it "
-                    f"with program.register_test"
-                )
-        agg = rule.head.agg_term
-        if agg is not None and agg.op not in program.aggregators:
-            raise ValidationError(
-                f"unknown aggregator {agg.op!r} in {rule!r}; register it "
-                f"with program.register_aggregator"
-            )
-
-
-def _check_safety(program: Program) -> None:
-    for rule in program.rules:
-        plan_body(rule)  # raises ValidationError if unsafe
-
-
-def _check_aggregation(program: Program, components: list[Component]) -> None:
-    edb = program.edb_predicates()
-    for component in components:
-        directions = set()
-        lattices = set()
-        for rule in component.rules:
-            agg = rule.head.agg_term
-            if agg is None:
-                continue
-            if len(rule.head.agg_positions()) != 1:
-                raise ValidationError(
-                    f"{rule!r}: exactly one aggregation slot per head"
-                )
-            if len(rule.body) != 1 or not isinstance(rule.body[0], Literal):
-                raise ValidationError(
-                    f"{rule!r}: aggregation must consume a single collecting "
-                    f"relation (run normalize() first)"
-                )
-            aggregator = program.aggregators[agg.op]
-            directions.add(aggregator.direction)
-            lattices.add(aggregator.lattice)
-            if rule.head.pred in edb:
-                raise ValidationError(
-                    f"aggregated predicate {rule.head.pred} cannot be an "
-                    f"input relation"
-                )
-        if len(directions) > 1:
-            raise ValidationError(
-                f"component {sorted(component.predicates)} mixes aggregation "
-                f"directions {sorted(directions)} (ASM3)"
-            )
-        if component.recursive and len(lattices) > 1:
-            raise ValidationError(
-                f"component {sorted(component.predicates)} aggregates over "
-                f"multiple lattices {sorted(l.name for l in lattices)}; "
-                f"use one produced lattice per recursive component (ASM3)"
-            )
+def raise_on_error(result: CheckResult) -> list[Component]:
+    """Raise the first error diagnostic of ``result``; return components."""
+    error = result.first_error
+    if error is not None:
+        raise ValidationError(error.message, code=error.code, span=error.span)
+    if result.components is None:  # pragma: no cover - defensive
+        raise ValidationError("program could not be stratified")
+    return result.components

@@ -27,11 +27,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from ..datalog.check import check_program
 from ..datalog.errors import BudgetExceededError, SolverError, ValidationError
 from ..datalog.normalize import normalize
 from ..datalog.program import Program
-from ..datalog.stratify import Component
-from ..datalog.validate import validate
+from ..datalog.stratify import Component, stratify
+from ..datalog.validate import raise_on_error
 from ..metrics import SolverMetrics
 from ..robustness.watchdog import Budget
 from .compile import KernelCache
@@ -71,16 +72,30 @@ class Solver(ABC):
         self.source_program = program
         self.program = program.copy()
         normalize(self.program)
-        self.components: list[Component] = validate(self.program)
+        #: Observability collector — a disabled instance by default, so the
+        #: hot path only pays when the caller opts in (docs/OBSERVABILITY.md).
+        self.metrics = metrics if metrics is not None else SolverMetrics(enabled=False)
+        self.metrics.engine = type(self).__name__
+        # Static checks (repro.datalog.check) replace the old monolithic
+        # validate(): same first-error contract, plus a live slice.  Rules
+        # that cannot reach an exported predicate are pruned before planning
+        # and kernel compilation — opt out with REPRO_NO_PRUNE=1
+        # (docs/STATIC_CHECKS.md).  Exported views are unaffected either way.
+        t0 = time.perf_counter()
+        checked = check_program(self.program)
+        raise_on_error(checked)
+        self.components: list[Component] = checked.components or []
+        if checked.dead_rules and not os.environ.get("REPRO_NO_PRUNE"):
+            self.program.rules = list(checked.live_rules)
+            self.components = stratify(self.program)
+            self.metrics.dead_rules_pruned += len(checked.dead_rules)
+        self.metrics.check_seconds += time.perf_counter() - t0
+        self.metrics.diagnostics_emitted += len(checked.diagnostics)
         self.arities = self.program.arities()
         self.edb = self.program.edb_predicates()
         self.idb = self.program.idb_predicates()
         self._facts: dict[str, set[tuple]] = {}
         self._solved = False
-        #: Observability collector — a disabled instance by default, so the
-        #: hot path only pays when the caller opts in (docs/OBSERVABILITY.md).
-        self.metrics = metrics if metrics is not None else SolverMetrics(enabled=False)
-        self.metrics.engine = type(self).__name__
         #: Shared compiled-kernel cache: one specialized enumeration pipeline
         #: per (rule, pinned occurrence, bound set, emit mode) — see
         #: repro.engines.compile.  ``REPRO_INTERPRET=1`` swaps in run_plan-

@@ -82,6 +82,25 @@ class Lattice(ABC):
         """
         return True
 
+    def samples(self) -> list[Element]:
+        """A few representative elements for bounded-exhaustive law checks.
+
+        The static checker (:mod:`repro.datalog.check`) verifies the ASM2
+        aggregator laws over these.  The default returns whatever extremal
+        elements the domain defines; concrete domains override with a richer
+        set (including at least one non-extremal element) so the laws are
+        actually exercised.
+        """
+        out: list[Element] = []
+        for probe in (self.bottom, self.top):
+            try:
+                value = probe()
+            except LatticeError:
+                continue
+            if value not in out:
+                out.append(value)
+        return out
+
     def join_all(self, values: Iterable[Element]) -> Element:
         """Fold :meth:`join` over ``values``; requires at least one value
         unless the domain has a bottom."""
@@ -170,6 +189,9 @@ class DualLattice(Lattice):
 
     def contains(self, value: Element) -> bool:
         return self.inner.contains(value)
+
+    def samples(self) -> list[Element]:
+        return self.inner.samples()
 
     def dual(self) -> Lattice:
         return self.inner

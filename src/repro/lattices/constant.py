@@ -89,6 +89,9 @@ class ConstantLattice(Lattice):
     def contains(self, value: Element) -> bool:
         return value == BOT or value == TOP or isinstance(value, Const)
 
+    def samples(self) -> list[Element]:
+        return [BOT, Const(0), Const(1), Const(-1), TOP]
+
     @staticmethod
     def const(value: Any) -> Const:
         """Wrap a concrete value as a lattice element."""

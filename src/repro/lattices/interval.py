@@ -108,6 +108,16 @@ class IntervalLattice(Lattice):
     def contains(self, value: Element) -> bool:
         return value == BOT or isinstance(value, Interval)
 
+    def samples(self) -> list[Element]:
+        return [
+            BOT,
+            Interval(0, 0),
+            Interval(1, 1),
+            Interval(0, 1),
+            Interval(-1, 8),
+            TOP,
+        ]
+
     def widen(self, a: Element, b: Element) -> Element:
         """Symmetric threshold widening.
 

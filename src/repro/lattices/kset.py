@@ -77,6 +77,17 @@ class KSetLattice(Lattice):
             return True
         return isinstance(value, frozenset) and len(value) <= self.k
 
+    def samples(self) -> list[Element]:
+        universe = [f"o{i}" for i in range(min(self.k + 1, 3))]
+        out: list[Element] = [frozenset()]
+        for i in range(len(universe)):
+            subset = frozenset(universe[: i + 1])
+            if len(subset) <= self.k:
+                out.append(subset)
+        out.append(frozenset(universe[-1:]))
+        out.append(TOP)
+        return list(dict.fromkeys(out))
+
     @staticmethod
     def singleton(value) -> frozenset:
         """The one-element set ``{value}``."""

@@ -49,6 +49,21 @@ class PowersetLattice(Lattice):
             return value <= self.universe
         return True
 
+    def samples(self) -> list[Element]:
+        if self.universe is not None:
+            base = sorted(self.universe, key=repr)[:2]
+        else:
+            base = ["a", "b"]
+        out = [
+            frozenset(),
+            frozenset(base[:1]),
+            frozenset(base[1:2]),
+            frozenset(base),
+        ]
+        if self.universe is not None:
+            out.append(self.universe)
+        return list(dict.fromkeys(out))
+
     @staticmethod
     def singleton(value) -> frozenset:
         """The one-element set ``{value}``."""

@@ -53,6 +53,17 @@ class ProductLattice(Lattice):
             return False
         return all(c.contains(x) for c, x in zip(self.components, value))
 
+    def samples(self) -> list[Element]:
+        # Zip (not product) of the component samples keeps the set small;
+        # pad shorter components with their last sample.
+        per = [c.samples() for c in self.components]
+        if any(not s for s in per):
+            return []
+        width = max(len(s) for s in per)
+        return [
+            tuple(s[min(i, len(s) - 1)] for s in per) for i in range(width)
+        ]
+
 
 class ChainLattice(Lattice):
     """A finite total order over the given levels (lowest first).
@@ -95,3 +106,6 @@ class ChainLattice(Lattice):
 
     def contains(self, value: Element) -> bool:
         return value in self._rank
+
+    def samples(self) -> list[Element]:
+        return list(self.levels[:6])

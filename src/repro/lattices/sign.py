@@ -59,6 +59,9 @@ class SignLattice(Lattice):
     def contains(self, value: Element) -> bool:
         return value in _DENOTES
 
+    def samples(self) -> list[Element]:
+        return list(ELEMENTS)
+
     # -- abstraction and transfer functions -----------------------------
 
     @staticmethod

@@ -140,6 +140,9 @@ class SolverMetrics:
         "plan_cache_hits",
         "plan_cache_misses",
         "replans_triggered",
+        "check_seconds",
+        "diagnostics_emitted",
+        "dead_rules_pruned",
         "rollbacks",
         "fallback_resolves",
         "watchdog_trips",
@@ -183,6 +186,12 @@ class SolverMetrics:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.replans_triggered = 0
+        # Static-checker counters (see repro.datalog.check /
+        # docs/STATIC_CHECKS.md).  Like the compile counters these record
+        # once per solver construction, so they are kept even while disabled.
+        self.check_seconds = 0.0
+        self.diagnostics_emitted = 0
+        self.dead_rules_pruned = 0
         # Robustness counters (see repro.robustness / docs/ROBUSTNESS.md).
         # Guard/watchdog events are rare and worth keeping even while
         # disabled: a rollback you cannot see in a profile is a rollback
@@ -303,6 +312,11 @@ class SolverMetrics:
                 "plan_cache_hits": self.plan_cache_hits,
                 "plan_cache_misses": self.plan_cache_misses,
                 "replans_triggered": self.replans_triggered,
+            },
+            "check": {
+                "check_seconds": self.check_seconds,
+                "diagnostics_emitted": self.diagnostics_emitted,
+                "dead_rules_pruned": self.dead_rules_pruned,
             },
             "robustness": {
                 "rollbacks": self.rollbacks,

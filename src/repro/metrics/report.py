@@ -84,6 +84,12 @@ def format_profile(metrics: SolverMetrics, rule_limit: int | None = 15) -> str:
             f"{metrics.plan_cache_misses} misses; "
             f"{metrics.replans_triggered} re-plans"
         )
+    if metrics.check_seconds or metrics.diagnostics_emitted:
+        lines.append(
+            f"  check: {metrics.diagnostics_emitted} diagnostics in "
+            f"{metrics.check_seconds * 1e3:.1f} ms; "
+            f"{metrics.dead_rules_pruned} dead rules pruned"
+        )
     if (
         metrics.rollbacks
         or metrics.fallback_resolves

@@ -1,0 +1,22 @@
+"""Registry hook for the ``.dl`` defect fixtures in this directory.
+
+Aggregators and Eval functions live outside the textual Datalog syntax, so
+file-based ``repro check`` targets register them through
+``--registry tests.fixtures.check_registry:register``.  One hook covers all
+fixtures: registering an operator no rule uses has no effect.
+"""
+
+from repro.lattices import ConstantLattice, SignLattice, lub
+from repro.lattices.aggregator import Aggregator
+
+
+def register(program):
+    program.register_aggregator("lubc", lub(ConstantLattice()))
+    program.register_aggregator("lubs", lub(SignLattice()))
+    # Deliberately ill-behaved: "keep the right operand" is associative but
+    # neither commutative nor dominating, so the sampled ASM2 law check
+    # (DLC501) must reject it.
+    program.register_aggregator(
+        "last",
+        Aggregator("last", ConstantLattice(), lambda a, b: b, "up"),
+    )

@@ -1,0 +1,249 @@
+"""Unit tests for the static checker (repro.datalog.check).
+
+The stratification cases pin down the exact diagnostic code *and* the cited
+source span — a diagnostic pointing at the wrong rule is as confusing as no
+diagnostic at all.
+"""
+
+import pytest
+
+from repro.datalog import check_program, live_slice, parse, validate
+from repro.datalog.check import Diagnostic
+from repro.datalog.errors import ValidationError
+from repro.lattices import ConstantLattice, SignLattice, glb, lub
+from repro.lattices.aggregator import Aggregator
+
+CONST = ConstantLattice()
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def by_code(result, code):
+    found = [d for d in result.diagnostics if d.code == code]
+    assert found, f"no {code} in {codes(result)}"
+    return found[0]
+
+
+class TestStratificationDiagnostics:
+    """Satellite (c): exact code + cited span for ASM3 violations."""
+
+    def test_negation_cycle_code_and_span(self):
+        source = (
+            "p(X) :- a(X), !q(X).\n"
+            "q(X) :- b(X), p(X).\n"
+        )
+        result = check_program(parse(source, source_name="neg.dl"))
+        diag = by_code(result, "DLC301")
+        assert diag.severity == "error"
+        assert "negation inside" in diag.message
+        # The cited rule is the one applying the negation, line 1.
+        assert diag.span.source == "neg.dl"
+        assert diag.span.line == 1
+        assert result.components is None  # stratification failed
+        assert result.exit_code() == 2
+
+    def test_mixed_aggregation_directions_code_and_span(self):
+        source = (
+            "up(G, lub<L>)   :- c(G, L).\n"
+            "down(G, glb<L>) :- up(G, L), c2(G, L).\n"
+            "c(G, L)         :- down(G, L), seed(G, L).\n"
+        )
+        program = parse(source, source_name="mixed.dl")
+        program.register_aggregator("lub", lub(CONST))
+        program.register_aggregator("glb", glb(CONST))
+        result = check_program(program, normalize_first=True)
+        diag = by_code(result, "DLC302")
+        assert diag.severity == "error"
+        assert "directions" in diag.message and "ASM3" in diag.message
+        # Cites the rule introducing the second direction: glb on line 2.
+        assert diag.span.source == "mixed.dl"
+        assert diag.span.line == 2
+
+    def test_multi_lattice_recursive_component_code_and_span(self):
+        source = (
+            "a(G, lubc<L>) :- seed(G, L), b(G, M).\n"
+            "b(G, lubs<M>) :- a(G, L), src2(G, M).\n"
+        )
+        program = parse(source, source_name="multi.dl")
+        program.register_aggregator("lubc", lub(ConstantLattice()))
+        program.register_aggregator("lubs", lub(SignLattice()))
+        result = check_program(program, normalize_first=True)
+        diag = by_code(result, "DLC303")
+        assert diag.severity == "error"
+        assert "multiple lattices" in diag.message
+        assert "constant" in diag.message and "sign" in diag.message
+        # Cites the rule introducing the second lattice: lubs on line 2.
+        assert diag.span.source == "multi.dl"
+        assert diag.span.line == 2
+
+    def test_clean_recursive_aggregation_has_no_strata_errors(self):
+        program = parse("a(G, lub<L>) :- seed(G, L).\na(G, lub<L>) :- a(G, L), keep(G).")
+        program.register_aggregator("lub", lub(CONST))
+        result = check_program(program, normalize_first=True)
+        assert not any(c.startswith("DLC3") for c in codes(result))
+
+
+class TestSafetyDiagnostics:
+    def test_unsafe_head_variable(self):
+        result = check_program(parse("out(X, Y) :- g(X).", source_name="u.dl"))
+        diag = by_code(result, "DLC201")
+        assert "head variable Y" in diag.message
+        assert diag.span.line == 1 and diag.span.source == "u.dl"
+        assert diag.hint and "Y" in diag.hint
+
+    def test_unbound_eval_argument(self):
+        result = check_program(parse("f(X, L) :- g(X), L := mk(Z)."))
+        diag = by_code(result, "DLC202")
+        assert "Z" in diag.message
+
+    def test_unbound_test_argument(self):
+        result = check_program(parse("f(X) :- g(X), Z < 5."))
+        assert "DLC203" in codes(result)
+
+    def test_unbound_negation(self):
+        result = check_program(parse("f(X) :- g(X), !h(X, Z)."))
+        diag = by_code(result, "DLC204")
+        assert "Z" in diag.message and "negat" in diag.message
+
+    def test_all_diagnostics_reported_at_once(self):
+        # The legacy validator stopped at the first problem; the checker
+        # reports every rule's findings in one pass.
+        source = "a(X, Y) :- g(X).\nb(X, Y) :- g(X).\n"
+        result = check_program(parse(source))
+        assert codes(result).count("DLC201") == 2
+
+
+class TestSortInference:
+    def test_discrete_and_lattice_columns(self):
+        program = parse("s(G, lub<L>) :- c(G, L). t(G) :- s(G, L).")
+        program.register_aggregator("lub", lub(CONST))
+        result = check_program(program, normalize_first=True)
+        assert result.sorts["s"] == ("discrete", "lattice:constant")
+        assert result.sorts["t"] == ("discrete",)
+        # The lattice sort propagates into the collecting relation too.
+        collecting = [p for p in result.sorts if p.startswith("s$")]
+        assert all(
+            result.sorts[p][-1] == "lattice:constant" for p in collecting
+        )
+
+    def test_lattice_mismatch_is_an_error(self):
+        program = parse("a(G, lubc<L>) :- src(G, L).\nb(G, lubs<L>) :- a(G, L), keep(G).")
+        program.register_aggregator("lubc", lub(ConstantLattice()))
+        program.register_aggregator("lubs", lub(SignLattice()))
+        result = check_program(program, normalize_first=True)
+        diag = by_code(result, "DLC401")
+        assert diag.severity == "error"
+        assert "constant" in diag.message and "sign" in diag.message
+
+    def test_lattice_group_key_warns(self):
+        program = parse(
+            "a(G, lub<L>) :- src(G, L).\n"
+            "pair(L2, lub<L>) :- a(G, L2), src(G, L).\n"
+        )
+        program.register_aggregator("lub", lub(CONST))
+        result = check_program(program, normalize_first=True)
+        diag = by_code(result, "DLC402")
+        assert diag.severity == "warning"
+
+
+class TestReachability:
+    def test_dead_rule_and_unused_predicate(self):
+        source = (
+            ".export out.\n"
+            "out(X) :- edge(X, Y), good(Y).\n"
+            "good(X) :- seed(X).\n"
+            "scratch(X) :- edge(X, Y).\n"
+        )
+        result = check_program(parse(source, source_name="d.dl"))
+        dead = by_code(result, "DLC601")
+        assert dead.severity == "warning" and dead.span.line == 4
+        assert by_code(result, "DLC602").pred == "scratch"
+        assert [r.head.pred for r in result.dead_rules] == ["scratch"]
+        assert all(r.head.pred != "scratch" for r in result.live_rules)
+        assert "scratch" not in result.live_predicates
+        assert result.exit_code() == 1
+
+    def test_unknown_export_warns(self):
+        result = check_program(parse(".export ghost, f.\nf(X) :- g(X)."))
+        assert by_code(result, "DLC603").pred == "ghost"
+
+    def test_live_slice_keeps_negated_dependencies(self):
+        program = parse(".export f.\nf(X) :- g(X), !h(X).\nh(X) :- k(X).")
+        live, dead, live_preds = live_slice(program)
+        assert not dead
+        assert {"f", "g", "h", "k"} <= live_preds
+
+    def test_everything_live_without_exports(self):
+        program = parse("f(X) :- g(X). h(X) :- g(X).")
+        live, dead, _ = live_slice(program)
+        assert not dead and len(live) == 2
+
+
+class TestDeepChecks:
+    def test_ill_behaved_aggregator_rejected(self):
+        program = parse("out(G, last<L>) :- src(G, L).")
+        program.register_aggregator(
+            "last", Aggregator("last", CONST, lambda a, b: b, "up")
+        )
+        result = check_program(program, normalize_first=True, deep=True)
+        diag = by_code(result, "DLC501")
+        assert diag.severity == "error"
+        assert "well-behaving" in diag.message and "ASM2" in diag.message
+
+    def test_well_behaved_aggregator_clean(self):
+        program = parse("out(G, lub<L>) :- src(G, L).")
+        program.register_aggregator("lub", lub(CONST))
+        result = check_program(program, normalize_first=True, deep=True)
+        assert "DLC501" not in codes(result)
+
+    def test_deep_off_by_default(self):
+        program = parse("out(G, last<L>) :- src(G, L).")
+        program.register_aggregator(
+            "last", Aggregator("last", CONST, lambda a, b: b, "up")
+        )
+        result = check_program(program, normalize_first=True)
+        assert "DLC501" not in codes(result)
+
+
+class TestResultShape:
+    def test_incrementalizability_report(self):
+        source = (
+            ".export reach.\n"
+            "reach(X) :- start(X).\n"
+            "reach(Y) :- reach(X), edge(X, Y).\n"
+        )
+        result = check_program(parse(source))
+        assert result.exit_code() == 0
+        [stratum] = result.report
+        assert stratum["predicates"] == ["reach"]
+        assert stratum["recursive"] is True
+        assert stratum["engines"] == {
+            "naive": True, "seminaive": True, "dredl": True, "laddder": True
+        }
+
+    def test_diagnostics_sort_most_severe_first(self):
+        source = (
+            ".export out.\n"
+            "out(X, Y) :- g(X).\n"
+            "scratch(X) :- g(X).\n"
+        )
+        result = check_program(parse(source))
+        ordered = sorted(result.diagnostics, key=Diagnostic.sort_key)
+        assert [d.severity for d in ordered] == ["error", "warning", "warning"]
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        result = check_program(parse("f(X, Y) :- g(X)."))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["code"] == "DLC201"
+        assert payload["diagnostics"][0]["span"]["line"] == 1
+
+    def test_validate_raises_first_error_with_code(self):
+        with pytest.raises(ValidationError) as exc:
+            validate(parse("f(X, Y) :- g(X)."))
+        assert exc.value.code == "DLC201"
+        assert exc.value.span is not None and exc.value.span.line == 1

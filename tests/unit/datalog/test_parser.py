@@ -140,3 +140,68 @@ def test_parse_into_existing_program():
     base = parse("f(X) :- g(X).")
     parse("h(X) :- f(X).", program=base)
     assert len(base.rules) == 2
+
+
+class TestSpans:
+    def test_rule_span_covers_full_rule(self):
+        p = parse("f(X) :-\n  g(X).", source_name="demo.dl")
+        span = p.rules[0].span
+        assert span.source == "demo.dl"
+        assert (span.line, span.column) == (1, 1)
+        assert (span.end_line, span.end_column) == (2, 7)
+        assert str(span) == "demo.dl:1:1"
+
+    def test_body_item_spans(self):
+        p = parse("f(X) :- g(X), L := mk(X), X < 5, !h(X, L).")
+        rule = p.rules[0]
+        assert rule.head.span.column == 1
+        lit, ev, test, neg = rule.body
+        assert lit.atom.span.column == 9
+        assert ev.span.column == 15
+        assert test.span.column == 27
+        assert neg.atom.span.column == 35
+        # Spans stay out of structural equality.
+        assert p.rules == parse("f(X) :- g(X), L := mk(X), X < 5, !h(X, L).").rules
+
+    def test_builder_nodes_have_placeholder_span(self):
+        from repro.datalog import BUILDER_SPAN, Rule, atom, head, var
+
+        rule = Rule(head("f", var("X")), (atom("g", var("X")),))
+        assert rule.span is None
+        from repro.datalog import span_of
+
+        assert span_of(rule) is BUILDER_SPAN
+        assert span_of(rule).source == "<builder>"
+
+
+class TestStringEscapes:
+    def test_known_escapes_decoded(self):
+        p = parse(r'f("a\nb\t\\\"\'\0").')
+        assert p.rules[0].head.args[0].value == "a\nb\t\\\"'\0"
+
+    def test_hex_and_unicode_escapes(self):
+        p = parse(r'f("\x41é\U0001F600").')
+        assert p.rules[0].head.args[0].value == "Aé\U0001F600"
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(ParseError, match="unknown string escape"):
+            parse(r'f("\q").')
+
+    def test_bad_hex_escape_rejected(self):
+        with pytest.raises(ParseError, match="escape"):
+            parse(r'f("\xZZ").')
+
+
+class TestDuplicateArity:
+    def test_conflict_within_source(self):
+        with pytest.raises(ParseError, match="arity 2 but declared with arity 1"):
+            parse("f(X) :- g(X). f(X, Y) :- g(X), g(Y).")
+
+    def test_conflict_between_head_and_body(self):
+        with pytest.raises(ParseError, match="arity"):
+            parse("f(X) :- f(X, Y), g(Y).")
+
+    def test_conflict_against_existing_program(self):
+        base = parse("f(X) :- g(X).")
+        with pytest.raises(ParseError, match="by an existing rule"):
+            parse("f(X, Y) :- g(X), g(Y).", base)

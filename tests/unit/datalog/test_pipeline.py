@@ -231,9 +231,25 @@ class TestValidate:
         validate(p)
 
     def test_arity_conflict(self):
-        p = parse("f(X) :- g(X). f(X, Y) :- g(X), g(Y).")
+        # parse() rejects conflicting arities up front, so build the
+        # inconsistent program through the AST helpers.
+        p = Program()
+        p.add_rule(Rule(head("f", var("X")), (atom("g", var("X")),)))
+        p.add_rule(
+            Rule(head("f", var("X"), var("Y")), (atom("g", var("X")), atom("g", var("Y"))))
+        )
         with pytest.raises(ValidationError, match="arities"):
             validate(p)
+
+    def test_arity_conflict_rejected_at_parse_time(self):
+        from repro.datalog.errors import ParseError
+
+        with pytest.raises(ParseError, match="arity"):
+            parse("f(X) :- g(X). f(X, Y) :- g(X), g(Y).")
+        # The conflict is also caught against rules already on the program.
+        existing = parse("f(X) :- g(X).")
+        with pytest.raises(ParseError, match="arity"):
+            parse("f(X, Y) :- g(X), g(Y).", existing)
 
     def test_direction_conflict_in_component(self):
         p = parse(

@@ -148,8 +148,8 @@ class TestExport:
         m.join_probes = 10
         d = m.to_dict()
         assert set(d) == {
-            "engine", "totals", "laddder", "compile", "strata", "rules",
-            "robustness",
+            "engine", "totals", "laddder", "compile", "check", "strata",
+            "rules", "robustness",
         }
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10
@@ -165,6 +165,11 @@ class TestExport:
             "plan_cache_hits",
             "plan_cache_misses",
             "replans_triggered",
+        }
+        assert set(d["check"]) == {
+            "check_seconds",
+            "diagnostics_emitted",
+            "dead_rules_pruned",
         }
         assert d["strata"][0]["delta_sizes"] == [1]
         assert d["rules"]["r"]["derived"] == 1
