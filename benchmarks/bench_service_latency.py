@@ -1,0 +1,144 @@
+"""Service round-trip latency: update-apply and query percentiles.
+
+Measures the resident-service deployment shape end to end, in process:
+one :class:`~repro.service.session.Session` (Laddder on the constprop
+minijavac preset) absorbing a stream of single-fact updates — each flushed
+and timed individually, client-perceived enqueue-to-published — and a
+stream of snapshot queries issued between them.  The p50/p95 results are
+what an editor integration would see per keystroke; the paper's
+amortization argument (expensive initial solve, cheap incremental
+updates) shows up as ``init_ms`` dwarfing ``update.p95_ms``.
+
+A second series re-sends the same updates through one coalesced batch to
+record the batching win: ops collapse per key, and the per-op apply cost
+drops accordingly.
+
+Run as ``PYTHONPATH=src python benchmarks/bench_service_latency.py``.
+Results land in ``benchmarks/results/service_latency.txt`` and
+``benchmarks/results/BENCH_service_latency.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from time import perf_counter
+
+from repro.analyses import constant_propagation
+from repro.changes import literal_to_zero_changes
+from repro.corpus import load_subject
+from repro.service import Session, SessionConfig
+
+from common import report, report_json
+
+#: Manual-flush knobs: the benchmark decides when batches apply.
+MANUAL_FLUSH = {"flush_size": 100_000, "flush_latency": 3600.0}
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def distribution(samples: list[float]) -> dict:
+    scale = 1e3  # seconds -> milliseconds
+    return {
+        "count": len(samples),
+        "p50_ms": percentile(samples, 0.50) * scale,
+        "p95_ms": percentile(samples, 0.95) * scale,
+        "max_ms": max(samples) * scale,
+    }
+
+
+def make_session() -> Session:
+    return Session(
+        "bench",
+        SessionConfig(
+            analysis="constprop",
+            subject="minijavac",
+            engine="laddder",
+            **MANUAL_FLUSH,
+        ),
+    )
+
+
+def measure(change_pairs: int) -> dict:
+    instance = constant_propagation(load_subject("minijavac"))
+    changes = literal_to_zero_changes(instance, change_pairs, seed=42)
+
+    session = make_session()
+    try:
+        update_times: list[float] = []
+        query_times: list[float] = []
+        for change in changes:
+            t0 = perf_counter()
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            out = session.flush()
+            update_times.append(perf_counter() - t0)
+            assert out["ok"], out
+            t0 = perf_counter()
+            session.query("val", limit=10)
+            query_times.append(perf_counter() - t0)
+        init_seconds = session.init_seconds
+        stats = session.stats()
+    finally:
+        session.close()
+
+    # The same stream through one coalesced batch: do/undo pairs cancel.
+    session = make_session()
+    try:
+        t0 = perf_counter()
+        for change in changes:
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+        out = session.flush()
+        batch_seconds = perf_counter() - t0
+        assert out["ok"], out
+        coalesce_ratio = session.metrics.coalesce_ratio
+    finally:
+        session.close()
+
+    return {
+        "init_ms": init_seconds * 1e3,
+        "update": distribution(update_times),
+        "query": distribution(query_times),
+        "batched": {
+            "wall_ms": batch_seconds * 1e3,
+            "ops": stats["metrics"]["service"]["updates_enqueued"],
+            "coalesce_ratio": coalesce_ratio,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--changes", type=int, default=20,
+                        help="change pairs to synthesize (2x updates)")
+    args = parser.parse_args(argv)
+
+    results = measure(args.changes)
+    update, query = results["update"], results["query"]
+    lines = [
+        "service latency, LaddderSolver on constprop@minijavac",
+        f"  init:            {results['init_ms']:8.1f} ms (paid once per session)",
+        f"  update apply:    p50 {update['p50_ms']:6.2f} ms   "
+        f"p95 {update['p95_ms']:6.2f} ms   max {update['max_ms']:6.2f} ms"
+        f"   ({update['count']} flushes)",
+        f"  query:           p50 {query['p50_ms']:6.2f} ms   "
+        f"p95 {query['p95_ms']:6.2f} ms   max {query['max_ms']:6.2f} ms"
+        f"   ({query['count']} reads)",
+        f"  coalesced batch: {results['batched']['wall_ms']:8.1f} ms for "
+        f"{results['batched']['ops']} ops "
+        f"(coalesce ratio {results['batched']['coalesce_ratio']:.2f})",
+    ]
+    report("service_latency", "\n".join(lines))
+    path = report_json("service_latency", results)
+    print(f"json: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

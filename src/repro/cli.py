@@ -10,6 +10,8 @@ Subcommands mirroring the library's main workflows:
   distribution) without the pytest harness.
 * ``check``    — static diagnostics (docs/STATIC_CHECKS.md) for bundled
   analyses and/or ``.dl`` source files; exit 2 on errors, 1 on warnings.
+* ``serve``    — the resident analysis service (docs/SERVICE.md): long-
+  lived sessions behind a JSON-lines protocol over stdio or a TCP socket.
 
 Examples::
 
@@ -21,10 +23,17 @@ Examples::
     python -m repro bench constprop minijavac --profile-json profile.json
     python -m repro check --all
     python -m repro check examples/reachability.dl --json -
+    python -m repro serve
+    python -m repro serve --host 127.0.0.1 --port 8750
 
 ``analyze`` and ``bench`` accept ``--profile`` (per-stratum and per-rule
 solver metrics as an ASCII table) and ``--profile-json FILE`` (the same
 data in the JSON schema of docs/OBSERVABILITY.md; ``-`` for stdout).
+
+``serve``, ``analyze``, and ``bench`` shut down gracefully on SIGINT or
+SIGTERM: in-flight work is drained or abandoned cleanly, ``--profile-json``
+metrics collected so far are still written, and the process exits with the
+documented interrupt code instead of a traceback.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from .datalog.errors import (
     DatalogError,
     InvariantViolationError,
     RollbackError,
+    ShutdownRequested,
     SolverError,
 )
 from .bench import (
@@ -52,24 +62,25 @@ from .bench import (
 )
 from .changes import alloc_site_changes, literal_to_zero_changes
 from .corpus import PRESETS, load_subject
-from .engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver, explain
+from .engines import explain
 from .methodology import bucket_impacts, format_histogram, measure_impacts
 from .metrics import SolverMetrics, format_profile
 from .robustness import GuardedSolver
+from .service import install_signal_handlers
+from .service.session import ENGINES
 
-ENGINES = {
-    "laddder": LaddderSolver,
-    "dredl": DRedLSolver,
-    "seminaive": SemiNaiveSolver,
-    "naive": NaiveSolver,
-}
+#: Exit code for a SIGINT/SIGTERM-interrupted run that unwound cleanly
+#: (in-flight batches drained, profile flushed) — docs/SERVICE.md.
+EXIT_INTERRUPTED = 7
 
-#: Exit codes for the typed failure modes (documented in docs/ROBUSTNESS.md).
+#: Exit codes for the typed failure modes (documented in docs/ROBUSTNESS.md
+#: and docs/SERVICE.md).
 EXIT_CODES = {
     BudgetExceededError: 3,
     InvariantViolationError: 4,
     CheckpointError: 5,
     RollbackError: 6,
+    ShutdownRequested: EXIT_INTERRUPTED,
 }
 
 
@@ -128,6 +139,15 @@ def _emit_profile(args, metrics: SolverMetrics | None) -> None:
             print(f"profile written to {args.profile_json}")
 
 
+def _interrupted(args, metrics: SolverMetrics | None, exc) -> int:
+    """Graceful-shutdown epilogue for ``analyze``/``bench``: report, flush
+    any partial ``--profile``/``--profile-json`` metrics, exit code 7."""
+    print(f"interrupted: {exc}; flushing metrics and exiting cleanly",
+          file=sys.stderr)
+    _emit_profile(args, metrics)
+    return EXIT_INTERRUPTED
+
+
 def cmd_analyze(args) -> int:
     """``analyze``: run and print an analysis result relation."""
     from pathlib import Path
@@ -141,17 +161,23 @@ def cmd_analyze(args) -> int:
     ckpt = Path(args.checkpoint) if args.checkpoint else None
     start = time.perf_counter()
     restored = ckpt is not None and ckpt.exists()
-    if restored:
-        inner = load_checkpoint(engine, instance.program, ckpt)
-    else:
-        inner = instance.make_solver(engine, solve=False, metrics=metrics)
-    if setup is not None:
-        setup(inner)
-    solver = GuardedSolver(inner) if args.guard else inner
-    if not restored:
-        solver.solve()
-        if ckpt is not None:
-            save_checkpoint(inner, ckpt)
+    restore_signals = install_signal_handlers()
+    try:
+        if restored:
+            inner = load_checkpoint(engine, instance.program, ckpt, metrics=metrics)
+        else:
+            inner = instance.make_solver(engine, solve=False, metrics=metrics)
+        if setup is not None:
+            setup(inner)
+        solver = GuardedSolver(inner) if args.guard else inner
+        if not restored:
+            solver.solve()
+            if ckpt is not None:
+                save_checkpoint(inner, ckpt)
+    except ShutdownRequested as exc:
+        return _interrupted(args, metrics, exc)
+    finally:
+        restore_signals()
     elapsed = time.perf_counter() - start
     source = "restored from checkpoint in" if restored else ""
     print(
@@ -186,10 +212,16 @@ def cmd_bench(args) -> int:
     engine = ENGINES[args.engine]
     changes = _changes_for(instance, args.changes, args.seed)
     metrics = _make_metrics(args)
-    run = run_update_benchmark(
-        instance, engine, changes, metrics=metrics,
-        setup=_solver_setup(args), guard=args.guard,
-    )
+    restore_signals = install_signal_handlers()
+    try:
+        run = run_update_benchmark(
+            instance, engine, changes, metrics=metrics,
+            setup=_solver_setup(args), guard=args.guard,
+        )
+    except ShutdownRequested as exc:
+        return _interrupted(args, metrics, exc)
+    finally:
+        restore_signals()
     dist = Distribution.of(run.update_times())
     print(f"init: {run.init_seconds * 1e3:.1f} ms")
     print(
@@ -206,7 +238,7 @@ def cmd_bench(args) -> int:
 def cmd_explain(args) -> int:
     """``explain``: print one derivation of a selected result tuple."""
     _subject, instance = _build(args)
-    solver = instance.make_solver(LaddderSolver)
+    solver = instance.make_solver(ENGINES["laddder"])
     pred = args.predicate or instance.primary
     try:
         rows = sorted(solver.relation(pred), key=repr)
@@ -223,6 +255,48 @@ def cmd_explain(args) -> int:
     print(derivation.format(indent=1))
     if len(rows) > 1:
         print(f"({len(rows) - 1} more matching tuples; narrow with --match)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: the resident analysis service (docs/SERVICE.md).
+
+    Default is JSON-lines over stdio; ``--port`` starts a TCP socket server
+    instead (``--port 0`` binds an ephemeral port and prints it).  Both
+    drain every session — including a batch mid-apply — before exiting, on
+    end-of-input, a ``shutdown`` request, SIGINT, or SIGTERM.
+    """
+    from .service import ServiceProtocol, ServiceServer, serve_stdio
+
+    protocol = ServiceProtocol()
+    if args.port is not None:
+        server = ServiceServer(args.host, args.port, protocol)
+        print(f"repro serve listening on {server.host}:{server.port}",
+              flush=True)
+
+        def stop(signum, frame):
+            raise ShutdownRequested(f"received signal {signum}")
+
+        restore_signals = install_signal_handlers(stop)
+        try:
+            # run() drains every session on its way out, exception or not.
+            server.run()
+        except ShutdownRequested as exc:
+            print(f"interrupted: {exc}; sessions drained", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        finally:
+            restore_signals()
+        return 0
+
+    restore_signals = install_signal_handlers()
+    try:
+        serve_stdio(protocol, sys.stdin, sys.stdout)
+    except ShutdownRequested as exc:
+        # serve_stdio already drained the sessions on its way out.
+        print(f"interrupted: {exc}; sessions drained", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        restore_signals()
     return 0
 
 
@@ -447,6 +521,16 @@ def make_parser() -> argparse.ArgumentParser:
                            help="import hook(program) registering aggregators"
                                 "/functions for parsed .dl targets")
     check_cmd.set_defaults(fn=cmd_check)
+
+    serve_cmd = sub.add_parser(
+        "serve", help="resident analysis service (JSON-lines protocol)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="TCP bind address (with --port)")
+    serve_cmd.add_argument("--port", type=int, default=None,
+                           help="serve a TCP socket instead of stdio "
+                                "(0 binds an ephemeral port and prints it)")
+    serve_cmd.set_defaults(fn=cmd_serve)
     return parser
 
 
@@ -456,7 +540,8 @@ def main(argv: list[str] | None = None) -> int:
     Typed solver failures map to distinct nonzero exit codes with a
     one-line message on stderr (see ``EXIT_CODES``; docs/ROBUSTNESS.md):
     watchdog trip 3, invariant violation 4, checkpoint failure 5, rolled-
-    back update 6, any other Datalog/solver error 2.
+    back update 6, graceful signal-driven shutdown 7, any other
+    Datalog/solver error 2.
     """
     args = make_parser().parse_args(argv)
     if getattr(args, "limit", None) == -1:

@@ -9,6 +9,8 @@ whole evaluation can be grown or shrunk uniformly (benchmarks default to
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from ..javalite.ast import JProgram
 from .generator import CorpusSpec, generate
 
@@ -48,14 +50,23 @@ PRESETS: dict[str, CorpusSpec] = {
 #: Benchmark subject order used throughout Section 7.
 SUBJECT_ORDER = ["minijavac", "antlr", "emma", "pmd", "ant"]
 
-_cache: dict[tuple[str, float], JProgram] = {}
+_cache: dict[tuple[str, float, int | None], JProgram] = {}
 
 
-def load_subject(name: str, scale: float = 1.0) -> JProgram:
-    """Generate (and memoize) a preset subject program."""
-    key = (name, scale)
+def load_subject(name: str, scale: float = 1.0, seed: int | None = None) -> JProgram:
+    """Generate (and memoize) a preset subject program.
+
+    ``seed`` overrides the preset's baked-in generator seed, so callers that
+    need several *distinct but reproducible* variants of one subject — the
+    service tests drive many sessions against fixtures they must be able to
+    regenerate bit-for-bit — can pin one explicitly.  ``seed=None`` keeps the
+    preset default (and its memoized program).
+    """
+    key = (name, scale, seed)
     if key not in _cache:
         spec = PRESETS[name]
+        if seed is not None:
+            spec = replace(spec, seed=seed)
         if scale != 1.0:
             spec = spec.scaled(scale)
         _cache[key] = generate(spec)

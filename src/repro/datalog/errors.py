@@ -68,3 +68,21 @@ class RollbackError(SolverError):
 
     The original failure is chained as ``__cause__``; the solver is left
     bit-equal to its state before the update was attempted."""
+
+
+class ServiceError(SolverError):
+    """A service-layer request was invalid or hit a closed/unknown session.
+
+    Raised by :mod:`repro.service` for protocol-level failures (bad request
+    shape, unknown session or predicate, operations on a closed session);
+    the offending request gets an error response, the session — and every
+    other session on the server — keeps serving."""
+
+
+class ShutdownRequested(DatalogError):
+    """A termination signal (SIGINT/SIGTERM) asked the process to stop.
+
+    Long-running commands (``serve``, ``analyze``, ``bench``) convert the
+    signal into this exception so they can unwind cleanly — drain in-flight
+    batches, flush ``--profile-json`` metrics — and exit with the documented
+    interrupt code instead of a traceback (docs/SERVICE.md)."""

@@ -138,14 +138,16 @@ def _read_body(path: Path) -> bytes:
 
 
 def load_checkpoint(
-    solver_cls: Type[Solver], program, path: str | Path
+    solver_cls: Type[Solver], program, path: str | Path, metrics=None
 ) -> Solver:
     """Reconstruct a solved solver from ``program`` plus a checkpoint.
 
     ``program`` must be (rule-for-rule) the program the checkpoint was taken
     from; registered callables come from it, the fixpoint state from disk.
     Any mismatch — engine class, program hash, format version, corrupt or
-    truncated file — raises :class:`CheckpointError`.
+    truncated file — raises :class:`CheckpointError`.  ``metrics``, when
+    given, is attached to the restored solver (service sessions keep one
+    collector alive across a restore).
     """
     path = Path(path)
     body = _read_body(path)
@@ -162,7 +164,7 @@ def load_checkpoint(
             f"checkpoint was taken from {payload['solver']}, "
             f"not {solver_cls.__name__}"
         )
-    solver = solver_cls(program)
+    solver = solver_cls(program, metrics=metrics)
     if payload["program"] != program_hash(solver.program):
         raise CheckpointError(
             "checkpoint does not match the program (rules differ); "

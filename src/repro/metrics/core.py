@@ -147,6 +147,14 @@ class SolverMetrics:
         "fallback_resolves",
         "watchdog_trips",
         "selfcheck_seconds",
+        "updates_enqueued",
+        "updates_coalesced",
+        "batches_applied",
+        "batch_apply_seconds",
+        "queries_served",
+        "query_seconds",
+        "snapshots_published",
+        "max_pending",
         "strata",
         "rules",
     )
@@ -200,6 +208,18 @@ class SolverMetrics:
         self.fallback_resolves = 0
         self.watchdog_trips = 0
         self.selfcheck_seconds = 0.0
+        # Service-layer counters (see repro.service / docs/SERVICE.md).
+        # Sessions always record these — enqueue/flush events are orders of
+        # magnitude rarer than joins, and a session without queue statistics
+        # cannot be capacity-planned.
+        self.updates_enqueued = 0
+        self.updates_coalesced = 0
+        self.batches_applied = 0
+        self.batch_apply_seconds = 0.0
+        self.queries_served = 0
+        self.query_seconds = 0.0
+        self.snapshots_published = 0
+        self.max_pending = 0
         self.strata: dict[int, StratumStats] = {}
         self.rules: dict[str, RuleStats] = {}
 
@@ -284,6 +304,18 @@ class SolverMetrics:
         if depth > self.max_queue_depth:
             self.max_queue_depth = depth
 
+    def pending_depth(self, depth: int) -> None:
+        """Track the high-water mark of a service session's update queue."""
+        if depth > self.max_pending:
+            self.max_pending = depth
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of enqueued update operations absorbed by coalescing."""
+        if not self.updates_enqueued:
+            return 0.0
+        return self.updates_coalesced / self.updates_enqueued
+
     # -- export -------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -323,6 +355,17 @@ class SolverMetrics:
                 "fallback_resolves": self.fallback_resolves,
                 "watchdog_trips": self.watchdog_trips,
                 "selfcheck_seconds": self.selfcheck_seconds,
+            },
+            "service": {
+                "updates_enqueued": self.updates_enqueued,
+                "updates_coalesced": self.updates_coalesced,
+                "coalesce_ratio": self.coalesce_ratio,
+                "batches_applied": self.batches_applied,
+                "batch_apply_seconds": self.batch_apply_seconds,
+                "queries_served": self.queries_served,
+                "query_seconds": self.query_seconds,
+                "snapshots_published": self.snapshots_published,
+                "max_pending": self.max_pending,
             },
             "strata": [
                 self.strata[i].to_dict() for i in sorted(self.strata)

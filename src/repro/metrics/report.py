@@ -102,6 +102,17 @@ def format_profile(metrics: SolverMetrics, rule_limit: int | None = 15) -> str:
             f"{metrics.watchdog_trips} watchdog trips; self-check "
             f"{metrics.selfcheck_seconds * 1e3:.1f} ms"
         )
+    if metrics.batches_applied or metrics.updates_enqueued or metrics.queries_served:
+        lines.append(
+            f"  service: {metrics.updates_enqueued} updates enqueued "
+            f"({metrics.coalesce_ratio:.0%} coalesced), "
+            f"{metrics.batches_applied} batches in "
+            f"{metrics.batch_apply_seconds * 1e3:.1f} ms, "
+            f"{metrics.queries_served} queries in "
+            f"{metrics.query_seconds * 1e3:.1f} ms, "
+            f"queue depth ≤ {metrics.max_pending}, "
+            f"{metrics.snapshots_published} snapshots"
+        )
     lines.append("")
     lines.append(format_stratum_table(metrics))
     if metrics.rules:

@@ -1,0 +1,149 @@
+"""Pending-update queue with per-key last-write-wins coalescing.
+
+An interactive client streams many small fact edits — often touching the
+same tuple repeatedly (type a literal, overtype it, delete the line).
+Applying each edit as its own solver epoch pays the per-update fixed cost
+every time; applying them as one batch pays it once, and edits that cancel
+out (insert then delete the same row) cost *nothing*.
+
+:class:`CoalescingQueue` keeps at most one pending operation per
+``(predicate, row)`` key: a later insert or delete of the same key simply
+overwrites the earlier one (**last write wins**).  This is sound because a
+solver epoch is a *set* diff against the current EDB state — inserting an
+already-present fact or deleting an absent one is a no-op — so only the
+final operation per key determines the post-batch fact set.  The
+batch-equivalence property tests (tests/property/test_batch_equivalence.py)
+pin this down across all four engines.
+
+Flush policy: a batch is **ready** once it holds ``flush_size`` distinct
+keys, or once its oldest pending operation has waited ``flush_latency``
+seconds.  The queue itself is passive and unsynchronized — the owning
+:class:`~repro.service.session.Session` serializes access and runs the
+actual flush loop on its worker thread.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class UpdateBatch:
+    """One drained, coalesced batch ready for a single guarded epoch."""
+
+    insertions: dict[str, set[tuple]] = field(default_factory=dict)
+    deletions: dict[str, set[tuple]] = field(default_factory=dict)
+    #: Coalesced key count (what the epoch will see).
+    size: int = 0
+    #: Raw operations folded into this batch (>= size).
+    enqueued: int = 0
+    #: Generation stamp: every put() up to this one is covered by the batch.
+    generation: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.size == 0
+
+
+class CoalescingQueue:
+    """Pending fact edits, one operation per ``(pred, row)`` key.
+
+    Not thread-safe: the owning session holds its condition lock around
+    every call.
+    """
+
+    def __init__(self, flush_size: int = 64, flush_latency: float = 0.05):
+        if flush_size < 1:
+            raise ValueError("flush_size must be >= 1")
+        if flush_latency < 0:
+            raise ValueError("flush_latency must be >= 0")
+        self.flush_size = flush_size
+        self.flush_latency = flush_latency
+        #: key -> True for insert, False for delete (last write wins).
+        self._pending: dict[tuple[str, tuple], bool] = {}
+        #: perf_counter stamp of the oldest operation still pending.
+        self._oldest: float | None = None
+        #: Total put() operations accepted (the flush generation clock).
+        self.generation = 0
+        #: Raw operations folded into the current pending set.
+        self._enqueued_pending = 0
+        #: Lifetime counters (sessions mirror these into SolverMetrics).
+        self.total_ops = 0
+        self.total_coalesced = 0
+
+    # -- producing ---------------------------------------------------------
+
+    def put(
+        self,
+        insertions: dict[str, list] | None = None,
+        deletions: dict[str, list] | None = None,
+    ) -> tuple[int, int]:
+        """Fold one update request in; returns ``(ops, coalesced)``.
+
+        ``coalesced`` counts operations that landed on an already-pending
+        key — work the batch apply will never see.
+        """
+        ops = 0
+        coalesced = 0
+        now = time.perf_counter()
+        for mapping, op in ((deletions, False), (insertions, True)):
+            for pred, rows in (mapping or {}).items():
+                for row in rows:
+                    key = (pred, tuple(row))
+                    if key in self._pending:
+                        coalesced += 1
+                    self._pending[key] = op
+                    ops += 1
+        if ops:
+            self.generation += 1
+            self._enqueued_pending += ops
+            self.total_ops += ops
+            self.total_coalesced += coalesced
+            if self._oldest is None:
+                self._oldest = now
+        return ops, coalesced
+
+    # -- flushing ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Distinct pending keys (the size of the next batch)."""
+        return len(self._pending)
+
+    @property
+    def empty(self) -> bool:
+        return not self._pending
+
+    def ready(self, now: float | None = None) -> bool:
+        """Should the next batch flush now (size or latency policy)?"""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.flush_size:
+            return True
+        if now is None:
+            now = time.perf_counter()
+        return now - self._oldest >= self.flush_latency
+
+    def seconds_until_ready(self, now: float | None = None) -> float | None:
+        """Time until the latency deadline fires, or None when idle/ready."""
+        if not self._pending:
+            return None
+        if now is None:
+            now = time.perf_counter()
+        remaining = self.flush_latency - (now - self._oldest)
+        return max(0.0, remaining)
+
+    def drain(self) -> UpdateBatch:
+        """Pop everything pending as one coalesced :class:`UpdateBatch`."""
+        batch = UpdateBatch(
+            size=len(self._pending),
+            enqueued=self._enqueued_pending,
+            generation=self.generation,
+        )
+        for (pred, row), is_insert in self._pending.items():
+            target = batch.insertions if is_insert else batch.deletions
+            target.setdefault(pred, set()).add(row)
+        self._pending.clear()
+        self._enqueued_pending = 0
+        self._oldest = None
+        return batch

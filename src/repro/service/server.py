@@ -1,0 +1,135 @@
+"""Transports for the service protocol: stdio pipe and TCP socket.
+
+Both front ends drive one shared :class:`~repro.service.protocol.
+ServiceProtocol` (and therefore one shared session table): the stdio loop
+serves a single parent process (the editor-integration shape), the TCP
+server accepts many concurrent clients, one thread per connection (the
+shared-analysis-server shape).  Responses to a connection are written in
+request order; sessions themselves serialize cross-connection access.
+
+Shutdown is graceful everywhere: a ``shutdown`` request, end-of-input, or
+a SIGINT/SIGTERM all end with :meth:`SessionManager.close_all`, which
+drains every session's in-flight batch before the process exits — no work
+accepted is silently dropped, and no traceback is printed
+(docs/SERVICE.md).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import socketserver
+import threading
+
+from ..datalog.errors import ShutdownRequested
+from .protocol import ServiceProtocol
+
+
+def install_signal_handlers(handler=None):
+    """Route SIGINT/SIGTERM to ``handler`` (default: raise
+    :class:`ShutdownRequested`); returns a restore() callable.
+
+    Only the main thread may install signal handlers; calls from other
+    threads (tests, embedded use) are a silent no-op whose restore()
+    does nothing.
+    """
+    if handler is None:
+        def handler(signum, frame):
+            raise ShutdownRequested(
+                f"received {signal.Signals(signum).name}"
+            )
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, handler)
+    except ValueError:  # not the main thread
+        previous.clear()
+
+    def restore() -> None:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+    return restore
+
+
+def serve_stdio(protocol: ServiceProtocol, stdin, stdout) -> int:
+    """Serve JSON-lines over a pipe until EOF, ``shutdown``, or a signal.
+
+    Returns the number of requests handled.  Sessions are drained and
+    closed on every exit path.
+    """
+    handled = 0
+    try:
+        for line in stdin:
+            response = protocol.handle_line(line)
+            if response is None:
+                continue
+            handled += 1
+            stdout.write(response + "\n")
+            stdout.flush()
+            if protocol.shutdown_requested:
+                break
+    finally:
+        protocol.manager.close_all()
+    return handled
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One TCP connection: JSON lines in, JSON lines out."""
+
+    def handle(self) -> None:
+        protocol: ServiceProtocol = self.server.protocol  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                line = raw.decode("utf-8", errors="replace")
+            response = protocol.handle_line(line)
+            if response is None:
+                continue
+            try:
+                self.wfile.write(response.encode("utf-8") + b"\n")
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if protocol.shutdown_requested:
+                # Stop accepting from another thread: shutdown() blocks
+                # until serve_forever() returns, which needs this handler
+                # to finish first.
+                threading.Thread(
+                    target=self.server.shutdown, daemon=True
+                ).start()
+                return
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """The TCP front end; ``serve_forever()`` until stopped.
+
+    ``port=0`` binds an ephemeral port; read the actual one back from
+    :attr:`port` (the CLI prints it so scripted clients can connect).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host: str, port: int, protocol: ServiceProtocol):
+        super().__init__((host, port), _LineHandler)
+        self.protocol = protocol
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def run(self) -> None:
+        """Serve until ``shutdown()`` (or a signal routed to it), then
+        drain every session."""
+        try:
+            self.serve_forever(poll_interval=0.1)
+        finally:
+            with contextlib.suppress(Exception):
+                self.server_close()
+            self.protocol.manager.close_all()

@@ -1,0 +1,382 @@
+"""One live, long-lived solver behind a batching queue and snapshots.
+
+A :class:`Session` is the unit of residency: one analysis instance on one
+subject, solved once, then kept alive across arbitrarily many update/query
+round-trips.  Writes go through a :class:`~repro.service.queue.
+CoalescingQueue` and are applied by a dedicated worker thread as single
+guarded transactions; reads are served from the last *published*
+:class:`~repro.service.snapshot.Snapshot` and never block on (or observe)
+a batch in flight.
+
+Failure semantics (the contract the chaos tests pin down):
+
+* A batch that fails mid-apply is rolled back bit-equal by the
+  :class:`~repro.robustness.GuardedSolver` journal and **dropped**; the
+  previously published snapshot stays current, so readers keep getting the
+  last consistent state.  The failure is recorded (``failed_batches``,
+  ``last_error``) and returned to any ``flush`` waiter.
+* With ``fallback=True`` the guard instead degrades to a from-scratch
+  reference re-solve, and the batch's effect *is* published.
+* Watchdog budgets (``deadline``, iteration/chain ceilings) apply per
+  batch — a poisoned batch trips the budget, rolls back, and is dropped
+  like any other failure.
+
+``save``/``restore`` reuse the v2 checkpoint format
+(:mod:`repro.engines.checkpoint`): ``save`` flushes pending updates first
+so the file reflects everything enqueued; ``restore`` *discards* pending
+updates (they predate the state being restored) and publishes the restored
+state as a fresh snapshot version.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..analyses import ANALYSES
+from ..corpus import PRESETS, load_subject
+from ..datalog.errors import ServiceError
+from ..engines import DRedLSolver, LaddderSolver, NaiveSolver, SemiNaiveSolver
+from ..engines.checkpoint import load_checkpoint, save_checkpoint
+from ..metrics import SolverMetrics
+from ..robustness import GuardedSolver
+from .queue import CoalescingQueue, UpdateBatch
+from .snapshot import Snapshot, take_snapshot
+
+#: Engine registry shared with the CLI (name -> solver class).
+ENGINES = {
+    "laddder": LaddderSolver,
+    "dredl": DRedLSolver,
+    "seminaive": SemiNaiveSolver,
+    "naive": NaiveSolver,
+}
+
+
+@dataclass
+class SessionConfig:
+    """Everything needed to build one session (the ``open`` request body)."""
+
+    analysis: str
+    subject: str
+    engine: str = "laddder"
+    scale: float = 1.0
+    #: Corpus generator seed override; None keeps the preset default.
+    seed: int | None = None
+    #: Graceful degradation: re-solve from scratch instead of dropping a
+    #: failed batch (see repro.robustness.GuardedSolver).
+    fallback: bool = False
+    #: Flush the pending queue once it holds this many distinct keys ...
+    flush_size: int = 64
+    #: ... or once its oldest operation has waited this many seconds.
+    flush_latency: float = 0.05
+    #: Wall-clock budget per batch apply (None = unbounded).
+    deadline: float | None = None
+    #: Validate engine invariants before every batch commit.
+    self_check: bool = False
+    #: Enabled-mode metrics (per-stratum/per-rule tables; costs timers).
+    profile: bool = False
+
+    def validate(self) -> None:
+        if self.analysis not in ANALYSES:
+            raise ServiceError(
+                f"unknown analysis {self.analysis!r}; "
+                f"choose from {', '.join(sorted(ANALYSES))}"
+            )
+        if self.subject not in PRESETS:
+            raise ServiceError(
+                f"unknown subject {self.subject!r}; "
+                f"choose from {', '.join(sorted(PRESETS))}"
+            )
+        if self.engine not in ENGINES:
+            raise ServiceError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {', '.join(sorted(ENGINES))}"
+            )
+
+
+class Session:
+    """One resident solver with batched writes and snapshot reads."""
+
+    #: Seconds to wait for the worker to drain on close before giving up.
+    CLOSE_TIMEOUT = 60.0
+
+    def __init__(self, name: str, config: SessionConfig):
+        config.validate()
+        self.name = name
+        self.config = config
+        self.engine_cls = ENGINES[config.engine]
+        subject = load_subject(config.subject, scale=config.scale, seed=config.seed)
+        self.instance = ANALYSES[config.analysis](subject)
+        self.metrics = SolverMetrics(enabled=config.profile)
+        inner = self.instance.make_solver(
+            self.engine_cls, solve=False, metrics=self.metrics
+        )
+        self._setup(inner)
+        self.solver = GuardedSolver(inner, fallback=config.fallback)
+        t0 = time.perf_counter()
+        self.solver.solve()
+        self.init_seconds = time.perf_counter() - t0
+
+        #: Guards the queue, flush bookkeeping, and lifecycle flags.
+        self._cond = threading.Condition()
+        #: Serializes solver mutation (batch apply vs. save/restore).
+        self._solver_lock = threading.Lock()
+        self._queue = CoalescingQueue(config.flush_size, config.flush_latency)
+        self._applied_generation = 0
+        self._in_flight = False
+        self._flush_requested = False
+        self._last_outcome: dict | None = None
+        self._closed = False
+        self.failed_batches = 0
+        self.last_error: str | None = None
+        self._snapshot = take_snapshot(self.solver, 1)
+        self.metrics.snapshots_published += 1
+        self._worker = threading.Thread(
+            target=self._worker_loop, name=f"repro-session-{name}", daemon=True
+        )
+        self._worker.start()
+
+    def _setup(self, solver) -> None:
+        if self.config.deadline is not None:
+            solver.budget.deadline = self.config.deadline
+        if self.config.self_check:
+            solver.self_check = True
+
+    # -- the write path ----------------------------------------------------
+
+    def update(
+        self,
+        insertions: dict[str, list] | None = None,
+        deletions: dict[str, list] | None = None,
+    ) -> dict:
+        """Enqueue one update request; returns queue accounting, not the
+        applied result — apply happens on the worker (use :meth:`flush` to
+        wait for it)."""
+        with self._cond:
+            self._require_open()
+            ops, coalesced = self._queue.put(insertions, deletions)
+            pending = len(self._queue)
+            self.metrics.updates_enqueued += ops
+            self.metrics.updates_coalesced += coalesced
+            self.metrics.pending_depth(pending)
+            # Always wake the worker: even below the size threshold it must
+            # re-arm its wait with this batch's latency deadline.
+            self._cond.notify_all()
+            return {"ops": ops, "coalesced": coalesced, "pending": pending}
+
+    def flush(self) -> dict:
+        """Force-apply everything pending and wait; returns the outcome of
+        the batch that covered this call's pending operations."""
+        with self._cond:
+            self._require_open()
+            target = self._queue.generation
+            if self._applied_generation >= target and self._queue.empty:
+                return {
+                    "ok": True,
+                    "version": self._snapshot.version,
+                    "size": 0,
+                    "noop": True,
+                }
+            self._flush_requested = True
+            self._cond.notify_all()
+            while self._applied_generation < target:
+                self._cond.wait()
+            outcome = dict(self._last_outcome or {})
+            outcome.setdefault("ok", True)
+            return outcome
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch: UpdateBatch | None = None
+            with self._cond:
+                while batch is None:
+                    if not self._queue.empty and (
+                        self._closed
+                        or self._flush_requested
+                        or self._queue.ready()
+                    ):
+                        batch = self._queue.drain()
+                        self._in_flight = True
+                        continue
+                    if self._queue.empty:
+                        if self._flush_requested:
+                            # Nothing left to apply: satisfy waiters.
+                            self._flush_requested = False
+                            self._applied_generation = self._queue.generation
+                            self._cond.notify_all()
+                        if self._closed:
+                            return
+                    self._cond.wait(self._queue.seconds_until_ready())
+            outcome = self._apply(batch)
+            with self._cond:
+                self._applied_generation = batch.generation
+                self._last_outcome = outcome
+                self._in_flight = False
+                if self._queue.empty:
+                    self._flush_requested = False
+                self._cond.notify_all()
+
+    def _apply(self, batch: UpdateBatch) -> dict:
+        """Apply one coalesced batch as a single guarded transaction and
+        publish the post-batch snapshot; a failed batch publishes nothing."""
+        t0 = time.perf_counter()
+        error: str | None = None
+        stats = None
+        snapshot: Snapshot | None = None
+        try:
+            with self._solver_lock:
+                stats = self.solver.update(
+                    insertions=batch.insertions, deletions=batch.deletions
+                )
+                snapshot = take_snapshot(self.solver, self._snapshot.version + 1)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        seconds = time.perf_counter() - t0
+        self.metrics.batch_apply_seconds += seconds
+        outcome = {
+            "size": batch.size,
+            "enqueued": batch.enqueued,
+            "seconds": seconds,
+        }
+        if error is None:
+            self._snapshot = snapshot  # publish: a single atomic store
+            self.metrics.batches_applied += 1
+            self.metrics.snapshots_published += 1
+            outcome.update(ok=True, version=snapshot.version, impact=stats.impact)
+        else:
+            self.failed_batches += 1
+            self.last_error = error
+            outcome.update(ok=False, version=self._snapshot.version, error=error)
+        return outcome
+
+    # -- the read path -----------------------------------------------------
+
+    @property
+    def snapshot(self) -> Snapshot:
+        """The currently published snapshot (immutable; safe to hold)."""
+        return self._snapshot
+
+    def query(self, pred: str, limit: int | None = None) -> dict:
+        """Read one exported view from the published snapshot.  Never
+        blocks on a batch in flight and never sees a partial apply."""
+        self._require_open()
+        t0 = time.perf_counter()
+        snap = self._snapshot
+        rows = snap.query(pred)
+        rendered = snap.rows(pred, limit)
+        self.metrics.queries_served += 1
+        self.metrics.query_seconds += time.perf_counter() - t0
+        return {
+            "predicate": pred,
+            "version": snap.version,
+            "count": len(rows),
+            "rows": rendered,
+        }
+
+    def snapshot_info(self, views: bool = False) -> dict:
+        """Version, digest, and per-predicate counts of the published
+        snapshot; ``views=True`` includes every rendered row."""
+        self._require_open()
+        snap = self._snapshot
+        info = {
+            "version": snap.version,
+            "digest": snap.digest(),
+            "counts": snap.counts(),
+        }
+        if views:
+            info["views"] = {pred: snap.rows(pred) for pred in sorted(snap.views)}
+        return info
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> dict:
+        """Flush pending updates, then checkpoint the inner solver (v2
+        format, atomic write)."""
+        self.flush()
+        with self._solver_lock:
+            size = save_checkpoint(self.solver.solver, path)
+            version = self._snapshot.version
+        return {"path": str(path), "bytes": size, "version": version}
+
+    def restore(self, path) -> dict:
+        """Replace the solver with a checkpointed state.
+
+        Pending (unapplied) updates are *discarded* — they were relative to
+        the state being thrown away — after waiting out any batch already
+        in flight.  The restored state is published as a new version.
+        """
+        with self._cond:
+            self._require_open()
+            dropped = len(self._queue)
+            self._queue.drain()
+            # Wait out a batch already being applied, then mark everything
+            # enqueued so far as accounted for — it was either applied or
+            # discarded, and flush waiters must not wait on it.
+            while self._in_flight:
+                self._cond.wait()
+            self._applied_generation = self._queue.generation
+            self._cond.notify_all()
+        with self._solver_lock:
+            inner = load_checkpoint(
+                self.engine_cls, self.instance.program, path, metrics=self.metrics
+            )
+            self._setup(inner)
+            self.solver = GuardedSolver(inner, fallback=self.config.fallback)
+            snapshot = take_snapshot(self.solver, self._snapshot.version + 1)
+            self._snapshot = snapshot
+            self.metrics.snapshots_published += 1
+        return {"version": snapshot.version, "dropped": dropped}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Session health plus the full metrics export (docs/SERVICE.md)."""
+        with self._cond:
+            pending = len(self._queue)
+            generation = self._queue.generation
+            applied = self._applied_generation
+            in_flight = self._in_flight
+        return {
+            "in_flight": in_flight,
+            "session": self.name,
+            "analysis": self.config.analysis,
+            "subject": self.config.subject,
+            "engine": self.engine_cls.__name__,
+            "closed": self._closed,
+            "snapshot_version": self._snapshot.version,
+            "init_seconds": self.init_seconds,
+            "pending": pending,
+            "generation": generation,
+            "applied_generation": applied,
+            "failed_batches": self.failed_batches,
+            "last_error": self.last_error,
+            "queue": {
+                "flush_size": self.config.flush_size,
+                "flush_latency": self.config.flush_latency,
+            },
+            "metrics": self.metrics.to_dict(),
+        }
+
+    def close(self) -> dict:
+        """Drain everything pending, stop the worker, reject further use."""
+        with self._cond:
+            if self._closed:
+                return {"closed": True, "version": self._snapshot.version}
+            self._closed = True
+            self._cond.notify_all()
+        self._worker.join(timeout=self.CLOSE_TIMEOUT)
+        if self._worker.is_alive():  # pragma: no cover - defensive
+            raise ServiceError(
+                f"session {self.name!r} worker failed to drain within "
+                f"{self.CLOSE_TIMEOUT:g}s"
+            )
+        return {"closed": True, "version": self._snapshot.version}
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError(f"session {self.name!r} is closed")

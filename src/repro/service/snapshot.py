@@ -1,0 +1,99 @@
+"""Immutable versioned exported views: the read side of a session.
+
+A batch apply mutates deep engine state over many strata; a query that
+read the live solver mid-apply could observe a half-applied update (some
+strata new, some old).  Sessions therefore never serve reads from the
+solver.  After each successful batch they *publish* a :class:`Snapshot` —
+an immutable copy of every exported view, stamped with a monotonically
+increasing version — and queries read whichever snapshot is currently
+published.  Publishing is a single attribute store, atomic under the GIL,
+so readers see either the complete old state or the complete new state,
+and keep being served while the worker thread applies the next batch.
+
+A failed batch publishes nothing: the previous snapshot stays current
+(tests/unit/service/test_session.py pins this with mid-batch fault
+injection).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Mapping
+
+from ..datalog.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engines.base import Solver
+
+
+def render_row(row: tuple) -> list[str]:
+    """One exported tuple as a JSON-safe list of value ``repr``s.
+
+    Exported views may hold lattice elements (constants, intervals, k-sets)
+    alongside plain strings and ints; ``repr`` is the stable, round-trip
+    comparable form the CLI already prints, so protocol responses and
+    golden files reuse it.
+    """
+    return [repr(value) for value in row]
+
+
+class Snapshot:
+    """One published, immutable set of exported views."""
+
+    __slots__ = ("version", "views")
+
+    def __init__(self, version: int, views: Mapping[str, frozenset]):
+        self.version = version
+        self.views: dict[str, frozenset] = {
+            pred: frozenset(rows) for pred, rows in views.items()
+        }
+
+    def query(self, pred: str) -> frozenset:
+        """The exported view of ``pred``; unknown predicates are errors,
+        mirroring the strict relation stores (typos must not read as empty
+        results)."""
+        rows = self.views.get(pred)
+        if rows is None:
+            raise ServiceError(
+                f"unknown predicate {pred!r}; exported predicates: "
+                f"{', '.join(sorted(self.views))}"
+            )
+        return rows
+
+    def rows(self, pred: str, limit: int | None = None) -> list[list[str]]:
+        """Sorted, rendered rows of ``pred`` (the protocol wire form)."""
+        ordered = sorted(self.query(pred), key=repr)
+        if limit is not None:
+            ordered = ordered[:limit]
+        return [render_row(row) for row in ordered]
+
+    def counts(self) -> dict[str, int]:
+        return {pred: len(rows) for pred, rows in sorted(self.views.items())}
+
+    def digest(self) -> str:
+        """Stable fingerprint of the full exported state.
+
+        Two snapshots digest equal iff every exported view is bit-equal;
+        the acceptance test compares a served session against a from-scratch
+        reference solve through this.
+        """
+        hasher = hashlib.sha256()
+        for pred in sorted(self.views):
+            hasher.update(pred.encode("utf-8"))
+            hasher.update(b"\x00")
+            for row in sorted(self.views[pred], key=repr):
+                hasher.update(repr(row).encode("utf-8"))
+                hasher.update(b"\x01")
+            hasher.update(b"\x02")
+        return hasher.hexdigest()
+
+
+def take_snapshot(solver: "Solver", version: int) -> Snapshot:
+    """Capture every exported predicate of a solved solver."""
+    return Snapshot(
+        version,
+        {
+            pred: solver.relation(pred)
+            for pred in solver.program.exported_predicates()
+        },
+    )

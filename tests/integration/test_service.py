@@ -1,0 +1,212 @@
+"""End-to-end service acceptance tests.
+
+The headline scenario drives a real ``repro serve`` subprocess over stdio
+with 100+ mixed update/query operations and asserts the final exported
+views are bit-equal to a from-scratch reference solve of the final program
+state.  A second scenario drives the TCP front end with two concurrent
+connections and pins down snapshot isolation: queries are answered (with
+the previous version) while a batch is mid-apply.
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.analyses import constant_propagation
+from repro.changes import literal_to_zero_changes
+from repro.corpus import load_subject
+from repro.engines import SemiNaiveSolver
+from repro.metrics import TraceSink
+from repro.service import ServiceProtocol, ServiceServer, take_snapshot
+
+REPO = Path(__file__).parent.parent.parent
+SRC = str(REPO / "src")
+
+
+def reference_views(changes) -> dict:
+    """Rendered exported views of a from-scratch solve after ``changes``."""
+    instance = constant_propagation(load_subject("minijavac"))
+    facts = {pred: set(rows) for pred, rows in instance.facts.items()}
+    for change in changes:
+        for pred, rows in change.deletions.items():
+            facts.setdefault(pred, set()).difference_update(rows)
+        for pred, rows in change.insertions.items():
+            facts.setdefault(pred, set()).update(rows)
+    instance.facts = facts
+    snap = take_snapshot(instance.make_solver(SemiNaiveSolver), 1)
+    return {pred: snap.rows(pred) for pred in sorted(snap.views)}
+
+
+def wire_rows(mapping) -> dict:
+    return {pred: [list(row) for row in rows] for pred, rows in mapping.items()}
+
+
+def test_serve_stdio_hundred_mixed_ops_match_reference():
+    instance = constant_propagation(load_subject("minijavac"))
+    # 60 update ops; an odd prefix leaves unmatched replace/revert pairs,
+    # so the final state differs from the initial one.
+    changes = literal_to_zero_changes(instance, 30, seed=7)[:55]
+
+    requests = [
+        {
+            "op": "open",
+            "analysis": "constprop",
+            "subject": "minijavac",
+            "engine": "laddder",
+            # Small batches + a short deadline: the worker applies many
+            # batches mid-run without the client ever asking.
+            "flush_size": 8,
+            "flush_latency": 0.01,
+        }
+    ]
+    for i, change in enumerate(changes):
+        requests.append(
+            {
+                "op": "update",
+                "insert": wire_rows(change.insertions),
+                "delete": wire_rows(change.deletions),
+            }
+        )
+        # Interleave reads; they must succeed at whatever version is
+        # currently published.
+        requests.append({"op": "query", "predicate": "val", "limit": 3})
+        if i % 10 == 0:
+            requests.append({"op": "stats", "session": "default"})
+    requests.append({"op": "flush"})
+    requests.append({"op": "snapshot", "views": True})
+    requests.append({"op": "close"})
+    requests.append({"op": "shutdown"})
+    assert len(requests) > 100
+    for i, request in enumerate(requests):
+        request["id"] = i
+
+    script = "".join(json.dumps(r) + "\n" for r in requests)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "serve"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={**os.environ, "PYTHONPATH": SRC},
+        cwd=str(REPO),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+    responses = [json.loads(line) for line in result.stdout.splitlines()]
+    assert len(responses) == len(requests)
+    by_id = {r["id"]: r for r in responses}
+    failed = [r for r in responses if not r["ok"]]
+    assert not failed, failed[:3]
+
+    # Every interleaved query was served at a monotonically non-decreasing
+    # published version.
+    versions = [
+        r["version"] for r in responses if r["ok"] and "predicate" in r
+    ]
+    assert len(versions) == len(changes)
+    assert versions == sorted(versions)
+
+    # Batching actually happened mid-run (not one giant final flush), and
+    # the worker coalesced more ops than it applied batches.
+    last_stats = [r for r in responses if r["ok"] and "failed_batches" in r][-1]
+    assert last_stats["failed_batches"] == 0
+    assert last_stats["metrics"]["service"]["batches_applied"] >= 2
+
+    final_snapshot = by_id[len(requests) - 3]
+    assert final_snapshot["views"] == reference_views(changes)
+
+
+class _GateSink(TraceSink):
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self._blocked_once = False
+
+    def on_stratum_start(self, index, predicates):
+        if not self._blocked_once:
+            self._blocked_once = True
+            self.entered.set()
+            assert self.release.wait(timeout=60)
+
+
+class _Client:
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=60)
+        self.file = self.sock.makefile("rwb")
+        self._next_id = 0
+
+    def send(self, request) -> None:
+        request.setdefault("id", self._next_id)
+        self._next_id += 1
+        self.file.write(json.dumps(request).encode() + b"\n")
+        self.file.flush()
+
+    def recv(self) -> dict:
+        line = self.file.readline()
+        assert line, "connection closed unexpectedly"
+        return json.loads(line)
+
+    def call(self, request) -> dict:
+        self.send(request)
+        return self.recv()
+
+    def close(self) -> None:
+        self.file.close()
+        self.sock.close()
+
+
+def test_tcp_queries_answered_while_batch_applies():
+    instance = constant_propagation(load_subject("minijavac"))
+    change = literal_to_zero_changes(instance, 1, seed=3)[0]
+    server = ServiceServer("127.0.0.1", 0, ServiceProtocol())
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    writer = _Client(*server.server_address)
+    reader = _Client(*server.server_address)
+    try:
+        opened = writer.call(
+            {
+                "op": "open",
+                "analysis": "constprop",
+                "subject": "minijavac",
+                "flush_size": 10_000,
+                "flush_latency": 600.0,
+                "profile": True,
+            }
+        )
+        assert opened["ok"], opened
+
+        # Reach into the in-process session and gate the apply so the
+        # batch is provably mid-flight when the concurrent query lands.
+        session = server.protocol.manager.get("default")
+        gate = _GateSink()
+        session.metrics.sink = gate
+
+        assert writer.call(
+            {
+                "op": "update",
+                "insert": wire_rows(change.insertions),
+                "delete": wire_rows(change.deletions),
+            }
+        )["ok"]
+        writer.send({"op": "flush"})  # response parks until the gate opens
+        assert gate.entered.wait(timeout=60), "apply never started"
+
+        served = reader.call({"op": "query", "predicate": "val", "limit": 1})
+        assert served["ok"] and served["version"] == 1
+
+        gate.release.set()
+        flushed = writer.recv()
+        assert flushed["ok"] and flushed["flush"]["version"] == 2
+        assert reader.call({"op": "query", "predicate": "val"})["version"] == 2
+
+        assert reader.call({"op": "shutdown"})["ok"]
+    finally:
+        writer.close()
+        reader.close()
+        thread.join(timeout=60)
+        assert not thread.is_alive()

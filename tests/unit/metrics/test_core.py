@@ -149,7 +149,7 @@ class TestExport:
         d = m.to_dict()
         assert set(d) == {
             "engine", "totals", "laddder", "compile", "check", "strata",
-            "rules", "robustness",
+            "rules", "robustness", "service",
         }
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10

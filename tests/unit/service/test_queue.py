@@ -1,0 +1,125 @@
+"""Unit tests for the coalescing update queue."""
+
+import time
+
+import pytest
+
+from repro.service import CoalescingQueue
+
+
+def test_put_and_drain_roundtrip():
+    q = CoalescingQueue(flush_size=10, flush_latency=60.0)
+    ops, coalesced = q.put(
+        insertions={"p": [(1, 2), (3, 4)]}, deletions={"q": [("a",)]}
+    )
+    assert (ops, coalesced) == (3, 0)
+    assert len(q) == 3
+    batch = q.drain()
+    assert batch.insertions == {"p": {(1, 2), (3, 4)}}
+    assert batch.deletions == {"q": {("a",)}}
+    assert batch.size == 3
+    assert batch.enqueued == 3
+    assert q.empty
+
+
+def test_rows_normalized_to_tuples():
+    q = CoalescingQueue()
+    q.put(insertions={"p": [[1, 2]]})
+    batch = q.drain()
+    assert batch.insertions == {"p": {(1, 2)}}
+
+
+def test_last_write_wins_insert_then_delete():
+    q = CoalescingQueue(flush_size=10, flush_latency=60.0)
+    q.put(insertions={"p": [(1,)]})
+    ops, coalesced = q.put(deletions={"p": [(1,)]})
+    assert coalesced == 1
+    batch = q.drain()
+    assert batch.insertions == {}
+    assert batch.deletions == {"p": {(1,)}}
+    assert batch.size == 1
+    assert batch.enqueued == 2
+
+
+def test_last_write_wins_delete_then_insert():
+    q = CoalescingQueue()
+    q.put(deletions={"p": [(1,)]})
+    q.put(insertions={"p": [(1,)]})
+    batch = q.drain()
+    assert batch.insertions == {"p": {(1,)}}
+    assert batch.deletions == {}
+
+
+def test_same_request_delete_applies_before_insert():
+    # Within one put() the deletions fold in first, so an insert of the
+    # same key in the same request wins — matching the engines' epoch
+    # semantics where an epoch's insert of a just-deleted fact survives.
+    q = CoalescingQueue()
+    ops, coalesced = q.put(
+        insertions={"p": [(1,)]}, deletions={"p": [(1,)]}
+    )
+    assert (ops, coalesced) == (2, 1)
+    batch = q.drain()
+    assert batch.insertions == {"p": {(1,)}}
+    assert batch.deletions == {}
+
+
+def test_repeated_same_op_coalesces():
+    q = CoalescingQueue()
+    q.put(insertions={"p": [(1,), (1,), (1,)]})
+    assert len(q) == 1
+    assert q.total_ops == 3
+    assert q.total_coalesced == 2
+
+
+def test_size_flush_policy():
+    q = CoalescingQueue(flush_size=2, flush_latency=60.0)
+    q.put(insertions={"p": [(1,)]})
+    assert not q.ready()
+    q.put(insertions={"p": [(2,)]})
+    assert q.ready()
+
+
+def test_latency_flush_policy():
+    q = CoalescingQueue(flush_size=100, flush_latency=0.01)
+    q.put(insertions={"p": [(1,)]})
+    now = time.perf_counter()
+    assert not q.ready(now)
+    assert 0 < q.seconds_until_ready(now) <= 0.01
+    assert q.ready(now + 0.011)
+    assert q.seconds_until_ready(now + 0.011) == 0.0
+
+
+def test_latency_anchor_is_oldest_op():
+    q = CoalescingQueue(flush_size=100, flush_latency=0.05)
+    q.put(insertions={"p": [(1,)]})
+    first = time.perf_counter()
+    # Later puts must not push the deadline out.
+    q.put(insertions={"p": [(2,)]})
+    assert q.ready(first + 0.051)
+
+
+def test_empty_queue_is_never_ready():
+    q = CoalescingQueue(flush_size=1, flush_latency=0.0)
+    assert not q.ready()
+    assert q.seconds_until_ready() is None
+    assert q.drain().empty
+
+
+def test_generation_advances_per_put():
+    q = CoalescingQueue()
+    assert q.generation == 0
+    q.put(insertions={"p": [(1,)]})
+    q.put(insertions={"p": [(2,)]})
+    assert q.generation == 2
+    assert q.drain().generation == 2
+    # Empty put does not tick the clock.
+    q.put()
+    assert q.generation == 2
+
+
+def test_bad_thresholds_rejected():
+    with pytest.raises(ValueError):
+        CoalescingQueue(flush_size=0)
+    with pytest.raises(ValueError):
+        CoalescingQueue(flush_latency=-1.0)

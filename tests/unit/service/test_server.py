@@ -1,0 +1,111 @@
+"""Unit tests for the transports: stdio loop, TCP server, signal routing."""
+
+import io
+import json
+import signal
+import threading
+
+import pytest
+
+from repro.datalog.errors import ShutdownRequested
+from repro.service import (
+    ServiceProtocol,
+    ServiceServer,
+    install_signal_handlers,
+    serve_stdio,
+)
+
+
+class TestSignals:
+    def test_default_handler_raises_shutdown_requested(self):
+        restore = install_signal_handlers()
+        try:
+            with pytest.raises(ShutdownRequested, match="SIGINT"):
+                signal.raise_signal(signal.SIGINT)
+            with pytest.raises(ShutdownRequested, match="SIGTERM"):
+                signal.raise_signal(signal.SIGTERM)
+        finally:
+            restore()
+
+    def test_restore_reinstates_previous_handlers(self):
+        before = signal.getsignal(signal.SIGINT)
+        install_signal_handlers()()
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_install_from_worker_thread_is_a_noop(self):
+        outcome = {}
+
+        def target():
+            restore = install_signal_handlers()
+            outcome["installed"] = signal.getsignal(signal.SIGINT)
+            restore()
+
+        before = signal.getsignal(signal.SIGINT)
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join(timeout=30)
+        assert outcome["installed"] is before  # unchanged: not main thread
+
+
+def lines(*requests) -> io.StringIO:
+    return io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+
+
+class TestStdio:
+    def test_eof_ends_the_loop_and_counts_requests(self):
+        out = io.StringIO()
+        handled = serve_stdio(
+            ServiceProtocol(), lines({"op": "stats"}, {"op": "stats"}), out
+        )
+        assert handled == 2
+        responses = [json.loads(l) for l in out.getvalue().splitlines()]
+        assert all(r["ok"] for r in responses)
+
+    def test_shutdown_request_stops_before_eof(self):
+        out = io.StringIO()
+        handled = serve_stdio(
+            ServiceProtocol(),
+            lines({"op": "shutdown"}, {"op": "stats", "id": "never"}),
+            out,
+        )
+        assert handled == 1
+        assert "never" not in out.getvalue()
+
+    def test_sessions_drained_even_when_the_loop_dies(self):
+        protocol = ServiceProtocol()
+        closed = []
+        protocol.manager.close_all = lambda: closed.append(True)
+
+        class Boom:
+            def __iter__(self):
+                raise ShutdownRequested("received SIGTERM")
+
+        with pytest.raises(ShutdownRequested):
+            serve_stdio(protocol, Boom(), io.StringIO())
+        assert closed == [True]
+
+
+class TestTcp:
+    def test_ephemeral_port_and_clean_shutdown(self):
+        server = ServiceServer("127.0.0.1", 0, ServiceProtocol())
+        assert server.port != 0
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        import socket
+
+        with socket.create_connection(server.server_address, timeout=30) as sock:
+            f = sock.makefile("rwb")
+            f.write(json.dumps({"op": "stats", "id": 1}).encode() + b"\n")
+            f.flush()
+            response = json.loads(f.readline())
+            assert response == {
+                "id": 1,
+                "ok": True,
+                "protocol": 1,
+                "sessions": [],
+            }
+            f.write(json.dumps({"op": "shutdown"}).encode() + b"\n")
+            f.flush()
+            assert json.loads(f.readline())["closing"]
+        thread.join(timeout=30)
+        assert not thread.is_alive()

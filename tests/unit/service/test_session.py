@@ -1,0 +1,359 @@
+"""Unit tests for the session layer: batching, isolation, failure modes.
+
+The central regression here (the PR's bugfix satellite): a batch that
+fails mid-apply must roll back via the guard journal AND leave the
+previously published snapshot queryable — readers never see the failed
+batch, half-applied state, or an outage.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analyses import constant_propagation
+from repro.changes import literal_to_zero_changes
+from repro.corpus import load_subject
+from repro.datalog.errors import ServiceError
+from repro.metrics import TraceSink
+from repro.robustness import inject
+from repro.service import Session, SessionConfig
+
+
+def make_session(**overrides) -> Session:
+    kwargs = dict(
+        analysis="constprop",
+        subject="minijavac",
+        engine="laddder",
+        # Manual-flush defaults: nothing applies until the test says so.
+        flush_size=10_000,
+        flush_latency=600.0,
+    )
+    kwargs.update(overrides)
+    return Session("test", SessionConfig(**kwargs))
+
+
+@pytest.fixture
+def changes():
+    instance = constant_propagation(load_subject("minijavac"))
+    return literal_to_zero_changes(instance, 3, seed=11)
+
+
+def close(session):
+    if not session.closed:
+        session.close()
+
+
+class TestLifecycle:
+    def test_open_publishes_initial_snapshot(self):
+        session = make_session()
+        try:
+            snap = session.snapshot
+            assert snap.version == 1
+            assert session.query("val")["count"] > 0
+            assert session.init_seconds > 0
+        finally:
+            close(session)
+
+    def test_bad_config_rejected_early(self):
+        with pytest.raises(ServiceError, match="unknown analysis"):
+            SessionConfig(analysis="nope", subject="minijavac").validate()
+        with pytest.raises(ServiceError, match="unknown subject"):
+            SessionConfig(analysis="constprop", subject="jdk").validate()
+        with pytest.raises(ServiceError, match="unknown engine"):
+            SessionConfig(
+                analysis="constprop", subject="minijavac", engine="magic"
+            ).validate()
+
+    def test_closed_session_rejects_everything(self, changes):
+        session = make_session()
+        result = session.close()
+        assert result["closed"]
+        assert session.close()["closed"]  # idempotent
+        for call in (
+            lambda: session.update(insertions=changes[0].insertions),
+            session.flush,
+            lambda: session.query("val"),
+            session.snapshot_info,
+        ):
+            with pytest.raises(ServiceError, match="closed"):
+                call()
+
+    def test_close_drains_pending_updates(self, changes):
+        session = make_session()
+        session.update(
+            insertions=changes[0].insertions, deletions=changes[0].deletions
+        )
+        result = session.close()
+        # The pending batch was applied, not dropped, on the way out.
+        assert result["version"] == 2
+        assert session.metrics.batches_applied == 1
+
+
+class TestBatching:
+    def test_flush_applies_and_bumps_version(self, changes):
+        session = make_session()
+        try:
+            change = changes[0]
+            out = session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            assert out["pending"] > 0
+            assert session.snapshot.version == 1  # not yet applied
+            flushed = session.flush()
+            assert flushed["ok"] and flushed["version"] == 2
+            assert session.snapshot.version == 2
+            assert flushed["impact"] > 0
+        finally:
+            close(session)
+
+    def test_flush_with_nothing_pending_is_a_noop(self):
+        session = make_session()
+        try:
+            out = session.flush()
+            assert out == {"ok": True, "version": 1, "size": 0, "noop": True}
+        finally:
+            close(session)
+
+    def test_do_undo_pair_coalesces_to_zero_impact(self, changes):
+        session = make_session()
+        try:
+            do, undo = changes[0], changes[1]
+            session.update(insertions=do.insertions, deletions=do.deletions)
+            session.update(insertions=undo.insertions, deletions=undo.deletions)
+            digest_before = session.snapshot.digest()
+            out = session.flush()
+            assert out["ok"] and out["impact"] == 0
+            assert session.snapshot.digest() == digest_before
+            assert session.metrics.updates_coalesced > 0
+        finally:
+            close(session)
+
+    def test_size_threshold_triggers_worker(self, changes):
+        session = make_session(flush_size=1, flush_latency=600.0)
+        try:
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            deadline = time.monotonic() + 10
+            while session.snapshot.version < 2:
+                assert time.monotonic() < deadline, "size flush never fired"
+                time.sleep(0.005)
+        finally:
+            close(session)
+
+    def test_latency_deadline_triggers_worker(self, changes):
+        # One small update, far below the size threshold: only the latency
+        # policy can flush it (regression for the missed-wakeup case where
+        # the worker slept forever on a below-threshold enqueue).
+        session = make_session(flush_size=10_000, flush_latency=0.02)
+        try:
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            deadline = time.monotonic() + 10
+            while session.snapshot.version < 2:
+                assert time.monotonic() < deadline, "latency flush never fired"
+                time.sleep(0.005)
+        finally:
+            close(session)
+
+
+class TestFailedBatch:
+    def test_failed_batch_keeps_previous_snapshot_queryable(self, changes):
+        """The bugfix regression: inject kernel.emit faults mid-batch and
+        assert pre-batch query results are still served afterwards."""
+        session = make_session()
+        try:
+            pre = session.snapshot
+            pre_digest = pre.digest()
+            pre_rows = session.query("val")["rows"]
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            with inject("kernel.emit", at=3) as plan:
+                out = session.flush()
+            assert plan.fired, "fault never reached the kernel"
+            assert not out["ok"]
+            assert "RollbackError" in out["error"]
+
+            # The failed batch published nothing; readers still get the
+            # pre-batch state, bit-equal.
+            assert session.snapshot is pre
+            assert session.snapshot.digest() == pre_digest
+            served = session.query("val")
+            assert served["version"] == pre.version
+            assert served["rows"] == pre_rows
+            assert session.failed_batches == 1
+            assert session.last_error and "RollbackError" in session.last_error
+            assert session.metrics.rollbacks == 1
+
+            # The session is not poisoned: the same change applies cleanly.
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            out = session.flush()
+            assert out["ok"] and out["version"] == 2
+            assert session.query("val")["version"] == 2
+        finally:
+            close(session)
+
+    def test_fallback_session_survives_poisoned_batch(self, changes):
+        session = make_session(fallback=True)
+        try:
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            with inject("kernel.emit", at=3) as plan:
+                out = session.flush()
+            assert plan.fired
+            # Graceful degradation: the batch's effect IS published, via
+            # the from-scratch reference re-solve.
+            assert out["ok"] and out["version"] == 2
+            assert session.metrics.fallback_resolves == 1
+
+            reference = make_session()
+            reference.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            reference.flush()
+            assert session.snapshot.digest() == reference.snapshot.digest()
+            close(reference)
+        finally:
+            close(session)
+
+    def test_budget_trip_drops_batch_and_keeps_serving(self, changes):
+        session = make_session()
+        try:
+            # Arm after the initial solve: only batch applies can trip it.
+            session.solver.budget.deadline = -1.0
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            out = session.flush()
+            assert not out["ok"]
+            assert "BudgetExceededError" in out["error"]
+            assert session.snapshot.version == 1
+            assert session.query("val")["version"] == 1
+        finally:
+            close(session)
+
+
+class _GateSink(TraceSink):
+    """Blocks the first stratum of an apply until the test releases it."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self._blocked_once = False
+
+    def on_stratum_start(self, index, predicates):
+        if not self._blocked_once:
+            self._blocked_once = True
+            self.entered.set()
+            assert self.release.wait(timeout=30), "test never released the gate"
+
+
+class TestSnapshotIsolation:
+    def test_queries_served_while_batch_is_applying(self, changes):
+        session = make_session(profile=True)
+        try:
+            gate = _GateSink()
+            session.metrics.sink = gate
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            flusher = threading.Thread(target=session.flush, daemon=True)
+            flusher.start()
+            assert gate.entered.wait(timeout=30), "apply never started"
+            # The worker is now mid-apply, holding the solver; reads must
+            # neither block nor observe partial state.
+            t0 = time.monotonic()
+            served = session.query("val")
+            assert time.monotonic() - t0 < 1.0
+            assert served["version"] == 1
+            gate.release.set()
+            flusher.join(timeout=30)
+            assert not flusher.is_alive()
+            assert session.query("val")["version"] == 2
+        finally:
+            close(session)
+
+
+class TestSaveRestore:
+    def test_save_restore_roundtrip(self, tmp_path, changes):
+        path = tmp_path / "session.ckpt"
+        session = make_session()
+        try:
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            saved = session.save(path)
+            # save() flushes first: the checkpoint includes the batch.
+            assert saved["version"] == 2
+            assert saved["bytes"] > 0
+            digest_after_change = session.snapshot.digest()
+
+            # Mutate further, then restore: back to the checkpointed state.
+            undo = changes[1]
+            session.update(insertions=undo.insertions, deletions=undo.deletions)
+            session.flush()
+            assert session.snapshot.digest() != digest_after_change
+            restored = session.restore(path)
+            assert restored["version"] == 4  # versions never run backwards
+            assert session.snapshot.digest() == digest_after_change
+            # The restored solver still updates incrementally.
+            session.update(insertions=undo.insertions, deletions=undo.deletions)
+            out = session.flush()
+            assert out["ok"]
+        finally:
+            close(session)
+
+    def test_restore_discards_pending_updates(self, tmp_path, changes):
+        path = tmp_path / "session.ckpt"
+        session = make_session()
+        try:
+            session.save(path)
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            restored = session.restore(path)
+            assert restored["dropped"] > 0
+            # Nothing left to flush: the pending batch predated the restore.
+            assert session.flush()["noop"]
+        finally:
+            close(session)
+
+
+class TestStats:
+    def test_stats_shape_and_counters(self, changes):
+        session = make_session()
+        try:
+            change = changes[0]
+            session.update(
+                insertions=change.insertions, deletions=change.deletions
+            )
+            session.flush()
+            session.query("val")
+            stats = session.stats()
+            assert stats["session"] == "test"
+            assert stats["engine"] == "LaddderSolver"
+            assert stats["snapshot_version"] == 2
+            assert stats["pending"] == 0
+            assert stats["failed_batches"] == 0
+            service = stats["metrics"]["service"]
+            assert service["batches_applied"] == 1
+            assert service["queries_served"] == 1
+            assert service["snapshots_published"] == 2
+            assert service["updates_enqueued"] > 0
+            assert stats["queue"]["flush_size"] == 10_000
+        finally:
+            close(session)

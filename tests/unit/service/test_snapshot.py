@@ -1,0 +1,56 @@
+"""Unit tests for versioned snapshots and their digests."""
+
+import pytest
+
+from repro.analyses import constant_propagation
+from repro.corpus import load_subject
+from repro.datalog.errors import ServiceError
+from repro.engines import SemiNaiveSolver
+from repro.service import Snapshot, take_snapshot
+
+
+def test_views_are_immutable_copies():
+    live = {"p": {(1, 2)}}
+    snap = Snapshot(1, live)
+    live["p"].add((3, 4))
+    assert snap.query("p") == frozenset({(1, 2)})
+    assert isinstance(snap.query("p"), frozenset)
+
+
+def test_unknown_predicate_is_an_error_not_empty():
+    snap = Snapshot(1, {"p": set()})
+    with pytest.raises(ServiceError, match="unknown predicate 'q'"):
+        snap.query("q")
+    # Known-but-empty is fine.
+    assert snap.query("p") == frozenset()
+
+
+def test_rows_sorted_rendered_and_limited():
+    snap = Snapshot(1, {"p": {(2, "b"), (1, "a"), (3, "c")}})
+    assert snap.rows("p") == [["1", "'a'"], ["2", "'b'"], ["3", "'c'"]]
+    assert snap.rows("p", limit=2) == [["1", "'a'"], ["2", "'b'"]]
+
+
+def test_digest_is_content_addressed():
+    a = Snapshot(1, {"p": {(1,), (2,)}, "q": {("x",)}})
+    b = Snapshot(99, {"q": {("x",)}, "p": {(2,), (1,)}})
+    assert a.digest() == b.digest()  # version and ordering don't matter
+    c = Snapshot(1, {"p": {(1,)}, "q": {("x",)}})
+    assert a.digest() != c.digest()
+
+
+def test_digest_separates_predicate_boundaries():
+    # Rows must not leak across predicates into the same byte stream.
+    a = Snapshot(1, {"p": {(1,)}, "q": set()})
+    b = Snapshot(1, {"p": set(), "q": {(1,)}})
+    assert a.digest() != b.digest()
+
+
+def test_take_snapshot_covers_every_exported_predicate():
+    instance = constant_propagation(load_subject("minijavac"))
+    solver = instance.make_solver(SemiNaiveSolver)
+    snap = take_snapshot(solver, 5)
+    assert snap.version == 5
+    assert set(snap.views) == solver.program.exported_predicates()
+    assert snap.query(instance.primary) == solver.relation(instance.primary)
+    assert snap.counts()[instance.primary] == len(snap.query(instance.primary))

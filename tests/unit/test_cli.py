@@ -192,3 +192,88 @@ class TestExplainCommand:
              "--predicate", "nosuchpred"]
         ) == 1
         assert "unknown predicate 'nosuchpred'" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_flags_parse(self):
+        args = make_parser().parse_args(["serve"])
+        assert args.port is None and args.host == "127.0.0.1"
+        args = make_parser().parse_args(["serve", "--port", "0", "--host", "::1"])
+        assert args.port == 0 and args.host == "::1"
+
+    def test_serve_stdio_roundtrip(self, capsys, monkeypatch):
+        import io
+
+        script = "".join(
+            json.dumps(r) + "\n"
+            for r in (
+                {"op": "stats", "id": 1},
+                {"op": "open", "id": 2, "analysis": "constprop",
+                 "subject": "minijavac"},
+                {"op": "query", "id": 3, "predicate": "val", "limit": 2},
+                {"op": "shutdown", "id": 4},
+            )
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve"]) == 0
+        responses = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [r["id"] for r in responses] == [1, 2, 3, 4]
+        assert all(r["ok"] for r in responses)
+        assert responses[2]["count"] > 0
+
+    def test_serve_sigint_exits_7_with_sessions_drained(self, capsys, monkeypatch):
+        import signal
+
+        class SignalingStdin:
+            def __iter__(self):
+                yield json.dumps({"op": "stats", "id": 1}) + "\n"
+                signal.raise_signal(signal.SIGINT)
+                yield json.dumps({"op": "stats", "id": "never"}) + "\n"
+
+        monkeypatch.setattr("sys.stdin", SignalingStdin())
+        assert main(["serve"]) == 7
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err and "sessions drained" in captured.err
+        assert "never" not in captured.out
+        assert "Traceback" not in captured.err
+
+
+class TestGracefulInterrupt:
+    def test_bench_sigterm_exits_7_and_flushes_profile(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        from repro.datalog.errors import ShutdownRequested
+
+        def interrupted_run(*args, **kwargs):
+            raise ShutdownRequested("received SIGTERM")
+
+        monkeypatch.setattr("repro.cli.run_update_benchmark", interrupted_run)
+        path = tmp_path / "partial.json"
+        assert main(
+            ["bench", "constprop", "minijavac", "--changes", "1",
+             "--profile-json", str(path)]
+        ) == 7
+        captured = capsys.readouterr()
+        assert "interrupted: received SIGTERM" in captured.err
+        assert "exiting cleanly" in captured.err
+        # The partial profile still lands on disk.
+        assert json.loads(path.read_text())["engine"] == ""
+
+    def test_analyze_sigint_mid_solve_exits_7(self, capsys, monkeypatch):
+        import signal
+
+        from repro.engines import LaddderSolver
+
+        original = LaddderSolver.solve
+
+        def solve_then_signal(self):
+            signal.raise_signal(signal.SIGINT)
+            return original(self)
+
+        monkeypatch.setattr(LaddderSolver, "solve", solve_then_signal)
+        assert main(["analyze", "constprop", "minijavac"]) == 7
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err

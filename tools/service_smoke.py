@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Scripted end-to-end client for the ``repro serve`` TCP front end.
+
+Spawns a real server subprocess on an ephemeral port, then drives the full
+session lifecycle over a socket — open, incremental updates, snapshot
+queries, save, restore, close, shutdown — asserting a golden response
+shape at every step.  The decisive checks are semantic, not cosmetic:
+
+* an insert of a fresh ``flow``+``assignlit`` pair derives exactly one new
+  ``val`` row, visible only after the batch is flushed;
+* the snapshot digest after ``restore`` is byte-identical to the digest at
+  ``save`` time (checkpoint round-trip = bit-equal exported views);
+* the server process exits 0 after a protocol-level ``shutdown``.
+
+Run as ``PYTHONPATH=src python tools/service_smoke.py``.  Exits non-zero
+with a diagnostic on the first divergence; CI runs this as the service
+smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: A self-contained EDB edit deriving exactly one new ``val`` row (the
+#: valueflow rules derive nothing from an assignlit without a flow edge).
+INSERT = {"flow": [["n_x1", "n_x2"]], "assignlit": [["n_x1", "vz", 3]]}
+
+OPEN = {
+    "op": "open",
+    "analysis": "constprop",
+    "subject": "minijavac",
+    "engine": "laddder",
+    # Manual flushing: the script controls exactly when batches apply.
+    "flush_size": 100000,
+    "flush_latency": 3600.0,
+}
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def expect(response: dict, golden: dict, step: str) -> dict:
+    """Assert every golden key is present with the exact golden value."""
+    for key, want in golden.items():
+        got = response.get(key, "<missing>")
+        if got != want:
+            raise SmokeFailure(
+                f"step {step!r}: expected {key}={want!r}, got {got!r}\n"
+                f"full response: {json.dumps(response, indent=2)}"
+            )
+    return response
+
+
+class Client:
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port), timeout=120)
+        self.file = self.sock.makefile("rwb")
+        self.ops = 0
+
+    def call(self, request: dict) -> dict:
+        request.setdefault("id", self.ops)
+        self.ops += 1
+        self.file.write(json.dumps(request).encode() + b"\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            raise SmokeFailure(f"server closed the connection on {request}")
+        return json.loads(line)
+
+    def close(self) -> None:
+        self.file.close()
+        self.sock.close()
+
+
+def start_server() -> tuple[subprocess.Popen, str, int]:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on (\S+):(\d+)", banner)
+    if not match:
+        proc.kill()
+        raise SmokeFailure(f"no listening banner, got {banner!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def run(client: Client, ckpt: str) -> None:
+    opened = expect(
+        client.call(dict(OPEN)),
+        {
+            "ok": True,
+            "session": "default",
+            "protocol": 1,
+            "engine": "LaddderSolver",
+            "snapshot_version": 1,
+            "exported": ["val"],
+        },
+        "open",
+    )
+
+    baseline = expect(
+        client.call({"op": "query", "predicate": "val", "limit": 0}),
+        {"ok": True, "version": 1, "rows": []},
+        "baseline query",
+    )["count"]
+
+    expect(
+        client.call({"op": "update", "insert": INSERT}),
+        {"ok": True, "ops": 2, "coalesced": 0, "pending": 2},
+        "update",
+    )
+    # Unflushed: reads still serve version 1.
+    expect(
+        client.call({"op": "query", "predicate": "val", "limit": 0}),
+        {"ok": True, "version": 1, "count": baseline},
+        "snapshot isolation before flush",
+    )
+    expect(
+        client.call({"op": "query", "predicate": "val", "flush": True, "limit": 0}),
+        {"ok": True, "version": 2, "count": baseline + 1},
+        "query after flush",
+    )
+
+    digest = expect(
+        client.call({"op": "snapshot"}), {"ok": True, "version": 2}, "snapshot"
+    )["digest"]
+    saved = expect(
+        client.call({"op": "save", "path": ckpt}),
+        {"ok": True, "version": 2, "path": ckpt},
+        "save",
+    )
+    if saved["bytes"] <= 0:
+        raise SmokeFailure(f"empty checkpoint: {saved}")
+
+    # Mutate past the checkpoint, then restore back to it.
+    expect(
+        client.call(
+            {"op": "update", "delete": INSERT, "flush": True}
+        ),
+        {"ok": True},
+        "revert update",
+    )
+    expect(
+        client.call({"op": "query", "predicate": "val", "limit": 0}),
+        {"ok": True, "version": 3, "count": baseline},
+        "query after revert",
+    )
+    expect(
+        client.call({"op": "restore", "path": ckpt}),
+        {"ok": True, "version": 4, "dropped": 0},
+        "restore",
+    )
+    expect(
+        client.call({"op": "snapshot"}),
+        {"ok": True, "version": 4, "digest": digest},
+        "digest round-trip",
+    )
+    expect(
+        client.call({"op": "query", "predicate": "val", "limit": 0}),
+        {"ok": True, "version": 4, "count": baseline + 1},
+        "query after restore",
+    )
+
+    stats = expect(
+        client.call({"op": "stats", "session": "default"}),
+        {"ok": True, "failed_batches": 0, "pending": 0},
+        "stats",
+    )
+    applied = stats["metrics"]["service"]["batches_applied"]
+    if applied != 2:
+        raise SmokeFailure(f"expected 2 applied batches, got {applied}")
+
+    expect(client.call({"op": "close"}), {"ok": True, "closed": True}, "close")
+    expect(
+        client.call({"op": "shutdown"}), {"ok": True, "closing": True}, "shutdown"
+    )
+
+
+def main() -> int:
+    proc, host, port = start_server()
+    client = Client(host, port)
+    ckpt = tempfile.NamedTemporaryFile(suffix=".ckpt", delete=False).name
+    try:
+        run(client, ckpt)
+        deadline = time.monotonic() + 120
+        while proc.poll() is None and time.monotonic() < deadline:
+            time.sleep(0.05)
+        if proc.returncode != 0:
+            raise SmokeFailure(
+                f"server exit code {proc.returncode}: {proc.stdout.read()[-2000:]}"
+            )
+        print(f"service smoke OK: {client.ops} ops, clean shutdown")
+        return 0
+    except SmokeFailure as exc:
+        print(f"service smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+        if proc.poll() is None:
+            proc.kill()
+        os.unlink(ckpt)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
