@@ -1,0 +1,119 @@
+"""Long-haul continuous-edit soak: 500 successive edits, drift-gated.
+
+The paper's evaluation replays independent single-shot diffs; an IDE
+session is hundreds of *successive* edits against one live engine.  This
+benchmark replays one seeded 500-edit stream (literal churn, statement
+delete/re-insert cycles, allocation-site renames) per analysis through a
+guarded Laddder solver, re-solving from scratch at every checkpoint.
+
+Measured and gated, per the soak harness (docs/SOAK.md):
+
+* snapshot digests bit-equal to the from-scratch reference at every
+  checkpoint — 500 edits deep, the incremental state is still exact;
+* per-tuple timeline state stays *flat*: the excess-entry gauge's fitted
+  slope projects less than one baseline's worth of growth over the whole
+  stream (the state-accretion gate that caught the compaction zombie);
+* per-edit latency distribution (the interactivity budget).
+
+``REPRO_BENCH_EDIT_STEPS`` scales the stream length (default 500).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import Distribution, format_table
+from repro.changes.soak import soak
+
+from common import report, report_json
+
+STEPS = int(os.environ.get("REPRO_BENCH_EDIT_STEPS", "500"))
+ANALYSES = ["constprop", "pointsto-kupdate"]
+
+
+def _run(analysis: str) -> dict:
+    return soak(
+        "minijavac",
+        analysis,
+        engine="laddder",
+        steps=STEPS,
+        seed=7,
+        checkpoint_every=max(1, STEPS // 10),
+    )
+
+
+@pytest.mark.parametrize("analysis", ANALYSES)
+def test_edit_stream_soak(benchmark, analysis):
+    record = benchmark.pedantic(_run, args=(analysis,), rounds=1, iterations=1)
+
+    latency = record["latency_seconds"]
+    base = record["baseline_gauges"]
+    final = record["final_gauges"]
+    table = format_table(
+        ["gauge", "baseline", "final"],
+        [
+            ["timeline entries", base.get("timeline_entries", 0),
+             final.get("timeline_entries", 0)],
+            ["timeline excess", base.get("timeline_excess", 0),
+             final.get("timeline_excess", 0)],
+            ["max timeline len", base.get("max_timeline_len", 0),
+             final.get("max_timeline_len", 0)],
+            ["state size", base["state_size"], final["state_size"]],
+        ],
+        title=(
+            f"{STEPS}-edit stream on minijavac/{analysis} (laddder): "
+            f"p50 {latency['p50'] * 1e3:.1f}ms, p95 {latency['p95'] * 1e3:.1f}ms, "
+            f"excess drift {record['excess_drift']:.2f} "
+            f"(allowance {record['excess_allowance']:.0f})"
+        ),
+    )
+    report(f"edit_stream_{analysis}", table)
+    report_json(
+        f"edit_stream_{analysis}",
+        {k: v for k, v in record.items() if k != "checkpoints"}
+        | {"checkpoints": [
+            {"step": c["step"], "match": c["match"],
+             "gauges": c["gauges"]} for c in record["checkpoints"]
+        ]},
+    )
+
+    # The acceptance gates: exactness at every checkpoint, and bounded
+    # per-tuple state — flat over the stream, not growing with edit index.
+    assert record["digests_ok"], "incremental state diverged from reference"
+    assert record["excess_ok"], (
+        f"timeline state accreted: drift {record['excess_drift']:.2f} "
+        f"over {STEPS} steps (allowance {record['excess_allowance']:.0f})"
+    )
+    assert record["ok"]
+
+
+def _combined_payload():
+    # Aggregate record for BENCH_edit_stream.json (one file, both series).
+    return {
+        "steps": STEPS,
+        "seed": 7,
+        "series": {a: _summary(_run(a)) for a in ANALYSES},
+    }
+
+
+def _summary(record):
+    return {
+        "ok": record["ok"],
+        "digests_ok": record["digests_ok"],
+        "excess_ok": record["excess_ok"],
+        "excess_series": record["excess_series"],
+        "excess_drift": record["excess_drift"],
+        "excess_allowance": record["excess_allowance"],
+        "edit_counts": record["edit_counts"],
+        "baseline_gauges": record["baseline_gauges"],
+        "final_gauges": record["final_gauges"],
+        "timelines_compacted": record["timelines_compacted"],
+        "latency_seconds": record["latency_seconds"],
+        "checkpoint_matches": [c["match"] for c in record["checkpoints"]],
+    }
+
+
+def test_edit_stream_combined_record(benchmark):
+    payload = benchmark.pedantic(_combined_payload, rounds=1, iterations=1)
+    report_json("edit_stream", payload)
+    assert all(s["ok"] for s in payload["series"].values())

@@ -10,13 +10,17 @@ from .source_edits import (
     pointsto_facts,
     value_facts,
 )
+from .stream import EditStream, StreamStep, editor_for
 
 __all__ = [
     "Change",
+    "EditStream",
     "IncrementalSourceEditor",
     "SourceEditor",
+    "StreamStep",
     "alloc_site_changes",
     "diff_facts",
+    "editor_for",
     "literal_to_zero_changes",
     "pointsto_facts",
     "rng_for",

@@ -64,6 +64,9 @@ class SourceEditor:
         self.extractor = extractor
         self._facts = extractor(program)
         self._label_counter = self._max_label() + 1
+        #: label -> (owning block, position, statement) for deleted
+        #: statements, so :meth:`restore_statement` can undo the delete.
+        self._deleted: dict[str, tuple[list[Stmt], int, Stmt]] = {}
 
     # -- edit operations ---------------------------------------------------
 
@@ -80,15 +83,47 @@ class SourceEditor:
         )
 
     def delete_statement(self, label: str) -> Change:
-        """Remove the labelled statement (its label is retired, not reused)."""
+        """Remove the labelled statement (its label is retired, not reused,
+        unless :meth:`restore_statement` later revives it)."""
         for method in self.program.methods():
             block = self._owning_block(method.body, label)
             if block is not None:
-                block[:] = [s for s in block if s.label != label]
+                index = next(
+                    i for i, s in enumerate(block) if s.label == label
+                )
+                self._deleted[label] = (block, index, block[index])
+                del block[index]
                 return self._emit(
                     f"delete-stmt {label}", method=method.qualified
                 )
         raise KeyError(f"no statement labelled {label}")
+
+    def restore_statement(self, label: str) -> Change:
+        """Undo a prior :meth:`delete_statement`: re-insert the statement at
+        its old position (clamped to the block's current length), reviving
+        its original label — the delete/re-insert cycle an editor's undo
+        produces."""
+        try:
+            block, index, stmt = self._deleted.pop(label)
+        except KeyError:
+            raise KeyError(f"{label} was not deleted by this editor") from None
+        block.insert(min(index, len(block)), stmt)
+        return self._emit(
+            f"restore-stmt {label}", method=label.rsplit("/", 1)[0]
+        )
+
+    def rename_allocation(self, label: str, cls: str) -> Change:
+        """``var = new <Old>()`` becomes ``var = new cls()`` at the labelled
+        allocation site."""
+        stmt = self._find(label)
+        if not isinstance(stmt, New):
+            raise ValueError(f"{label} is not an allocation")
+        old = stmt.cls
+        stmt.cls = cls
+        return self._emit(
+            f"rename-alloc {label}: {old} -> {cls}",
+            method=label.rsplit("/", 1)[0],
+        )
 
     def insert_allocation(self, method: str, var: str, cls: str) -> Change:
         """Append ``var = new cls()`` to a method body with a fresh label."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from time import perf_counter
 
 from ...datalog.ast import Literal, Rule
@@ -59,6 +60,21 @@ from .state import TimedRelation
 from .timeline import NEVER
 
 _MISSING = object()
+
+
+def _reaches(deps: dict[str, set[str]], start: str, target: str) -> bool:
+    """True iff ``target`` is reachable from ``start`` in the pred graph."""
+    seen: set[str] = set()
+    stack = list(deps.get(start, ()))
+    while stack:
+        pred = stack.pop()
+        if pred == target:
+            return True
+        if pred in seen:
+            continue
+        seen.add(pred)
+        stack.extend(deps.get(pred, ()))
+    return False
 
 
 class _ComponentState:
@@ -103,11 +119,31 @@ class _ComponentState:
         #: watched sizes stay inside, refresh cannot evict and is skipped.
         self.replan_guard: dict[str, tuple[float, float]] | None = None
         reads: set[str] = set()
+        deps: dict[str, set[str]] = {}
         for rule in component.rules:
+            head = rule.head.pred
             for literal in rule.body_literals():
                 reads.add(literal.pred)
+                deps.setdefault(head, set()).add(literal.pred)
         self.reads = reads
         self.upstream_reads = frozenset(reads - component.predicates)
+        #: Predicates whose tuples can never support themselves (no
+        #: dependency cycle through them).  Only these are eligible for
+        #: settled-timeline compaction: for a self-supporting predicate
+        #: the per-support firing positions are the well-foundedness
+        #: mechanism that unwinds cyclic derivations on retraction, so
+        #: folding them can leave zombie tuples (see
+        #: :meth:`repro.engines.laddder.timeline.Timeline.compact`).
+        #: Because components are SCCs, any predicate sharing a component
+        #: is on a cycle, and a foldable predicate's body atoms are all
+        #: upstream and timeless — its supports fire together at
+        #: timestamp 1, so its timelines are born single-entry and the
+        #: epoch-end fold is a sound backstop rather than a hot path.
+        self.foldable = frozenset(
+            pred
+            for pred in component.predicates
+            if not _reaches(deps, pred, pred)
+        )
 
         self.relations: dict[str, TimedRelation] = {}
         self.groups: dict[str, dict[tuple, GroupState]] = {p: {} for p in self.specs}
@@ -165,6 +201,15 @@ class LaddderSolver(Solver):
         ]
         self._exported = RelationStore(self.arities)
         self.last_stats: UpdateStats | None = None
+        #: Settled-timeline compaction after each update epoch, for
+        #: predicates with no dependency cycle through themselves — the
+        #: sound residue of the long-haul soak investigation (see
+        #: repro.engines.laddder.timeline and docs/SOAK.md): folding
+        #: recursive histories is unsound, and foldable timelines are
+        #: born single-entry, so this is a backstop.  Opt out with
+        #: REPRO_NO_COMPACT=1 to keep behaviour bit-identical to the
+        #: pre-compaction engine.
+        self._compact = not os.environ.get("REPRO_NO_COMPACT")
 
     # -- public API ----------------------------------------------------------
 
@@ -229,7 +274,7 @@ class LaddderSolver(Solver):
                     deltas.append((pred, row, 0, -1))
             if not deltas:
                 continue
-            diff, work = self._compensate(state, deltas, index)
+            diff, work = self._compensate(state, deltas, index, compact=self._compact)
             self._run_self_check(index)
             stats.work += work
             for pred, (added, removed) in diff.items():
@@ -356,8 +401,23 @@ class LaddderSolver(Solver):
         state: _ComponentState,
         deltas: list[tuple[str, tuple, int, int]],
         index: int = 0,
+        compact: bool = False,
     ) -> tuple[dict[str, tuple[set[tuple], set[tuple]]], int]:
-        """Drain one component's queue; returns (exported diff, work)."""
+        """Drain one component's queue; returns (exported diff, work).
+
+        With ``compact`` (update epochs when ``REPRO_NO_COMPACT`` is
+        unset), timelines of *foldable* predicates — those that cannot
+        support themselves through a dependency cycle — are folded to
+        ``{first: total}`` once the queue drains, and their negative
+        deltas cancel against the nearest folded support
+        (:meth:`TimedRelation.add_delta` with ``redirect``).  Recursive
+        predicates keep their full support histories: the positions are
+        load-bearing for cyclic retraction (folding them absorbs the
+        first-existence move that unwinds a cycle, leaving zombie
+        tuples).  ``solve()`` never compacts: fresh state holds the full
+        Figure 4/5 iteration trace, which ``trace()`` and the
+        paper-fidelity tests read.
+        """
         self._bind_kernels(state)
         metrics = self.metrics
         stratum = (
@@ -373,6 +433,7 @@ class LaddderSolver(Solver):
 
         presence_before: dict[str, dict[tuple, bool]] = {}
         groups_before: dict[str, dict[tuple, object]] = {}
+        touched: set[tuple[str, tuple]] = set()
         work = 0
 
         max_timestamp = self.budget.iterations(self.MAX_TIMESTAMP)
@@ -408,9 +469,12 @@ class LaddderSolver(Solver):
                     presence_before.setdefault(pred, {}).setdefault(
                         row, old_first != NEVER
                     )
+                fold = compact and pred in state.foldable
                 if _faults.ACTIVE is not None:
                     _faults.fire("timeline.append")
-                relation.add_delta(row, t, delta)
+                relation.add_delta(row, t, delta, redirect=fold)
+                if fold:
+                    touched.add((pred, row))
                 new_first = relation.timelines[row].first()
                 if stratum is not None:
                     metrics.compensation(pred, row, t, delta)
@@ -433,6 +497,12 @@ class LaddderSolver(Solver):
             if stratum is not None:
                 metrics.derivations(stratum, batch_derived)
                 metrics.round_delta(stratum, batch_derived)
+
+        if compact:
+            for key in touched:
+                relation = state.relations.get(key[0])
+                if relation is not None:
+                    metrics.timelines_compacted += relation.compact(key[1])
 
         if stratum is not None:
             diff = self._exported_component_diff(

@@ -22,8 +22,14 @@ Delta-size convention
 
 ``StratumStats.delta_sizes`` records, per fixpoint round (or compensation
 batch), the number of **new derivations entering the frontier** in that
-round.  Under this convention ``sum(delta_sizes) == tuples_derived`` holds
-for every engine by construction — the metamorphic tests rely on it.
+round.  The list is bounded: once it reaches
+:data:`StratumStats.DELTA_WINDOW` entries, the oldest half is folded into
+``delta_rounds_folded`` / ``delta_tuples_folded`` so a long-lived profiled
+session does not accrete one list entry per epoch forever.  Under this
+convention ``sum(delta_sizes) + delta_tuples_folded == tuples_derived``
+holds for every engine by construction — the metamorphic tests rely on it
+(with an unfolded window the folded terms are zero and the historical
+``sum(delta_sizes) == tuples_derived`` identity is unchanged).
 """
 
 from __future__ import annotations
@@ -90,14 +96,32 @@ class RuleStats:
 class StratumStats:
     """Accumulated cost of one stratum across solve() and every epoch."""
 
+    #: Bound on the retained per-round history (see module docstring).
+    DELTA_WINDOW = 512
+
     index: int
     predicates: tuple[str, ...]
     seconds: float = 0.0
     rounds: int = 0
-    #: New derivations entering the frontier, one entry per round/batch.
+    #: New derivations entering the frontier, one entry per round/batch
+    #: (most recent ``DELTA_WINDOW`` rounds; older rounds are folded).
     delta_sizes: list[int] = field(default_factory=list)
+    #: Rounds/derivations folded out of ``delta_sizes`` when it hit the cap.
+    delta_rounds_folded: int = 0
+    delta_tuples_folded: int = 0
+    #: Running maximum over *all* rounds, folded or retained.
+    delta_max: int = 0
     tuples_derived: int = 0
     tuples_deduplicated: int = 0
+
+    def fold_oldest(self) -> None:
+        """Fold the oldest half of ``delta_sizes`` into the summary counters
+        so the retained window stays bounded in long-lived sessions."""
+        keep = len(self.delta_sizes) // 2
+        folded = self.delta_sizes[: len(self.delta_sizes) - keep]
+        self.delta_sizes[:] = self.delta_sizes[len(folded):]
+        self.delta_rounds_folded += len(folded)
+        self.delta_tuples_folded += sum(folded)
 
     def to_dict(self) -> dict:
         return {
@@ -106,6 +130,9 @@ class StratumStats:
             "seconds": self.seconds,
             "rounds": self.rounds,
             "delta_sizes": list(self.delta_sizes),
+            "delta_rounds_folded": self.delta_rounds_folded,
+            "delta_tuples_folded": self.delta_tuples_folded,
+            "delta_max": self.delta_max,
             "tuples_derived": self.tuples_derived,
             "tuples_deduplicated": self.tuples_deduplicated,
         }
@@ -135,6 +162,7 @@ class SolverMetrics:
         "support_updates",
         "max_queue_depth",
         "timeline_entries",
+        "timelines_compacted",
         "rules_compiled",
         "compile_seconds",
         "plan_cache_hits",
@@ -186,6 +214,7 @@ class SolverMetrics:
         self.support_updates = 0
         self.max_queue_depth = 0
         self.timeline_entries = 0
+        self.timelines_compacted = 0
         # Rule-compilation counters (see repro.engines.compile).  Compile
         # events are rare — once per (rule, pinned, bound-set) — so these are
         # recorded even while disabled, like the relation probe counters.
@@ -290,9 +319,13 @@ class SolverMetrics:
         self.tuples_deduplicated += deduplicated
 
     def round_delta(self, stratum: StratumStats, size: int) -> None:
-        """Record one fixpoint round's frontier size."""
+        """Record one fixpoint round's frontier size (bounded history)."""
         stratum.rounds += 1
         stratum.delta_sizes.append(size)
+        if size > stratum.delta_max:
+            stratum.delta_max = size
+        if len(stratum.delta_sizes) >= StratumStats.DELTA_WINDOW:
+            stratum.fold_oldest()
         self.sink.on_delta(stratum.index, stratum.rounds, size)
 
     def compensation(self, pred: str, row: tuple, timestamp: int, delta: int) -> None:
@@ -337,6 +370,7 @@ class SolverMetrics:
                 "support_updates": self.support_updates,
                 "max_queue_depth": self.max_queue_depth,
                 "timeline_entries": self.timeline_entries,
+                "timelines_compacted": self.timelines_compacted,
             },
             "compile": {
                 "rules_compiled": self.rules_compiled,

@@ -39,7 +39,7 @@ def format_stratum_table(metrics: SolverMetrics) -> str:
                 s.rounds,
                 s.tuples_derived,
                 s.tuples_deduplicated,
-                max(s.delta_sizes, default=0),
+                s.delta_max,
             ]
         )
     return _format_table(STRATUM_HEADERS, rows, "per-stratum")

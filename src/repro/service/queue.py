@@ -3,8 +3,7 @@
 An interactive client streams many small fact edits — often touching the
 same tuple repeatedly (type a literal, overtype it, delete the line).
 Applying each edit as its own solver epoch pays the per-update fixed cost
-every time; applying them as one batch pays it once, and edits that cancel
-out (insert then delete the same row) cost *nothing*.
+every time; applying them as one batch pays it once.
 
 :class:`CoalescingQueue` keeps at most one pending operation per
 ``(predicate, row)`` key: a later insert or delete of the same key simply
@@ -14,6 +13,17 @@ already-present fact or deleting an absent one is a no-op — so only the
 final operation per key determines the post-batch fact set.  The
 batch-equivalence property tests (tests/property/test_batch_equivalence.py)
 pin this down across all four engines.
+
+When the owner supplies a ``membership`` oracle (the session answers from
+the solver's staged EDB facts while no batch is in flight), edits that
+cancel out are dropped at :meth:`~CoalescingQueue.put` time: an insert of a
+present row or a delete of an absent one is a no-op against the EDB, so the
+key contributes nothing to the next batch and any pending operation on it
+is cancelled outright (insert-then-delete of an absent row, delete-then-
+insert of a present one).  Without an oracle answer — no oracle installed,
+a batch mid-apply, or a non-EDB predicate — the queue falls back to plain
+last-write-wins and the solver's own set-diff normalization absorbs the
+no-op at apply time instead, at the cost of an avoidable epoch.
 
 Flush policy: a batch is **ready** once it holds ``flush_size`` distinct
 keys, or once its oldest pending operation has waited ``flush_latency``
@@ -26,6 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass
@@ -53,15 +64,25 @@ class CoalescingQueue:
     every call.
     """
 
-    def __init__(self, flush_size: int = 64, flush_latency: float = 0.05):
+    def __init__(
+        self,
+        flush_size: int = 64,
+        flush_latency: float = 0.05,
+        membership: Callable[[str, tuple], bool | None] | None = None,
+    ):
         if flush_size < 1:
             raise ValueError("flush_size must be >= 1")
         if flush_latency < 0:
             raise ValueError("flush_latency must be >= 0")
         self.flush_size = flush_size
         self.flush_latency = flush_latency
+        #: EDB membership oracle: True/False when the owner can answer for
+        #: ``(pred, row)`` right now, None to fall back to last-write-wins.
+        self.membership = membership
         #: key -> True for insert, False for delete (last write wins).
         self._pending: dict[tuple[str, tuple], bool] = {}
+        #: key -> raw operations folded into that key so far.
+        self._key_ops: dict[tuple[str, tuple], int] = {}
         #: perf_counter stamp of the oldest operation still pending.
         self._oldest: float | None = None
         #: Total put() operations accepted (the flush generation clock).
@@ -81,27 +102,49 @@ class CoalescingQueue:
     ) -> tuple[int, int]:
         """Fold one update request in; returns ``(ops, coalesced)``.
 
-        ``coalesced`` counts operations that landed on an already-pending
-        key — work the batch apply will never see.
+        ``coalesced`` counts operations the batch apply will never see:
+        ones that landed on an already-pending key, no-ops against the EDB
+        dropped via the ``membership`` oracle, and pending operations those
+        no-ops cancelled outright.
         """
         ops = 0
         coalesced = 0
+        oracle = self.membership
         now = time.perf_counter()
         for mapping, op in ((deletions, False), (insertions, True)):
             for pred, rows in (mapping or {}).items():
                 for row in rows:
                     key = (pred, tuple(row))
+                    ops += 1
+                    present = None if oracle is None else oracle(pred, key[1])
+                    if present is op:
+                        # Insert of a present row / delete of an absent one:
+                        # a no-op against the EDB, so the key can contribute
+                        # nothing — drop it, taking any pending operation on
+                        # it (an insert-then-delete pair, a dead duplicate)
+                        # along.  Only the key's *first* raw op was not
+                        # already counted as coalesced.
+                        coalesced += 1
+                        if key in self._pending:
+                            coalesced += 1
+                            del self._pending[key]
+                            self._enqueued_pending -= self._key_ops.pop(key)
+                            if not self._pending:
+                                self._oldest = None
+                        continue
                     if key in self._pending:
                         coalesced += 1
+                        self._key_ops[key] += 1
+                    else:
+                        self._key_ops[key] = 1
+                        if self._oldest is None:
+                            self._oldest = now
                     self._pending[key] = op
-                    ops += 1
+                    self._enqueued_pending += 1
         if ops:
             self.generation += 1
-            self._enqueued_pending += ops
             self.total_ops += ops
             self.total_coalesced += coalesced
-            if self._oldest is None:
-                self._oldest = now
         return ops, coalesced
 
     # -- flushing ----------------------------------------------------------
@@ -144,6 +187,7 @@ class CoalescingQueue:
             target = batch.insertions if is_insert else batch.deletions
             target.setdefault(pred, set()).add(row)
         self._pending.clear()
+        self._key_ops.clear()
         self._enqueued_pending = 0
         self._oldest = None
         return batch

@@ -122,9 +122,11 @@ class Session:
         self._cond = threading.Condition()
         #: Serializes solver mutation (batch apply vs. save/restore).
         self._solver_lock = threading.Lock()
-        self._queue = CoalescingQueue(config.flush_size, config.flush_latency)
         self._applied_generation = 0
         self._in_flight = False
+        self._queue = CoalescingQueue(
+            config.flush_size, config.flush_latency, membership=self._membership
+        )
         self._flush_requested = False
         self._last_outcome: dict | None = None
         self._closed = False
@@ -144,6 +146,23 @@ class Session:
             solver.self_check = True
 
     # -- the write path ----------------------------------------------------
+
+    def _membership(self, pred: str, row: tuple) -> bool | None:
+        """EDB membership oracle backing queue no-op cancellation.
+
+        Called by the queue inside ``put()``, which the session already
+        serializes under ``_cond``.  Answers only when the staged fact sets
+        are quiescent: a batch mid-apply mutates them concurrently, and the
+        queue's pending ops themselves are not yet reflected (the queue
+        accounts for those itself).  Non-EDB predicates are not client-
+        editable facts, so they stay last-write-wins.
+        """
+        if self._in_flight:
+            return None
+        solver = self.solver.solver
+        if pred not in solver.edb:
+            return None
+        return row in solver._facts.get(pred, ())
 
     def update(
         self,

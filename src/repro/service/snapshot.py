@@ -26,15 +26,34 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..engines.base import Solver
 
 
+def stable_repr(value) -> str:
+    """A ``repr`` that is deterministic across interpreters.
+
+    Exported views may hold *set-valued* lattice elements (the k-update
+    points-to sets are plain ``frozenset``\\ s), and CPython renders sets
+    in hash-table order: equal sets built in different insertion orders —
+    or under a different ``PYTHONHASHSEED`` — can ``repr`` differently.
+    The continuous-edit soak's fresh-interpreter runs caught snapshot
+    digests flickering because of exactly this.  Sets therefore render
+    with recursively sorted contents; everything else keeps its ``repr``.
+    """
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(stable_repr(v) for v in value)) + "}"
+    if isinstance(value, tuple):
+        inner = ", ".join(stable_repr(v) for v in value)
+        return f"({inner},)" if len(value) == 1 else f"({inner})"
+    return repr(value)
+
+
 def render_row(row: tuple) -> list[str]:
-    """One exported tuple as a JSON-safe list of value ``repr``s.
+    """One exported tuple as a JSON-safe list of value renderings.
 
     Exported views may hold lattice elements (constants, intervals, k-sets)
-    alongside plain strings and ints; ``repr`` is the stable, round-trip
-    comparable form the CLI already prints, so protocol responses and
-    golden files reuse it.
+    alongside plain strings and ints; :func:`stable_repr` is the stable,
+    round-trip comparable form, so protocol responses and golden files
+    reuse it.
     """
-    return [repr(value) for value in row]
+    return [stable_repr(value) for value in row]
 
 
 class Snapshot:
@@ -62,7 +81,7 @@ class Snapshot:
 
     def rows(self, pred: str, limit: int | None = None) -> list[list[str]]:
         """Sorted, rendered rows of ``pred`` (the protocol wire form)."""
-        ordered = sorted(self.query(pred), key=repr)
+        ordered = sorted(self.query(pred), key=stable_repr)
         if limit is not None:
             ordered = ordered[:limit]
         return [render_row(row) for row in ordered]
@@ -75,14 +94,16 @@ class Snapshot:
 
         Two snapshots digest equal iff every exported view is bit-equal;
         the acceptance test compares a served session against a from-scratch
-        reference solve through this.
+        reference solve through this.  Rows hash via :func:`stable_repr`,
+        so set-valued lattice elements digest identically regardless of
+        hash seed or construction order.
         """
         hasher = hashlib.sha256()
         for pred in sorted(self.views):
             hasher.update(pred.encode("utf-8"))
             hasher.update(b"\x00")
-            for row in sorted(self.views[pred], key=repr):
-                hasher.update(repr(row).encode("utf-8"))
+            for row in sorted(self.views[pred], key=stable_repr):
+                hasher.update(stable_repr(row).encode("utf-8"))
                 hasher.update(b"\x01")
             hasher.update(b"\x02")
         return hasher.hexdigest()

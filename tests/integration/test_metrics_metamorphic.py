@@ -4,8 +4,9 @@ All four engines must export identical relations on the same analysis
 instance, and every engine's metrics must satisfy the structural
 invariants of the observability layer:
 
-* ``sum(delta_sizes) == tuples_derived`` — the delta-size convention
-  (every derivation enters the frontier in exactly one round);
+* ``sum(delta_sizes) + delta_tuples_folded == tuples_derived`` — the
+  delta-size convention (every derivation enters the frontier in exactly
+  one round, retained in the bounded window or folded out of it);
 * ``tuples_derived >= |exported IDB tuples|`` — nothing appears in an
   exported relation without having been derived;
 * per-stratum totals sum to the global totals.
@@ -40,7 +41,10 @@ def solve_with_metrics(instance, engine_cls):
 
 def assert_invariants(engine_cls, metrics, exported, idb):
     name = engine_cls.__name__
-    total_delta = sum(sum(s.delta_sizes) for s in metrics.strata.values())
+    total_delta = sum(
+        sum(s.delta_sizes) + s.delta_tuples_folded
+        for s in metrics.strata.values()
+    )
     assert total_delta == metrics.tuples_derived, (
         f"{name}: delta sizes {total_delta} != derivations "
         f"{metrics.tuples_derived}"
@@ -57,7 +61,7 @@ def assert_invariants(engine_cls, metrics, exported, idb):
     )
     assert metrics.strata, f"{name}: no strata recorded"
     for s in metrics.strata.values():
-        assert s.rounds == len(s.delta_sizes)
+        assert s.rounds == len(s.delta_sizes) + s.delta_rounds_folded
         assert s.seconds >= 0.0
     assert metrics.engine == name
 
@@ -104,5 +108,8 @@ def test_update_epoch_metrics_laddder():
     assert metrics.support_updates > support_before
     assert metrics.update_seconds > 0.0
     # The invariant must keep holding across epochs.
-    total_delta = sum(sum(s.delta_sizes) for s in metrics.strata.values())
+    total_delta = sum(
+        sum(s.delta_sizes) + s.delta_tuples_folded
+        for s in metrics.strata.values()
+    )
     assert total_delta == metrics.tuples_derived

@@ -74,6 +74,14 @@ def test_serve_stdio_hundred_mixed_ops_match_reference():
         # Interleave reads; they must succeed at whatever version is
         # currently published.
         requests.append({"op": "query", "predicate": "val", "limit": 3})
+        if i % 9 == 4:
+            # Force a mid-run batch.  The stream is adjacent do/undo
+            # pairs, and the session's EDB membership oracle cancels
+            # those in-queue outright — without explicit flushes the
+            # whole burst would coalesce to (almost) nothing and the
+            # solver would never see a batch.  Flushing mid-pair makes
+            # the revert a genuine edit against the new staged state.
+            requests.append({"op": "flush"})
         if i % 10 == 0:
             requests.append({"op": "stats", "session": "default"})
     requests.append({"op": "flush"})

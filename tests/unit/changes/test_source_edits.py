@@ -217,3 +217,81 @@ class TestIncrementalSourceEditor:
         solver.update(insertions=change.insertions, deletions=change.deletions)
         oracle = kupdate_pointsto(program).make_solver(SemiNaiveSolver)
         assert solver.relations() == oracle.relations()
+
+
+class TestRestoreStatement:
+    def test_restore_round_trips_facts_and_position(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        before = editor.checkpoint()
+        method = next(iter(program.methods()))
+        order_before = [s.label for s in method.body]
+        label = order_before[1]
+        deleted = editor.delete_statement(label)
+        restored = editor.restore_statement(label)
+        # The fact diff of the restore is exactly the delete's inverse and
+        # the statement returns to its original position.
+        assert restored.insertions == deleted.deletions
+        assert restored.deletions == deleted.insertions
+        assert editor.checkpoint() == before
+        assert [s.label for s in method.body] == order_before
+
+    def test_restore_clamps_position_to_block_length(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        method = next(iter(program.methods()))
+        last = method.body[-1].label
+        also = method.body[-2].label
+        editor.delete_statement(also)
+        editor.delete_statement(last)
+        # Restoring the former last statement into the now-shorter block
+        # appends it rather than indexing past the end.
+        editor.restore_statement(last)
+        assert method.body[-1].label == last
+
+    def test_restore_of_never_deleted_label_rejected(self):
+        editor = SourceEditor(numeric_program(), extractor=value_facts)
+        with pytest.raises(KeyError, match="was not deleted"):
+            editor.restore_statement("Main.main/0")
+
+    def test_restore_is_single_shot(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        label = next(iter(program.methods())).body[0].label
+        editor.delete_statement(label)
+        editor.restore_statement(label)
+        with pytest.raises(KeyError):
+            editor.restore_statement(label)
+
+
+class TestRenameAllocation:
+    def test_rename_moves_alloc_fact(self):
+        from repro.corpus import load_subject
+        import copy
+
+        program = copy.deepcopy(load_subject("minijavac"))
+        editor = SourceEditor(program, extractor=pointsto_facts)
+        site = next(
+            s for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "New"
+        )
+        old_cls = site.cls
+        new_cls = next(
+            name for name, c in program.classes.items()
+            if not c.is_abstract and name not in ("Object", old_cls)
+        )
+        change = editor.rename_allocation(site.label, new_cls)
+        # The site's object-type fact moves from the old class to the new.
+        assert (site.label, new_cls) in change.insertions["otype"]
+        assert (site.label, old_cls) in change.deletions["otype"]
+        assert site.cls == new_cls
+
+    def test_rename_non_allocation_rejected(self):
+        program = numeric_program()
+        editor = SourceEditor(program, extractor=value_facts)
+        label = next(
+            s.label for m in program.methods() for s in m.statements()
+            if type(s).__name__ == "ConstAssign"
+        )
+        with pytest.raises(ValueError, match="not an allocation"):
+            editor.rename_allocation(label, "Object")

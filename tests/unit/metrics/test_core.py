@@ -3,6 +3,7 @@
 import json
 
 from repro.metrics import NULL_SINK, SolverMetrics, TraceSink
+from repro.metrics.core import StratumStats
 
 
 class RecordingSink(TraceSink):
@@ -174,3 +175,44 @@ class TestExport:
         assert d["strata"][0]["delta_sizes"] == [1]
         assert d["rules"]["r"]["derived"] == 1
         json.dumps(d)  # must be directly serializable
+
+
+class TestDeltaWindowFolding:
+    """Bounded per-round history: long-lived sessions must not accrete
+    one ``delta_sizes`` entry per fixpoint round forever."""
+
+    def test_window_stays_bounded_over_many_rounds(self):
+        m = SolverMetrics()
+        s = m.stratum(0, ["p"])
+        for i in range(600):
+            m.round_delta(s, i % 7)
+        assert len(s.delta_sizes) < StratumStats.DELTA_WINDOW
+
+    def test_folding_preserves_totals(self):
+        m = SolverMetrics()
+        s = m.stratum(0, ["p"])
+        sizes = [(i * 13) % 11 for i in range(1300)]
+        for size in sizes:
+            m.round_delta(s, size)
+        assert s.rounds == len(sizes)
+        assert s.rounds == len(s.delta_sizes) + s.delta_rounds_folded
+        assert sum(s.delta_sizes) + s.delta_tuples_folded == sum(sizes)
+        assert s.delta_max == max(sizes)
+
+    def test_fold_oldest_folds_oldest_half(self):
+        s = StratumStats(index=0, predicates=("p",))
+        s.delta_sizes.extend([9, 8, 1, 2])
+        s.fold_oldest()
+        assert s.delta_sizes == [1, 2]
+        assert s.delta_rounds_folded == 2
+        assert s.delta_tuples_folded == 17
+
+    def test_to_dict_reports_folding_counters(self):
+        m = SolverMetrics()
+        s = m.stratum(0, ["p"])
+        for _ in range(StratumStats.DELTA_WINDOW):
+            m.round_delta(s, 1)
+        d = s.to_dict()
+        assert d["delta_rounds_folded"] > 0
+        assert d["delta_rounds_folded"] + len(d["delta_sizes"]) == s.rounds
+        assert d["delta_max"] == 1

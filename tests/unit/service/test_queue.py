@@ -123,3 +123,131 @@ def test_bad_thresholds_rejected():
         CoalescingQueue(flush_size=0)
     with pytest.raises(ValueError):
         CoalescingQueue(flush_latency=-1.0)
+
+
+class TestMembershipOracle:
+    """EDB-membership cancellation (the dead-pending-delete fix).
+
+    The session installs an oracle answering from the solver's staged
+    facts; inserts of present rows and deletes of absent ones are no-ops
+    against the EDB and must be dropped at put() time, cancelling any
+    pending operation on the key outright.
+    """
+
+    @staticmethod
+    def queue(present=(), answer=True):
+        edb = set(present)
+        oracle = (lambda pred, row: (pred, row) in edb) if answer else (
+            lambda pred, row: None
+        )
+        return CoalescingQueue(
+            flush_size=10, flush_latency=60.0, membership=oracle
+        )
+
+    def test_insert_of_present_row_dropped(self):
+        q = self.queue(present=[("p", (1,))])
+        ops, coalesced = q.put(insertions={"p": [(1,)]})
+        assert (ops, coalesced) == (1, 1)
+        assert q.empty
+
+    def test_delete_of_absent_row_dropped(self):
+        q = self.queue()
+        ops, coalesced = q.put(deletions={"p": [(1,)]})
+        assert (ops, coalesced) == (1, 1)
+        assert q.empty
+
+    def test_insert_then_delete_of_absent_row_cancels_pair(self):
+        q = self.queue()
+        q.put(insertions={"p": [(1,)]})
+        assert len(q) == 1
+        ops, coalesced = q.put(deletions={"p": [(1,)]})
+        # The delete is a no-op against the EDB *and* it takes the
+        # pending insert with it: both counted as coalesced.
+        assert (ops, coalesced) == (1, 2)
+        assert q.empty
+        assert q.drain().empty
+
+    def test_delete_then_insert_of_present_row_cancels_pair(self):
+        q = self.queue(present=[("p", (1,))])
+        q.put(deletions={"p": [(1,)]})
+        assert len(q) == 1
+        ops, coalesced = q.put(insertions={"p": [(1,)]})
+        assert (ops, coalesced) == (1, 2)
+        assert q.empty
+
+    def test_cancellation_accounts_every_folded_op(self):
+        # insert, duplicate insert, then the cancelling delete: all three
+        # raw operations end up coalesced and the batch sees nothing.
+        q = self.queue()
+        q.put(insertions={"p": [(1,)]})
+        q.put(insertions={"p": [(1,)]})
+        q.put(deletions={"p": [(1,)]})
+        assert q.empty
+        assert q.total_ops == 3
+        assert q.total_coalesced == 3
+        batch = q.drain()
+        assert batch.empty and batch.enqueued == 0
+
+    def test_fully_cancelled_put_still_ticks_generation(self):
+        # A put whose every op is dropped still covers a client request:
+        # the generation clock must tick so the flush that follows stamps
+        # a batch covering it.
+        q = self.queue(present=[("p", (1,))])
+        q.put(insertions={"p": [(1,)]})
+        assert q.generation == 1
+        assert q.empty
+
+    def test_drain_clears_cancellation_bookkeeping(self):
+        q = self.queue()
+        q.put(insertions={"p": [(1,)]})
+        q.drain()
+        # The key's op-count must not leak across the drain: a later
+        # cancelling delete of the (still absent) row finds no pending
+        # entry and simply drops.
+        ops, coalesced = q.put(deletions={"p": [(1,)]})
+        assert (ops, coalesced) == (1, 1)
+        assert q.empty
+
+    def test_oracle_none_falls_back_to_last_write_wins(self):
+        q = self.queue(answer=False)
+        q.put(insertions={"p": [(1,)]})
+        ops, coalesced = q.put(deletions={"p": [(1,)]})
+        assert (ops, coalesced) == (1, 1)
+        batch = q.drain()
+        assert batch.deletions == {"p": {(1,)}}
+        assert batch.insertions == {}
+
+    def test_mixed_oracle_and_pending_keys(self):
+        q = self.queue(present=[("p", (1,))])
+        ops, coalesced = q.put(
+            insertions={"p": [(1,), (2,)]}, deletions={"q": [("a",)]}
+        )
+        # (1,) dropped via the oracle; (2,) and ("a",) pend. ("a",) is
+        # absent from the EDB, so its delete is dropped too.
+        assert (ops, coalesced) == (3, 2)
+        batch = q.drain()
+        assert batch.insertions == {"p": {(2,)}}
+        assert batch.deletions == {}
+
+
+class TestGenerationClock:
+    def test_interleaved_put_drain_put(self):
+        q = CoalescingQueue(flush_size=10, flush_latency=60.0)
+        q.put(insertions={"p": [(1,)]})
+        q.put(insertions={"p": [(2,)]})
+        first = q.drain()
+        assert first.generation == 2
+        q.put(deletions={"p": [(1,)]})
+        assert q.generation == 3
+        second = q.drain()
+        assert second.generation == 3
+        assert second.deletions == {"p": {(1,)}}
+
+    def test_batch_generation_covers_folded_puts(self):
+        q = CoalescingQueue(flush_size=10, flush_latency=60.0)
+        for _ in range(4):
+            q.put(insertions={"p": [(1,)]})
+        batch = q.drain()
+        assert batch.generation == 4
+        assert batch.size == 1
+        assert batch.enqueued == 4

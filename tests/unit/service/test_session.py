@@ -123,7 +123,10 @@ class TestBatching:
             session.update(insertions=undo.insertions, deletions=undo.deletions)
             digest_before = session.snapshot.digest()
             out = session.flush()
-            assert out["ok"] and out["impact"] == 0
+            # The EDB membership oracle cancels the do/undo pair inside
+            # the queue, so the flush has nothing to apply at all —
+            # stronger than the zero-impact epoch it used to cost.
+            assert out["ok"] and out.get("impact", 0) == 0
             assert session.snapshot.digest() == digest_before
             assert session.metrics.updates_coalesced > 0
         finally:
@@ -355,5 +358,38 @@ class TestStats:
             assert service["snapshots_published"] == 2
             assert service["updates_enqueued"] > 0
             assert stats["queue"]["flush_size"] == 10_000
+        finally:
+            close(session)
+
+
+class TestMembershipCancellation:
+    """End-to-end: the session's EDB oracle cancels no-op edit pairs."""
+
+    def test_insert_then_delete_of_absent_row_never_reaches_solver(self):
+        session = make_session()
+        try:
+            row = ("ghost", "ghost")
+            digest = session.snapshot.digest()
+            batches_before = session.metrics.batches_applied
+            out_a = session.update(insertions={"assignlit": [row]})
+            out_b = session.update(deletions={"assignlit": [row]})
+            # The delete is a no-op against the EDB and takes the pending
+            # insert with it: nothing is left to flush.
+            assert out_a["pending"] == 1
+            assert out_b["pending"] == 0
+            assert out_b["coalesced"] == 2
+            flushed = session.flush()
+            assert flushed["ok"]
+            assert session.metrics.batches_applied == batches_before
+            assert session.snapshot.digest() == digest
+        finally:
+            close(session)
+
+    def test_delete_of_absent_row_dropped_immediately(self):
+        session = make_session()
+        try:
+            out = session.update(deletions={"assignlit": [("ghost", "g")]})
+            assert out["pending"] == 0
+            assert out["coalesced"] == 1
         finally:
             close(session)

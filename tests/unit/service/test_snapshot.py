@@ -54,3 +54,29 @@ def test_take_snapshot_covers_every_exported_predicate():
     assert set(snap.views) == solver.program.exported_predicates()
     assert snap.query(instance.primary) == solver.relation(instance.primary)
     assert snap.counts()[instance.primary] == len(snap.query(instance.primary))
+
+
+class TestStableRendering:
+    """Set-valued lattice elements must render and digest identically
+    regardless of hash seed or construction order (the soak's
+    fresh-interpreter runs caught digests flickering on k-sets)."""
+
+    def test_stable_repr_sorts_set_contents(self):
+        from repro.service.snapshot import stable_repr
+
+        assert stable_repr(frozenset(["b", "a", "c"])) == "{'a', 'b', 'c'}"
+        assert stable_repr({2, 1}) == "{1, 2}"
+        assert stable_repr(("x", frozenset(["b", "a"]))) == "('x', {'a', 'b'})"
+        assert stable_repr(("only",)) == "('only',)"
+        assert stable_repr(frozenset()) == "{}"
+
+    def test_digest_independent_of_set_construction_order(self):
+        forward = frozenset(["obj1", "obj2", "obj3"])
+        backward = frozenset(["obj3", "obj2", "obj1"])
+        a = Snapshot(1, {"pt": {("v", forward)}})
+        b = Snapshot(1, {"pt": {("v", backward)}})
+        assert a.digest() == b.digest()
+
+    def test_rows_render_sets_sorted(self):
+        snap = Snapshot(1, {"pt": {("v", frozenset(["b", "a"]))}})
+        assert snap.rows("pt") == [["'v'", "{'a', 'b'}"]]
