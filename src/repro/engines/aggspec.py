@@ -68,21 +68,18 @@ class AggSpec:
         return tuple(key), value
 
     def tuple_for(self, key: tuple, value: object) -> tuple:
-        """Reassemble a head tuple from a group key and aggregate value."""
-        out = []
-        k = 0
-        for i in range(len(self.head.args)):
-            if i == self.agg_pos:
-                out.append(value)
-            else:
-                out.append(key[k])
-                k += 1
-        return tuple(out)
+        """Reassemble a head tuple from a group key and aggregate value.
+
+        Group keys preserve head-argument order with the aggregate position
+        removed, so reassembly is a slice splice.
+        """
+        pos = self.agg_pos
+        return key[:pos] + (value,) + key[pos:]
 
     def split_tuple(self, row: tuple) -> tuple[tuple, object]:
         """Split a stored head tuple into (group key, value)."""
-        key = tuple(v for i, v in enumerate(row) if i != self.agg_pos)
-        return key, row[self.agg_pos]
+        pos = self.agg_pos
+        return row[:pos] + row[pos + 1:], row[pos]
 
 
 def compile_agg_specs(rules, program: Program) -> dict[str, AggSpec]:

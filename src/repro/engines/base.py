@@ -36,6 +36,8 @@ from ..datalog.validate import raise_on_error
 from ..metrics import SolverMetrics
 from ..robustness.watchdog import Budget
 from .compile import KernelCache
+from .intern import InternTable, intern_program, program_hash
+from .relation import resolve_backend
 
 FactChanges = Mapping[str, Iterable[tuple]]
 
@@ -94,13 +96,31 @@ class Solver(ABC):
         self.arities = self.program.arities()
         self.edb = self.program.edb_predicates()
         self.idb = self.program.idb_predicates()
+        #: Storage backend, resolved once from REPRO_BACKEND
+        #: (docs/PERFORMANCE.md): "object" keeps raw-value rows, "columnar"
+        #: interns every constant to a dense int handle and stores packed
+        #: relations.  Exported views are bit-equal either way.
+        self.backend = resolve_backend(self.arities)
+        #: Backend-independent fingerprint of the (pruned) program, captured
+        #: before interning rewrites the private copy — checkpoints compare
+        #: against this, never against the handle-space rule text.
+        self._program_hash = program_hash(self.program)
+        #: Constant <-> handle table (columnar backend only).  The private
+        #: program copy is rewritten into handle space in place; every
+        #: public boundary externs through this table.
+        self.intern: InternTable | None = None
+        if self.backend == "columnar":
+            self.intern = InternTable(metrics=self.metrics)
+            intern_program(self.program, self.components, self.intern)
         self._facts: dict[str, set[tuple]] = {}
         self._solved = False
         #: Shared compiled-kernel cache: one specialized enumeration pipeline
         #: per (rule, pinned occurrence, bound set, emit mode) — see
         #: repro.engines.compile.  ``REPRO_INTERPRET=1`` swaps in run_plan-
         #: backed kernels with identical signatures.
-        self.kernels = KernelCache(self.program, metrics=self.metrics)
+        self.kernels = KernelCache(
+            self.program, metrics=self.metrics, backend=self.backend
+        )
         #: Fixpoint watchdog budgets (docs/ROBUSTNESS.md): iteration
         #: ceilings, wall-clock deadline, ascending-chain counter.  Defaults
         #: come from REPRO_MAX_ITERS / REPRO_MAX_CHAIN; mutate in place
@@ -119,6 +139,26 @@ class Solver(ABC):
         None when collection is off (keeps ``matching`` branch-free-ish)."""
         return self.metrics if self.metrics.active else None
 
+    # -- intern boundary helpers -------------------------------------------
+
+    def _intern_row(self, row: tuple) -> tuple:
+        """Caller row -> internal row (identity on the object backend)."""
+        table = self.intern
+        return row if table is None else table.intern_row(row)
+
+    def _extern_row(self, row: tuple) -> tuple:
+        """Internal row -> caller representation."""
+        table = self.intern
+        return row if table is None else table.extern_row(row)
+
+    def _export_rows(self, rows: Iterable[tuple]) -> frozenset[tuple]:
+        """Internal rows -> the public frozenset view, externed as needed."""
+        table = self.intern
+        if table is None:
+            return frozenset(rows)
+        extern_row = table.extern_row
+        return frozenset(extern_row(row) for row in rows)
+
     # -- fact management ---------------------------------------------------
 
     def add_facts(self, pred: str, rows: Iterable[tuple]) -> None:
@@ -127,10 +167,20 @@ class Solver(ABC):
         bucket = self._facts.setdefault(pred, set())
         for row in rows:
             self._check_row(pred, row)
-            bucket.add(tuple(row))
+            bucket.add(self._intern_row(tuple(row)))
 
     def facts(self, pred: str) -> frozenset[tuple]:
-        return frozenset(self._facts.get(pred, ()))
+        return self._export_rows(self._facts.get(pred, ()))
+
+    def replace_facts(self, facts: FactChanges) -> None:
+        """Discard every staged fact and stage ``facts`` instead.
+
+        The supported way to point an un-solved solver at a different EDB
+        snapshot (test oracles, replay harnesses) — assigning ``_facts``
+        directly would bypass arity checks and constant interning."""
+        self._facts = {}
+        for pred, rows in facts.items():
+            self.add_facts(pred, rows)
 
     def _fact_items(self) -> list[tuple[str, set[tuple]]]:
         """Staged fact relations worth materializing.  An *empty* bucket for
@@ -174,6 +224,7 @@ class Solver(ABC):
             for row in rows:
                 row = tuple(row)
                 self._check_row(pred, row)
+                row = self._intern_row(row)
                 if row in bucket:
                     bucket.discard(row)
                     dels.setdefault(pred, set()).add(row)
@@ -185,6 +236,7 @@ class Solver(ABC):
             for row in rows:
                 row = tuple(row)
                 self._check_row(pred, row)
+                row = self._intern_row(row)
                 if row not in bucket:
                     bucket.add(row)
                     ins.setdefault(pred, set()).add(row)
@@ -229,6 +281,32 @@ class Solver(ABC):
     def state_size(self) -> int:
         """Engine-specific count of stored entries, for memory comparisons."""
         return 0
+
+    def storage_profile(self) -> dict:
+        """Bytes-per-tuple accounting of the exported stores (Section 7.2).
+
+        Counts exactly the storage the backend choice changes — row shells,
+        built index postings, materialized columns, and (columnar only) the
+        intern table holding the single canonical copy of each constant.
+        Engine-internal state (timelines, aggregation trees) is excluded;
+        the memory benchmark deep-sizes the whole solver for that.
+        """
+        exported = getattr(self, "_exported", None)
+        relations = (
+            list(exported.relations.values()) if exported is not None else []
+        )
+        tuples = sum(len(rel) for rel in relations)
+        total = sum(rel.storage_bytes() for rel in relations)
+        profile = {
+            "backend": self.backend,
+            "exported_tuples": tuples,
+            "exported_bytes": total,
+            "bytes_per_tuple": (total / tuples) if tuples else 0.0,
+        }
+        if self.intern is not None:
+            profile["interned_constants"] = len(self.intern)
+            profile["intern_bytes"] = self.intern.table_bytes()
+        return profile
 
     # -- robustness hooks ----------------------------------------------------
 

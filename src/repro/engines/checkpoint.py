@@ -40,11 +40,16 @@ from typing import Type
 from ..datalog.errors import CheckpointError
 from ..robustness import faults as _faults
 from .base import Solver
+from .intern import program_hash
+
+__all__ = ["save_checkpoint", "load_checkpoint", "program_hash"]
 
 #: Envelope marker leading every checkpoint file.
 MAGIC = b"REPROCKPT"
-#: Current checkpoint format version.
-VERSION = 2
+#: Current checkpoint format version.  v3: aggregation group state is
+#: pickled without its combine callable (rebound on restore) and the
+#: payload records the storage backend plus the intern-table value list.
+VERSION = 3
 _HEADER = struct.Struct(f">{len(MAGIC)}sH32s")
 
 #: Attributes captured per solver class (data only — no compiled plans,
@@ -55,12 +60,6 @@ _STATE_ATTRS = {
     "SemiNaiveSolver": ["_facts", "_exported", "_raw", "_totals", "_solved"],
     "NaiveSolver": ["_facts", "_exported", "_raw", "_solved"],
 }
-
-
-def program_hash(program) -> str:
-    """Stable fingerprint of a program's rules (order-sensitive)."""
-    text = "\n".join(repr(rule) for rule in program.rules)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _component_state(solver) -> list | None:
@@ -91,7 +90,11 @@ def save_checkpoint(solver: Solver, path: str | Path) -> int:
         raise CheckpointError(f"checkpointing not supported for {cls_name}")
     payload = {
         "solver": cls_name,
-        "program": program_hash(solver.program),
+        # The pre-interning hash captured at construction: handle-space
+        # rule text differs per backend, the source program does not.
+        "program": solver._program_hash,
+        "backend": solver.backend,
+        "intern": solver.intern.dump() if solver.intern is not None else None,
         "attrs": {name: getattr(solver, name) for name in _STATE_ATTRS[cls_name]},
         "components": _component_state(solver),
     }
@@ -165,22 +168,59 @@ def load_checkpoint(
             f"not {solver_cls.__name__}"
         )
     solver = solver_cls(program, metrics=metrics)
-    if payload["program"] != program_hash(solver.program):
+    if payload["program"] != solver._program_hash:
         raise CheckpointError(
             "checkpoint does not match the program (rules differ); "
             "re-run the initial analysis"
         )
+    saved_backend = payload.get("backend", "object")
+    if saved_backend != solver.backend:
+        raise CheckpointError(
+            f"checkpoint was taken under the {saved_backend!r} storage "
+            f"backend but this solver resolved {solver.backend!r} "
+            f"(REPRO_BACKEND); restore under the matching backend or "
+            f"re-run the initial analysis"
+        )
+    table = payload.get("intern")
+    if table is not None:
+        # The fresh solver's table holds exactly the program constants; the
+        # dump must extend it with the same first-touch order, reproducing
+        # the saved handle assignment that every pickled row relies on.
+        try:
+            solver.intern.restore(table)
+        except ValueError as exc:
+            raise CheckpointError(f"intern table mismatch: {exc}") from exc
     for name, value in payload["attrs"].items():
         setattr(solver, name, value)
+    # Fact-only predicates (ones no rule mentions) get their arity
+    # registered by the first ``add_facts`` row; restored facts bypass
+    # ``add_facts``, so redo that registration here — otherwise the next
+    # solve meets an "unknown predicate" error at its relation store.
+    for pred, rows in solver._facts.items():
+        if pred not in solver.arities:
+            for row in rows:
+                solver.arities[pred] = len(row)
+                break
     components = payload["components"]
     if components is not None:
         states = solver._states
         if len(states) != len(components):
             raise CheckpointError("checkpoint component count mismatch")
         for state, entry in zip(states, components):
-            state.relations = entry["relations"]
+            adopt = getattr(state, "adopt_relations", None)
+            if adopt is not None:
+                adopt(entry["relations"])  # rewrap into the live container
+            else:
+                state.relations = entry["relations"]
             if "groups" in entry:
                 state.groups = entry["groups"]
+                # Group state pickles without its combine callable (it may
+                # close over another solver's intern table); rebind to this
+                # solver's live aggregator registry.
+                for pred, per_pred in state.groups.items():
+                    combine = state.specs[pred].aggregator.combine
+                    for group in per_pred.values():
+                        group.rebind(combine)
             if "totals" in entry:
                 state.totals = entry["totals"]
     return solver

@@ -139,9 +139,26 @@ def _tuple_expr(parts: list[str]) -> str:
 
 
 class _KernelBuilder:
-    """Lowers one planned body into a specialized generator function."""
+    """Lowers one planned body into a specialized generator function.
 
-    def __init__(self, program: Program, rule: Rule, plan: list[BodyItem]):
+    Under the columnar backend (``backend="columnar"``) the lowering skips
+    :meth:`~repro.engines.relation.ColumnIndexed.matching` entirely: the
+    bound-column set of every probe is known at compile time, so the kernel
+    hoists ``index_for(cols)`` dictionaries into its prologue and probes
+    them with inline packed integer keys; zero-bound scans read the cached
+    ``scan_rows()`` snapshot; and the innermost enumeration is emitted as
+    one batched list comprehension (see ``batch_tail``) instead of a
+    per-row loop.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        rule: Rule,
+        plan: list[BodyItem],
+        backend: str = "object",
+        metrics=None,
+    ):
         self.program = program
         self.rule = rule
         self.plan = plan
@@ -149,6 +166,18 @@ class _KernelBuilder:
         self._slots: dict[str, str] = {}
         self.bound: set[str] = set()
         self._temps = 0
+        self.columnar = backend == "columnar"
+        #: Probe counters are compiled in only while collection is on —
+        #: the increments sit in the innermost loops.
+        self.counted = (
+            self.g.const(metrics)
+            if metrics is not None and metrics.active
+            else None
+        )
+        #: ``(relation local, cols) -> hoisted index local`` plus the hoist
+        #: lines themselves, spliced after the relation hoists.
+        self._index_refs: dict[tuple[str, tuple[int, ...]], str] = {}
+        self.index_lines: list[str] = []
 
     def slot(self, var_name: str) -> str:
         name = self._slots.get(var_name)
@@ -205,35 +234,105 @@ class _KernelBuilder:
 
     # -- body items --------------------------------------------------------
 
-    def positive(self, item: Literal, rels: dict[str, str]) -> None:
-        g = self.g
-        pattern: list[str] = []
+    def _analyze(self, item: Literal):
+        """Split one positive literal's argument positions by binding state:
+        ``(bound position, expression)`` pairs, first-occurrence frees, and
+        repeated-free filter positions."""
+        bound_exprs: list[tuple[int, str]] = []
         frees: list[tuple[int, str]] = []
         repeats: list[tuple[int, str]] = []
         seen_here: set[str] = set()
         for i, term in enumerate(item.atom.args):
             if isinstance(term, Constant):
-                pattern.append(g.const(term.value))
+                bound_exprs.append((i, self.g.const(term.value)))
             elif term.name in self.bound:
-                pattern.append(self.slot(term.name))
+                bound_exprs.append((i, self.slot(term.name)))
             elif term.name in seen_here:
                 # Repeated free variable within one atom: the first
                 # occurrence binds, later ones filter (unify_tuple).
-                pattern.append("None")
                 repeats.append((i, term.name))
             else:
-                pattern.append("None")
                 seen_here.add(term.name)
                 frees.append((i, term.name))
+        return bound_exprs, frees, repeats
+
+    def index_ref(self, rel: str, cols: tuple[int, ...]) -> str:
+        """Hoist the ``cols`` index dict into the prologue, once per pair.
+
+        The built-index hit goes straight at ``_indexes`` (kernels are
+        called once per delta, so the prologue itself is hot); only the
+        first probe after an index-dropping event pays ``index_for``.
+        """
+        name = self._index_refs.get((rel, cols))
+        if name is None:
+            name = f"_i{len(self._index_refs)}"
+            self._index_refs[(rel, cols)] = name
+            self.index_lines.append(
+                f"    {name} = {rel}._indexes.get({cols!r})"
+            )
+            self.index_lines.append(
+                f"    if {name} is None: {name} = {rel}.index_for({cols!r})"
+            )
+        return name
+
+    @staticmethod
+    def _packed_key(exprs: list[str]) -> str:
+        """The inline packed-int key over bound-column expressions, matching
+        :meth:`repro.engines.relation.ColumnIndexed._key_for` exactly."""
+        key = exprs[0]
+        for expr in exprs[1:]:
+            key = f"(({key} << 32) | {expr})"
+        return key
+
+    def _membership(self, item: Literal, rels: dict[str, str], bound_exprs) -> None:
+        # Fully bound probe: plain membership, no enumeration.
+        g = self.g
+        pattern = [expr for _, expr in bound_exprs]
+        g.emit(f"if {_tuple_expr(pattern)} in {rels[item.pred]}:")
+        g.indent += 1
+
+    def positive(self, item: Literal, rels: dict[str, str]) -> None:
+        g = self.g
+        bound_exprs, frees, repeats = self._analyze(item)
         rel = rels[item.pred]
         if not frees and not repeats:
-            # Fully bound probe: plain membership, no enumeration.
-            g.emit(f"if {_tuple_expr(pattern)} in {rel}:")
-            g.indent += 1
+            self._membership(item, rels, bound_exprs)
             return
         row = self._temp()
-        g.emit(f"for {row} in {rel}.matching({_tuple_expr(pattern)}):")
-        g.indent += 1
+        if not self.columnar:
+            pattern = [""] * len(item.atom.args)
+            for i, expr in bound_exprs:
+                pattern[i] = expr
+            for i, _ in frees:
+                pattern[i] = "None"
+            for i, _ in repeats:
+                pattern[i] = "None"
+            g.emit(f"for {row} in {rel}.matching({_tuple_expr(pattern)}):")
+            g.indent += 1
+        elif not bound_exprs:
+            src = self._temp()
+            g.emit(f"{src} = {rel}.scan_rows()")
+            if self.counted is not None:
+                g.emit(f"{self.counted}.join_probes += 1")
+                g.emit(f"{self.counted}.join_probe_rows += len({src})")
+            g.emit(f"for {row} in {src}:")
+            g.indent += 1
+        else:
+            cols = tuple(i for i, _ in bound_exprs)
+            index = self.index_ref(rel, cols)
+            key = self._packed_key([expr for _, expr in bound_exprs])
+            bucket = self._temp()
+            g.emit(f"{bucket} = {index}.get({key})")
+            if self.counted is not None:
+                g.emit(f"{self.counted}.join_probes += 1")
+            g.emit(f"if {bucket} is not None:")
+            g.indent += 1
+            if self.counted is not None:
+                g.emit(f"{self.counted}.join_probe_rows += len({bucket})")
+            # Snapshot the live bucket: downstream consumers mutate the
+            # relation while the generator is suspended mid-iteration.
+            g.emit(f"for {row} in tuple({bucket}):")
+            g.indent += 1
         for i, name in frees:
             g.emit(f"{self.slot(name)} = {row}[{i}]")
             self.bound.add(name)
@@ -277,8 +376,10 @@ class _KernelBuilder:
         self.g.emit(f"if {fn}({', '.join(self.term_expr(a) for a in item.args)}):")
         self.g.indent += 1
 
-    def lower_body(self, rels: dict[str, str], start: int) -> None:
-        for item in self.plan[start:]:
+    def lower_body(
+        self, rels: dict[str, str], start: int, stop: int | None = None
+    ) -> None:
+        for item in self.plan[start:stop]:
             if isinstance(item, Literal):
                 if item.negated:
                     self.negated(item, rels)
@@ -293,26 +394,82 @@ class _KernelBuilder:
 
     # -- emit tails --------------------------------------------------------
 
-    def emit_head(self) -> None:
-        parts = [self.term_expr(t) for t in self.rule.head.args]
-        self.g.emit(f"yield {_tuple_expr(parts)}")
+    def emit_expr(self, emit: str, spec, var_order: tuple[str, ...]) -> str:
+        """The yielded value as an expression over the current slots."""
+        if emit == "head":
+            return _tuple_expr([self.term_expr(t) for t in self.rule.head.args])
+        if emit == "regs":
+            return _tuple_expr([self.slot(n) for n in var_order])
+        if emit == "keyvalue":
+            key_parts: list[str] = []
+            value = None
+            for i, term in enumerate(spec.head.args):
+                if i == spec.agg_pos:
+                    value = self.slot(term.var.name)
+                else:
+                    key_parts.append(self.term_expr(term))
+            return f"({_tuple_expr(key_parts)}, {value})"
+        if emit == "exists":
+            return "True"
+        raise ValueError(f"unknown emit mode {emit!r}")  # pragma: no cover
 
-    def emit_regs(self, var_order: tuple[str, ...]) -> None:
-        parts = [self.slot(n) for n in var_order]
-        self.g.emit(f"yield {_tuple_expr(parts)}")
+    def emit_tail(self, emit: str, spec, var_order: tuple[str, ...]) -> None:
+        self.g.emit(f"yield {self.emit_expr(emit, spec, var_order)}")
 
-    def emit_keyvalue(self, spec) -> None:
-        key_parts: list[str] = []
-        value = None
-        for i, term in enumerate(spec.head.args):
-            if i == spec.agg_pos:
-                value = self.slot(term.var.name)
-            else:
-                key_parts.append(self.term_expr(term))
-        self.g.emit(f"yield ({_tuple_expr(key_parts)}, {value})")
+    def batch_tail(
+        self,
+        item: Literal,
+        rels: dict[str, str],
+        emit: str,
+        spec,
+        var_order: tuple[str, ...],
+    ) -> bool:
+        """Lower the innermost positive literal as one batched emission.
 
-    def emit_exists(self) -> None:
-        self.g.emit("yield True")
+        Instead of loop / unpack / yield per row, the kernel materializes
+        ``_batch = [<emit expr> for row in <source> if <filters>]`` and
+        ``yield from``s it — the enumeration runs at comprehension speed and,
+        because the whole batch is built before control returns to the
+        consumer, the live index bucket can be iterated without a snapshot
+        copy.  Returns False (caller falls back to the per-row path) when
+        the literal is fully bound, as there is nothing to enumerate.
+        """
+        g = self.g
+        bound_exprs, frees, repeats = self._analyze(item)
+        if not frees and not repeats:
+            return False
+        rel = rels[item.pred]
+        row = self._temp()
+        for i, name in frees:
+            self._slots[name] = f"{row}[{i}]"
+            self.bound.add(name)
+        conds = [f"{row}[{i}] == {self._slots[name]}" for i, name in repeats]
+        expr = self.emit_expr(emit, spec, var_order)
+        suffix = "".join(f" if {cond}" for cond in conds)
+        if not bound_exprs:
+            src = self._temp()
+            g.emit(f"{src} = {rel}.scan_rows()")
+            if self.counted is not None:
+                g.emit(f"{self.counted}.join_probes += 1")
+                g.emit(f"{self.counted}.join_probe_rows += len({src})")
+            g.emit(f"_batch = [{expr} for {row} in {src}{suffix}]")
+        else:
+            cols = tuple(i for i, _ in bound_exprs)
+            index = self.index_ref(rel, cols)
+            key = self._packed_key([e for _, e in bound_exprs])
+            bucket = self._temp()
+            g.emit(f"{bucket} = {index}.get({key})")
+            if self.counted is not None:
+                g.emit(f"{self.counted}.join_probes += 1")
+            g.emit(f"if {bucket} is not None:")
+            g.indent += 1
+            if self.counted is not None:
+                g.emit(f"{self.counted}.join_probe_rows += len({bucket})")
+            g.emit(f"_batch = [{expr} for {row} in {bucket}{suffix}]")
+        if self.counted is not None:
+            g.emit(f"{self.counted}.batch_rows_emitted += len(_batch)")
+        g.emit("yield from _batch")
+        return True
 
 
 def compile_kernel(
@@ -325,9 +482,11 @@ def compile_kernel(
     emit: str = "head",
     spec=None,
     var_order: tuple[str, ...] = (),
+    backend: str = "object",
+    metrics=None,
 ) -> Callable:
     """Generate and ``exec`` one specialized kernel for ``plan``."""
-    builder = _KernelBuilder(program, rule, plan)
+    builder = _KernelBuilder(program, rule, plan, backend=backend, metrics=metrics)
     args = ["lookup"]
     if mode == "pinned":
         args.append("_row")
@@ -343,18 +502,34 @@ def compile_kernel(
     prologue = builder.g.lines
     builder.g.lines = []
     rels = builder.hoist_relations(skip_first=mode == "pinned")
-    builder.g.lines = builder.g.lines + prologue
-    builder.lower_body(rels, start)
-    if emit == "head":
-        builder.emit_head()
-    elif emit == "regs":
-        builder.emit_regs(var_order)
-    elif emit == "keyvalue":
-        builder.emit_keyvalue(spec)
-    elif emit == "exists":
-        builder.emit_exists()
-    else:  # pragma: no cover
-        raise ValueError(f"unknown emit mode {emit!r}")
+    hoists = builder.g.lines
+    builder.g.lines = []
+    # Columnar kernels fuse the innermost positive literal with the emit
+    # into one batched comprehension; ``exists`` keeps the per-row path
+    # (callers rely on its lazy short-circuit).
+    batch_at = None
+    if (
+        builder.columnar
+        and emit in ("head", "regs", "keyvalue")
+        and len(plan) > start
+        and isinstance(plan[-1], Literal)
+        and not plan[-1].negated
+    ):
+        batch_at = len(plan) - 1
+    batched = False
+    if batch_at is not None:
+        builder.lower_body(rels, start, stop=batch_at)
+        batched = builder.batch_tail(plan[batch_at], rels, emit, spec, var_order)
+        if not batched:
+            builder.positive(plan[batch_at], rels)
+    else:
+        builder.lower_body(rels, start)
+    if not batched:
+        builder.emit_tail(emit, spec, var_order)
+    body = builder.g.lines
+    # Final line order: relation hoists, hoisted index dicts (which read
+    # the relation locals), the mode prologue, then the lowered body.
+    builder.g.lines = hoists + builder.index_lines + prologue + body
     source = builder.g.source(header)
     namespace = dict(builder.g.env)
     code = compile(source, f"<kernel:{rule.head.pred}>", "exec")
@@ -553,9 +728,11 @@ class KernelCache:
         metrics=None,
         interpret: bool | None = None,
         replan_factor: float | None = None,
+        backend: str = "object",
     ):
         self.program = program
         self.metrics = metrics
+        self.backend = backend
         self.interpret = interpret_requested() if interpret is None else interpret
         self.replan_factor = (
             replan_factor_from_env() if replan_factor is None else replan_factor
@@ -617,7 +794,8 @@ class KernelCache:
                 fn = compile_kernel(
                     self.program, rule, plan,
                     mode=mode, bound=bound_names, emit=emit, spec=spec,
-                    var_order=var_order,
+                    var_order=var_order, backend=self.backend,
+                    metrics=self.metrics,
                 )
         except BaseException:
             if metrics is not None:

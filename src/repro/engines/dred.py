@@ -49,7 +49,7 @@ from ..robustness import faults as _faults
 from .aggspec import AggSpec, compile_agg_specs
 from .base import FactChanges, Solver, UpdateStats
 from .grounding import bind_pinned
-from .relation import IndexedRelation, RelationStore
+from .relation import IndexedRelation, RelationStore, make_relation
 
 _MISSING = object()
 
@@ -63,11 +63,13 @@ class _DredComponent:
         program: Program,
         arities: dict,
         metrics: "SolverMetrics | None" = None,
+        backend: str = "object",
     ):
         self.component = component
         self.program = program
         self.arities = arities
         self.metrics = metrics
+        self.backend = backend
         self.specs: dict[str, AggSpec] = compile_agg_specs(component.rules, program)
         self.specs_by_collecting: dict[str, list[AggSpec]] = {}
         for spec in self.specs.values():
@@ -128,7 +130,7 @@ class _DredComponent:
                     f"unknown predicate {pred!r} in component "
                     f"{sorted(self.component.predicates)}"
                 )
-            relation = IndexedRelation(arity, metrics=self.metrics)
+            relation = make_relation(arity, metrics=self.metrics, backend=self.backend)
             self.relations[pred] = relation
             if self.journal is not None:
                 relation.journal = self.journal
@@ -173,10 +175,13 @@ class DRedLSolver(Solver):
             raise ValueError(f"unknown aggregation mode {aggregation!r}")
         self.inflationary = aggregation == "inflationary"
         self._states = [
-            _DredComponent(c, self.program, self.arities, self._store_metrics())
+            _DredComponent(
+                c, self.program, self.arities, self._store_metrics(),
+                backend=self.backend,
+            )
             for c in self.components
         ]
-        self._exported = RelationStore(self.arities)
+        self._exported = RelationStore(self.arities, backend=self.backend)
         self.last_stats: UpdateStats | None = None
 
     # -- public API ----------------------------------------------------------
@@ -185,7 +190,9 @@ class DRedLSolver(Solver):
         active = self.metrics.active
         started = perf_counter() if active else 0.0
         self.budget.begin()
-        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
+        self._exported = RelationStore(
+            self.arities, metrics=self._store_metrics(), backend=self.backend
+        )
         for state in self._states:
             state.metrics = self._store_metrics()
             state.reset()
@@ -255,9 +262,9 @@ class DRedLSolver(Solver):
             if pred not in exports or pred in self.edb:
                 continue
             if added:
-                stats.inserted[pred] = set(added)
+                stats.inserted[pred] = {self._extern_row(row) for row in added}
             if removed:
-                stats.deleted[pred] = set(removed)
+                stats.deleted[pred] = {self._extern_row(row) for row in removed}
         self.last_stats = stats
         if active:
             self.metrics.update_seconds += perf_counter() - started
@@ -265,7 +272,7 @@ class DRedLSolver(Solver):
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
-        return frozenset(self._exported.get(pred).tuples)
+        return self._export_rows(self._exported.get(pred).tuples)
 
     def state_size(self) -> int:
         return self._exported.state_size() + sum(

@@ -67,7 +67,24 @@ def explain(
     row = tuple(row)
     if row not in solver.relation(pred):
         raise SolverError(f"{pred}{row} is not derived")
-    return _explain(solver, pred, row, path=set(), depth=max_depth)
+    table = solver.intern
+    if table is None:
+        return _explain(solver, pred, row, path=set(), depth=max_depth)
+    # Columnar backend: the solver's program and stores live in intern-handle
+    # space, so the search runs there (the membership check above guarantees
+    # every constant of ``row`` has a handle) and the finished tree is
+    # externalized for the caller.
+    tree = _explain(
+        solver, pred, table.lookup_row(row), path=set(), depth=max_depth
+    )
+    _extern_tree(tree, table)
+    return tree
+
+
+def _extern_tree(node: Derivation, table) -> None:
+    node.row = table.extern_row(node.row)
+    for premise in node.premises:
+        _extern_tree(premise, table)
 
 
 def _explain(solver, pred, row, path, depth) -> Derivation:
@@ -153,7 +170,13 @@ class _ExportView:
     """Adapter exposing exported relations with the matching() protocol."""
 
     def __init__(self, solver, pred):
-        self._rows = solver.relation(pred)
+        if solver.intern is not None:
+            # Internal (handle-space) exported rows: the plans and registered
+            # tests being re-run here come from the interned program copy.
+            solver._require_solved()
+            self._rows = frozenset(solver._exported.get(pred).tuples)
+        else:
+            self._rows = solver.relation(pred)
         self._arity = None
 
     def matching(self, pattern):

@@ -63,6 +63,19 @@ class AggTree:
     def __bool__(self) -> bool:
         return self._root is not None
 
+    # Checkpoints never serialize the combine callable (it may close over
+    # the live intern table); the restorer calls :meth:`rebind`.
+
+    def __getstate__(self):
+        return (self._root, self._size)
+
+    def __setstate__(self, state):
+        self._combine = None
+        self._root, self._size = state
+
+    def rebind(self, combine: Callable[[object, object], object]) -> None:
+        self._combine = combine
+
     def aggregate(self):
         """The aggregate of the whole multiset (the tree-root ``r_i``)."""
         if self._root is None:

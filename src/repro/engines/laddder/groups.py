@@ -42,6 +42,34 @@ class GroupState:
     def __bool__(self) -> bool:
         return bool(self._times)
 
+    # -- pickling (checkpoints) -------------------------------------------
+    #
+    # ``_combine`` is a bound method of a registered aggregator (under the
+    # columnar backend: of an InternedAggregator holding the live intern
+    # table), and the journal belongs to an in-flight guard.  Neither may
+    # travel through a checkpoint — the restorer rebinds combine from the
+    # freshly constructed solver's own registry (:func:`rebind`).
+
+    def __getstate__(self):
+        return {
+            name: getattr(self, name)
+            for cls in type(self).__mro__
+            for name in getattr(cls, "__slots__", ())
+            if name not in ("_combine", "journal")
+        }
+
+    def __setstate__(self, state):
+        self._combine = None
+        self.journal = None
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def rebind(self, combine: Callable[[object, object], object]) -> None:
+        """Attach a live combine after unpickling (checkpoint restore)."""
+        self._combine = combine
+        for tree in self._trees.values():
+            tree.rebind(combine)
+
     def insert(self, timestamp: int, value: object) -> None:
         """Add one aggregand appearing at ``timestamp`` and re-roll."""
         tree = self._trees.get(timestamp)

@@ -77,6 +77,48 @@ def _reaches(deps: dict[str, set[str]], start: str, target: str) -> bool:
     return False
 
 
+class _ComponentRelations(dict):
+    """``pred -> TimedRelation`` with create-on-first-touch via ``__missing__``.
+
+    Kernels and the compensation loop resolve relations on every probe;
+    making the hit path a plain C-level ``dict.__getitem__`` (the bound
+    ``__getitem__`` is what gets passed into kernels as their ``lookup``)
+    keeps that resolution off the Python frame stack.  Only an actual miss
+    pays for creation — including journal registration, so guarded-update
+    rollback semantics are identical to the old ``rel()`` slow path.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: "_ComponentState"):
+        super().__init__()
+        self.state = state
+
+    def __reduce__(self):
+        # Checkpoints capture relation maps; the ``state`` backref (plans,
+        # kernels, registered callables) must not travel with them, so the
+        # map pickles as a plain dict and the restorer rewraps it
+        # (:meth:`_ComponentState.adopt_relations`).
+        return (dict, (), None, None, iter(self.items()))
+
+    def __missing__(self, pred: str) -> TimedRelation:
+        state = self.state
+        arity = state.arities.get(pred)
+        if arity is None:
+            raise SolverError(
+                f"unknown predicate {pred!r} in component "
+                f"{sorted(state.component.predicates)}"
+            )
+        relation = TimedRelation(
+            arity, metrics=state.metrics, packed=state.backend == "columnar"
+        )
+        self[pred] = relation
+        if state.journal is not None:
+            relation.journal = state.journal
+            state.journal.append((self.pop, pred, None))
+        return relation
+
+
 class _ComponentState:
     """Compiled plans plus runtime state for one dependency component."""
 
@@ -86,11 +128,13 @@ class _ComponentState:
         program: Program,
         arities: dict,
         metrics: "SolverMetrics | None" = None,
+        backend: str = "object",
     ):
         self.component = component
         self.program = program
         self.arities = arities
         self.metrics = metrics
+        self.backend = backend
         self.specs: dict[str, AggSpec] = compile_agg_specs(component.rules, program)
         self.specs_by_collecting: dict[str, list[AggSpec]] = {}
         for spec in self.specs.values():
@@ -145,7 +189,7 @@ class _ComponentState:
             if not _reaches(deps, pred, pred)
         )
 
-        self.relations: dict[str, TimedRelation] = {}
+        self.relations: _ComponentRelations = _ComponentRelations(self)
         self.groups: dict[str, dict[tuple, GroupState]] = {p: {} for p in self.specs}
         #: Undo log installed by UpdateGuard for the duration of a guarded
         #: update; newly created relations inherit it and their creation is
@@ -153,24 +197,18 @@ class _ComponentState:
         self.journal: list | None = None
 
     def reset(self) -> None:
-        self.relations = {}
+        self.relations = _ComponentRelations(self)
         self.groups = {p: {} for p in self.specs}
 
+    def adopt_relations(self, mapping: dict) -> None:
+        """Rewrap a checkpoint-restored plain relation dict (pickled via
+        :meth:`_ComponentRelations.__reduce__`) into the live container."""
+        relations = _ComponentRelations(self)
+        relations.update(mapping)
+        self.relations = relations
+
     def rel(self, pred: str) -> TimedRelation:
-        relation = self.relations.get(pred)
-        if relation is None:
-            arity = self.arities.get(pred)
-            if arity is None:
-                raise SolverError(
-                    f"unknown predicate {pred!r} in component "
-                    f"{sorted(self.component.predicates)}"
-                )
-            relation = TimedRelation(arity, metrics=self.metrics)
-            self.relations[pred] = relation
-            if self.journal is not None:
-                relation.journal = self.journal
-                self.journal.append((self.relations.pop, pred, None))
-        return relation
+        return self.relations[pred]
 
     def timeline_entries(self) -> int:
         """Differential-count entries across the component (gauge)."""
@@ -196,10 +234,13 @@ class LaddderSolver(Solver):
     def __init__(self, program: Program, metrics: SolverMetrics | None = None):
         super().__init__(program, metrics=metrics)
         self._states = [
-            _ComponentState(c, self.program, self.arities, self._store_metrics())
+            _ComponentState(
+                c, self.program, self.arities, self._store_metrics(),
+                backend=self.backend,
+            )
             for c in self.components
         ]
-        self._exported = RelationStore(self.arities)
+        self._exported = RelationStore(self.arities, backend=self.backend)
         self.last_stats: UpdateStats | None = None
         #: Settled-timeline compaction after each update epoch, for
         #: predicates with no dependency cycle through themselves — the
@@ -217,7 +258,9 @@ class LaddderSolver(Solver):
         active = self.metrics.active
         started = perf_counter() if active else 0.0
         self.budget.begin()
-        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
+        self._exported = RelationStore(
+            self.arities, metrics=self._store_metrics(), backend=self.backend
+        )
         for state in self._states:
             state.metrics = self._store_metrics()
             state.reset()
@@ -231,7 +274,9 @@ class LaddderSolver(Solver):
                 for row in self._exported.get(pred).tuples:
                     deltas.append((pred, row, 0, 1))
             for rule in state.static_rules:
-                for head_row in self.kernels.kernel(rule).fn(state.rel):
+                for head_row in self.kernels.kernel(rule).fn(
+                    state.relations.__getitem__
+                ):
                     deltas.append((rule.head.pred, head_row, 0, 1))
             self._compensate(state, deltas, index)
             self._run_self_check(index)
@@ -290,9 +335,9 @@ class LaddderSolver(Solver):
             if pred not in exports or pred in self.edb:
                 continue
             if added:
-                stats.inserted[pred] = set(added)
+                stats.inserted[pred] = {self._extern_row(row) for row in added}
             if removed:
-                stats.deleted[pred] = set(removed)
+                stats.deleted[pred] = {self._extern_row(row) for row in removed}
         self.last_stats = stats
         if active:
             self.metrics.update_seconds += perf_counter() - started
@@ -307,7 +352,7 @@ class LaddderSolver(Solver):
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
-        return frozenset(self._exported.get(pred).tuples)
+        return self._export_rows(self._exported.get(pred).tuples)
 
     def state_size(self) -> int:
         return self._exported.state_size() + sum(
@@ -318,6 +363,10 @@ class LaddderSolver(Solver):
 
     def timeline(self, pred: str, row: tuple):
         """The differential count timeline of a tuple (Figure 5), if any."""
+        if self.intern is not None:
+            row = self.intern.lookup_row(row)
+            if row is None:
+                return None
         for state in self._states:
             if pred in state.component.predicates or pred in state.reads:
                 relation = state.relations.get(pred)
@@ -343,7 +392,7 @@ class LaddderSolver(Solver):
                     if first == NEVER:
                         continue
                     out.setdefault(int(first), []).append(
-                        (pred, row, timeline.cumulative(int(first)))
+                        (pred, self._extern_row(row), timeline.cumulative(int(first)))
                     )
         return {t: sorted(rows, key=repr) for t, rows in sorted(out.items())}
 
@@ -463,7 +512,7 @@ class LaddderSolver(Solver):
                 if delta == 0:
                     continue
                 work += 1
-                relation = state.rel(pred)
+                relation = state.relations[pred]
                 old_first = relation.first(row)
                 if pred in state.component.predicates:
                     presence_before.setdefault(pred, {}).setdefault(
@@ -475,7 +524,7 @@ class LaddderSolver(Solver):
                 relation.add_delta(row, t, delta, redirect=fold)
                 if fold:
                     touched.add((pred, row))
-                new_first = relation.timelines[row].first()
+                new_first = relation._first[row]
                 if stratum is not None:
                     metrics.compensation(pred, row, t, delta)
                     if delta > 0:
@@ -524,6 +573,7 @@ class LaddderSolver(Solver):
         metrics = self.metrics
         by_rule: dict[int, set] = {}
         neg_skip = (pred, row)
+        lookup = state.relations.__getitem__
         for rule, shape, kernel in entries:
             if _faults.ACTIVE is not None:
                 _faults.fire("kernel.emit")
@@ -535,7 +585,7 @@ class LaddderSolver(Solver):
             # ``regs`` is the canonical substitution (values in sorted
             # variable-name order), so it doubles as the cross-occurrence
             # dedup key — the positional analogue of sorted(theta.items()).
-            for regs in kernel(state.rel, row, neg_skip=neg_skip):
+            for regs in kernel(lookup, row, neg_skip=neg_skip):
                 if regs in seen:
                     continue
                 seen.add(regs)
@@ -578,22 +628,35 @@ class LaddderSolver(Solver):
         """
         t_old: float = -1.0
         t_new: float = -1.0
+        relations = state.relations
         for negated, lit_pred, grounder in shape.literals:
             grounded = grounder(regs)
             is_changed = lit_pred == pred and grounded == row
+            # Reads go straight at the relations dict: a predicate with no
+            # relation yet simply has no tuples (first == NEVER), and a pure
+            # probe must not force an empty relation into existence.
             if negated:
                 # Factor exists (at 0) while the atom is ABSENT.
                 if is_changed:
                     f_old = 0.0 if old_first == NEVER else NEVER
                     f_new = 0.0 if new_first == NEVER else NEVER
                 else:
-                    present = state.rel(lit_pred).first(grounded) != NEVER
+                    relation = relations.get(lit_pred)
+                    present = (
+                        relation is not None
+                        and relation.first(grounded) != NEVER
+                    )
                     f_old = f_new = NEVER if present else 0.0
             else:
                 if is_changed:
                     f_old, f_new = old_first, new_first
                 else:
-                    f_old = f_new = state.rel(lit_pred).first(grounded)
+                    relation = relations.get(lit_pred)
+                    f_old = f_new = (
+                        relation.first(grounded)
+                        if relation is not None
+                        else NEVER
+                    )
             t_old = max(t_old, f_old)
             t_new = max(t_new, f_new)
         return (

@@ -27,14 +27,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 class TimedRelation(ColumnIndexed):
     """Tuples with differential count timelines and lazy column indexes."""
 
-    __slots__ = ("arity", "timelines", "_indexes", "metrics", "journal")
+    __slots__ = (
+        "arity", "timelines", "_indexes", "metrics", "journal", "packed",
+        "_scan_cache", "_first",
+    )
 
-    def __init__(self, arity: int, metrics: "SolverMetrics | None" = None):
+    def __init__(
+        self,
+        arity: int,
+        metrics: "SolverMetrics | None" = None,
+        packed: bool = False,
+    ):
         self.arity = arity
         self.timelines: dict[tuple, Timeline] = {}
-        self._indexes: dict[tuple[int, ...], dict[tuple, set[tuple]]] = {}
+        self._indexes: dict[tuple[int, ...], dict] = {}
         self.metrics = metrics
         self.journal: list | None = None
+        self.packed = packed
+        self._scan_cache: tuple | None = None
+        #: tuple -> cached first-existence timestamp; maintained on every
+        #: timeline mutation so :meth:`first` — the single hottest probe of
+        #: epoch compensation — is one dict lookup instead of a prefix scan.
+        self._first: dict[tuple, float] = {}
 
     # -- the IndexedRelation protocol used by run_plan ---------------------
 
@@ -79,6 +93,7 @@ class TimedRelation(ColumnIndexed):
             timeline.add(at, d)
             if journal is not None:
                 journal.append((self._undo_delta, item, at, -d))
+        self._first[item] = timeline.first()
         return timeline
 
     def _undo_delta(self, item: tuple, timestamp: int, delta: int) -> None:
@@ -128,13 +143,11 @@ class TimedRelation(ColumnIndexed):
             self._register(item)
         timeline._times[:] = times
         timeline._deltas[:] = deltas
+        self._first[item] = timeline.first()
 
     def first(self, item: tuple) -> float:
         """First-existence timestamp of ``item``, or ``NEVER``."""
-        timeline = self.timelines.get(item)
-        if timeline is None:
-            return NEVER
-        return timeline.first()
+        return self._first.get(item, NEVER)
 
     def cleanup(self, item: tuple) -> None:
         """Physically drop ``item`` if its timeline became empty."""
@@ -142,6 +155,7 @@ class TimedRelation(ColumnIndexed):
         if timeline is None or timeline:
             return
         del self.timelines[item]
+        del self._first[item]
         self._unregister(item)
 
     def present_tuples(self) -> set[tuple]:

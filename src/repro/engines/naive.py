@@ -29,8 +29,8 @@ class NaiveSolver(Solver):
 
     def __init__(self, program: Program, metrics: SolverMetrics | None = None):
         super().__init__(program, metrics=metrics)
-        self._exported = RelationStore(self.arities)
-        self._raw = RelationStore(self.arities)
+        self._exported = RelationStore(self.arities, backend=self.backend)
+        self._raw = RelationStore(self.arities, backend=self.backend)
 
     # -- public API ----------------------------------------------------------
 
@@ -38,8 +38,10 @@ class NaiveSolver(Solver):
         active = self.metrics.active
         started = perf_counter() if active else 0.0
         self.budget.begin()
-        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
-        self._raw = RelationStore(self.arities)
+        self._exported = RelationStore(
+            self.arities, metrics=self._store_metrics(), backend=self.backend
+        )
+        self._raw = RelationStore(self.arities, backend=self.backend)
         for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
@@ -73,14 +75,14 @@ class NaiveSolver(Solver):
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
-        return frozenset(self._exported.get(pred).tuples)
+        return self._export_rows(self._exported.get(pred).tuples)
 
     def raw_relation(self, pred: str) -> frozenset[tuple]:
         """The un-pruned inflationary fixpoint content (``D_raw``)."""
         self._require_solved()
         if pred in self.edb:
-            return frozenset(self._exported.get(pred).tuples)
-        return frozenset(self._raw.get(pred).tuples)
+            return self._export_rows(self._exported.get(pred).tuples)
+        return self._export_rows(self._raw.get(pred).tuples)
 
     def state_size(self) -> int:
         return self._exported.state_size() + self._raw.state_size()
@@ -93,7 +95,9 @@ class NaiveSolver(Solver):
             metrics.stratum(index, component.predicates) if metrics.active else None
         )
         started = perf_counter() if stratum is not None else 0.0
-        local = RelationStore(self.arities, metrics=self._store_metrics())
+        local = RelationStore(
+            self.arities, metrics=self._store_metrics(), backend=self.backend
+        )
         specs = compile_agg_specs(component.rules, self.program)
 
         def lookup(pred: str) -> IndexedRelation:

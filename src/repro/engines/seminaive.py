@@ -30,13 +30,38 @@ from .base import FactChanges, Solver, UpdateStats
 from .relation import IndexedRelation, RelationStore
 
 
+class _ResolvedRelations(dict):
+    """``pred -> relation`` cache dispatching misses to the right store.
+
+    Kernels resolve their relations on every call; the bound
+    ``__getitem__`` of this dict is what they receive as ``lookup``, so the
+    hit path is one C-level dict lookup and only the first touch of a
+    predicate per component visit pays the store dispatch.
+    """
+
+    __slots__ = ("local", "exported", "predicates")
+
+    def __init__(
+        self, local: RelationStore, exported: RelationStore, predicates
+    ):
+        super().__init__()
+        self.local = local
+        self.exported = exported
+        self.predicates = predicates
+
+    def __missing__(self, pred: str) -> IndexedRelation:
+        store = self.local if pred in self.predicates else self.exported
+        relation = self[pred] = store.get(pred)
+        return relation
+
+
 class SemiNaiveSolver(Solver):
     """Delta-driven from-scratch evaluation with running aggregation totals."""
 
     def __init__(self, program: Program, metrics: SolverMetrics | None = None):
         super().__init__(program, metrics=metrics)
-        self._exported = RelationStore(self.arities)
-        self._raw = RelationStore(self.arities)
+        self._exported = RelationStore(self.arities, backend=self.backend)
+        self._raw = RelationStore(self.arities, backend=self.backend)
         #: aggregated pred -> group key -> running total (valid per solve()).
         self._totals: dict[str, dict[tuple, object]] = {}
 
@@ -46,8 +71,10 @@ class SemiNaiveSolver(Solver):
         active = self.metrics.active
         started = perf_counter() if active else 0.0
         self.budget.begin()
-        self._exported = RelationStore(self.arities, metrics=self._store_metrics())
-        self._raw = RelationStore(self.arities)
+        self._exported = RelationStore(
+            self.arities, metrics=self._store_metrics(), backend=self.backend
+        )
+        self._raw = RelationStore(self.arities, backend=self.backend)
         self._totals = {}
         for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
@@ -82,13 +109,13 @@ class SemiNaiveSolver(Solver):
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
-        return frozenset(self._exported.get(pred).tuples)
+        return self._export_rows(self._exported.get(pred).tuples)
 
     def raw_relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
         if pred in self.edb:
-            return frozenset(self._exported.get(pred).tuples)
-        return frozenset(self._raw.get(pred).tuples)
+            return self._export_rows(self._exported.get(pred).tuples)
+        return self._export_rows(self._raw.get(pred).tuples)
 
     def state_size(self) -> int:
         totals = sum(len(g) for g in self._totals.values())
@@ -102,17 +129,20 @@ class SemiNaiveSolver(Solver):
             metrics.stratum(index, component.predicates) if metrics.active else None
         )
         started = perf_counter() if stratum is not None else 0.0
-        local = RelationStore(self.arities, metrics=self._store_metrics())
+        local = RelationStore(
+            self.arities, metrics=self._store_metrics(), backend=self.backend
+        )
         specs = compile_agg_specs(component.rules, self.program)
         plain_rules = [r for r in component.rules if not r.is_aggregation]
 
-        def lookup(pred: str) -> IndexedRelation:
-            if pred in component.predicates:
-                return local.get(pred)
-            return self._exported.get(pred)
+        # Relation resolution is on every kernel's path, several probes per
+        # call; once resolved, the relation object is stable for the rest of
+        # this component visit, so cache the store dispatch away.
+        resolved = _ResolvedRelations(local, self._exported, component.predicates)
+        lookup = resolved.__getitem__
 
         def oracle(pred: str) -> int:
-            return len(lookup(pred))
+            return len(resolved[pred])
 
         # Resolve kernels once per component visit (plans are cached across
         # visits; refresh re-plans only on large cardinality shifts).
@@ -144,7 +174,7 @@ class SemiNaiveSolver(Solver):
         counts = [0, 0]
 
         def derive(pred: str, row: tuple, next_delta: dict) -> None:
-            if local.get(pred).add(row):
+            if lookup(pred).add(row):
                 next_delta.setdefault(pred, set()).add(row)
                 counts[0] += 1
             else:

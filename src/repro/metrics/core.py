@@ -151,6 +151,10 @@ class SolverMetrics:
         "sink",
         "engine",
         "join_probes",
+        "join_probe_rows",
+        "interned_constants",
+        "columnar_relations",
+        "batch_rows_emitted",
         "index_builds",
         "rules_fired",
         "tuples_derived",
@@ -202,7 +206,16 @@ class SolverMetrics:
     def reset(self) -> None:
         """Zero every counter (keeps ``enabled``/``sink``/``engine``)."""
         self.join_probes = 0
+        self.join_probe_rows = 0
         self.index_builds = 0
+        # Storage-backend counters (see repro.engines.relation /
+        # docs/PERFORMANCE.md).  Interning and relation creation happen at
+        # construction / first touch — rare enough to record even while
+        # disabled; ``join_probe_rows`` and ``batch_rows_emitted`` follow
+        # the join-probe convention and only count while active.
+        self.interned_constants = 0
+        self.columnar_relations = 0
+        self.batch_rows_emitted = 0
         self.rules_fired = 0
         self.tuples_derived = 0
         self.tuples_deduplicated = 0
@@ -357,6 +370,7 @@ class SolverMetrics:
             "engine": self.engine,
             "totals": {
                 "join_probes": self.join_probes,
+                "join_probe_rows": self.join_probe_rows,
                 "index_builds": self.index_builds,
                 "rules_fired": self.rules_fired,
                 "tuples_derived": self.tuples_derived,
@@ -371,6 +385,11 @@ class SolverMetrics:
                 "max_queue_depth": self.max_queue_depth,
                 "timeline_entries": self.timeline_entries,
                 "timelines_compacted": self.timelines_compacted,
+            },
+            "storage": {
+                "interned_constants": self.interned_constants,
+                "columnar_relations": self.columnar_relations,
+                "batch_rows_emitted": self.batch_rows_emitted,
             },
             "compile": {
                 "rules_compiled": self.rules_compiled,

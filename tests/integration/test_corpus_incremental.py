@@ -34,7 +34,7 @@ def run_sequence(instance, changes, engines, check_every=4):
         change.apply_to(facts)
         if (i + 1) % check_every == 0 or i + 1 == len(changes):
             oracle = instance.make_solver(SemiNaiveSolver, solve=False)
-            oracle._facts = {pred: set(rows) for pred, rows in facts.items()}
+            oracle.replace_facts({pred: set(rows) for pred, rows in facts.items()})
             oracle.solve()
             expected = oracle.relations()
             for solver in solvers:

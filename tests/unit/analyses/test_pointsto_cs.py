@@ -92,7 +92,7 @@ class TestOnFigure3:
         facts = {k: set(v) for k, v in inst.facts.items()}
         facts["alloc"].discard(alloc)
         oracle = inst.make_solver(SemiNaiveSolver, solve=False)
-        oracle._facts = facts
+        oracle.replace_facts(facts)
         oracle.solve()
         assert solver.relations() == oracle.relations()
         solver.update(insertions={"alloc": {alloc}})

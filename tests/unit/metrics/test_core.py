@@ -149,11 +149,16 @@ class TestExport:
         m.join_probes = 10
         d = m.to_dict()
         assert set(d) == {
-            "engine", "totals", "laddder", "compile", "check", "strata",
-            "rules", "robustness", "service",
+            "engine", "totals", "laddder", "storage", "compile", "check",
+            "strata", "rules", "robustness", "service",
         }
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10
+        assert set(d["storage"]) == {
+            "interned_constants",
+            "columnar_relations",
+            "batch_rows_emitted",
+        }
         assert set(d["robustness"]) == {
             "rollbacks",
             "fallback_resolves",

@@ -107,8 +107,9 @@ class TestDetectsCorruption:
         index = next(
             i for i, c in enumerate(solver.components) if "tc" in c.predicates
         )
-        solver._raw.get("tc").discard((1, 3))
-        solver._exported.get("tc").discard((1, 3))
+        row = solver._intern_row((1, 3))
+        solver._raw.get("tc").discard(row)
+        solver._exported.get("tc").discard(row)
         with pytest.raises(InvariantViolationError, match="closed|pruned"):
             check_component(solver, index)
 

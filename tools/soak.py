@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -46,6 +47,11 @@ def parse_args(argv=None):
     parser.add_argument("--checkpoint-every", type=int, default=25)
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument(
+        "--backend", default=None,
+        help="comma-separated storage backends to matrix over "
+        "(object, columnar, auto; default: inherit REPRO_BACKEND)",
+    )
+    parser.add_argument(
         "--self-check", action="store_true",
         help="run the guarded solver's invariant self-checks every epoch",
     )
@@ -67,7 +73,8 @@ def summarize(record: dict) -> str:
         f"{record['baseline_gauges'].get('timeline_excess', 0)}->{gauge}"
     )
     return (
-        f"{record['subject']}/{record['analysis']}/{record['engine']}: "
+        f"{record['subject']}/{record['analysis']}/{record['engine']}"
+        f"[{record.get('backend', 'object')}]: "
         f"{'ok' if record['ok'] else 'FAIL'}  "
         f"steps={record['steps']} seed={record['seed']} "
         f"p50={latency['p50'] * 1e3:.1f}ms p95={latency['p95'] * 1e3:.1f}ms "
@@ -78,22 +85,31 @@ def summarize(record: dict) -> str:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.backend:
+        backends = [b.strip() for b in args.backend.split(",") if b.strip()]
+    else:
+        backends = [None]  # inherit whatever REPRO_BACKEND says
     records = []
-    for analysis in args.analyses.split(","):
-        for engine in args.engines.split(","):
-            record = soak(
-                args.subject,
-                analysis.strip(),
-                engine=engine.strip(),
-                steps=args.steps,
-                seed=args.seed,
-                checkpoint_every=args.checkpoint_every,
-                scale=args.scale,
-                self_check=args.self_check,
-                drive_session=args.session,
-            )
-            records.append(record)
-            print(summarize(record), flush=True)
+    for backend in backends:
+        if backend is not None:
+            os.environ["REPRO_BACKEND"] = backend
+        label = backend or os.environ.get("REPRO_BACKEND") or "object"
+        for analysis in args.analyses.split(","):
+            for engine in args.engines.split(","):
+                record = soak(
+                    args.subject,
+                    analysis.strip(),
+                    engine=engine.strip(),
+                    steps=args.steps,
+                    seed=args.seed,
+                    checkpoint_every=args.checkpoint_every,
+                    scale=args.scale,
+                    self_check=args.self_check,
+                    drive_session=args.session,
+                )
+                record["backend"] = label
+                records.append(record)
+                print(summarize(record), flush=True)
     if args.json:
         print(json.dumps(records, indent=2, default=str))
     failures = [r for r in records if not r["ok"]]
