@@ -49,9 +49,11 @@ from .datalog.errors import (
     CheckpointError,
     DatalogError,
     InvariantViolationError,
+    RetryExhaustedError,
     RollbackError,
     ShutdownRequested,
     SolverError,
+    WorkerCrashError,
 )
 from .bench import (
     DISTRIBUTION_HEADERS,
@@ -81,6 +83,8 @@ EXIT_CODES = {
     CheckpointError: 5,
     RollbackError: 6,
     ShutdownRequested: EXIT_INTERRUPTED,
+    WorkerCrashError: 8,
+    RetryExhaustedError: 9,
 }
 
 
@@ -265,17 +269,49 @@ def cmd_serve(args) -> int:
     instead (``--port 0`` binds an ephemeral port and prints it).  Both
     drain every session — including a batch mid-apply — before exiting, on
     end-of-input, a ``shutdown`` request, SIGINT, or SIGTERM.
-    """
-    from .service import ServiceProtocol, ServiceServer, serve_stdio
 
-    protocol = ServiceProtocol()
+    ``--workers N`` shards sessions across N supervised worker processes
+    with crash recovery from periodic checkpoints (``--checkpoint-every``,
+    spooled under ``--spool``); a termination signal is forwarded to the
+    whole worker tree, which drains before the front end exits with the
+    usual interrupt code 7.
+    """
+    from .service import (
+        ClusterConfig,
+        ClusterService,
+        ServiceProtocol,
+        ServiceServer,
+        serve_stdio,
+    )
+
+    cluster = None
+    if args.workers is not None:
+        cluster = ClusterService(
+            ClusterConfig(
+                workers=args.workers,
+                checkpoint_every=args.checkpoint_every,
+                spool=args.spool,
+            )
+        )
+        pids = " ".join(
+            f"{slot}={pid}" for slot, pid in sorted(cluster.worker_pids().items())
+        )
+        print(f"repro serve cluster: {pids}", flush=True)
+        protocol = cluster
+    else:
+        protocol = ServiceProtocol()
+    def stop(signum, frame):
+        # Forward the signal to the worker tree first: workers drain
+        # their sessions on SIGTERM exactly like the front end does, so
+        # one signal takes the whole process tree down gracefully.
+        if cluster is not None:
+            cluster.terminate_workers()
+        raise ShutdownRequested(f"received signal {signum}")
+
     if args.port is not None:
         server = ServiceServer(args.host, args.port, protocol)
         print(f"repro serve listening on {server.host}:{server.port}",
               flush=True)
-
-        def stop(signum, frame):
-            raise ShutdownRequested(f"received signal {signum}")
 
         restore_signals = install_signal_handlers(stop)
         try:
@@ -288,7 +324,7 @@ def cmd_serve(args) -> int:
             restore_signals()
         return 0
 
-    restore_signals = install_signal_handlers()
+    restore_signals = install_signal_handlers(stop)
     try:
         serve_stdio(protocol, sys.stdin, sys.stdout)
     except ShutdownRequested as exc:
@@ -530,6 +566,15 @@ def make_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--port", type=int, default=None,
                            help="serve a TCP socket instead of stdio "
                                 "(0 binds an ephemeral port and prints it)")
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="shard sessions across N supervised worker "
+                                "processes with crash recovery")
+    serve_cmd.add_argument("--checkpoint-every", type=int, default=16,
+                           help="checkpoint each session every K applied "
+                                "batches (cluster mode; default 16)")
+    serve_cmd.add_argument("--spool", default=None,
+                           help="checkpoint spool directory (cluster mode; "
+                                "default: a fresh temp directory)")
     serve_cmd.set_defaults(fn=cmd_serve)
     return parser
 
@@ -540,8 +585,8 @@ def main(argv: list[str] | None = None) -> int:
     Typed solver failures map to distinct nonzero exit codes with a
     one-line message on stderr (see ``EXIT_CODES``; docs/ROBUSTNESS.md):
     watchdog trip 3, invariant violation 4, checkpoint failure 5, rolled-
-    back update 6, graceful signal-driven shutdown 7, any other
-    Datalog/solver error 2.
+    back update 6, graceful signal-driven shutdown 7, unrecovered worker
+    crash 8, retry exhaustion 9, any other Datalog/solver error 2.
     """
     args = make_parser().parse_args(argv)
     if getattr(args, "limit", None) == -1:

@@ -79,6 +79,34 @@ class ServiceError(SolverError):
     other session on the server — keeps serving."""
 
 
+class WorkerCrashError(ServiceError):
+    """A cluster worker process died (exit, signal, unresponsive past its
+    liveness deadline) while requests were outstanding on it.
+
+    The supervisor restarts the worker and recovers its sessions from
+    their latest checkpoints plus the front-end op journal; dispatchers
+    see this error internally and either resume from the replay outcome
+    or retry against the replacement worker.  It only escapes to a client
+    (or the CLI, exit code 8) when recovery itself fails."""
+
+
+class RetryExhaustedError(ServiceError):
+    """A routed request failed on every attempt the retry policy allows.
+
+    Each attempt hit a crashed worker, a per-request timeout, or an
+    injected dispatch fault, with capped exponential backoff between
+    attempts; the last failure is chained as ``__cause__``.  CLI exit
+    code 9 (docs/ROBUSTNESS.md)."""
+
+
+class OverloadedError(ServiceError):
+    """A worker's bounded in-flight queue is full; the request was
+    rejected *before* dispatch rather than silently queued or dropped.
+
+    Clients receive a typed ``overloaded`` error response and should back
+    off and resend; nothing about the session changed."""
+
+
 class ShutdownRequested(DatalogError):
     """A termination signal (SIGINT/SIGTERM) asked the process to stop.
 

@@ -38,6 +38,8 @@ FAULT_SITES = frozenset(
         "timeline.append",  # Laddder compensation delta application
         "checkpoint.write",  # save_checkpoint payload serialization
         "compile.build",  # KernelCache plan+compile of a rule body
+        "cluster.dispatch",  # front-end request routing to a worker
+        "worker.heartbeat",  # worker-side ping handling (liveness probe)
     }
 )
 
@@ -91,6 +93,36 @@ def fire(site: str) -> None:
     """Probe ``site``: raise if an armed plan says this hit should fail."""
     if ACTIVE is not None:
         ACTIVE.fire(site)
+
+
+#: Environment variable arming a fault plan in a freshly started process
+#: (cluster worker subprocesses cannot be reached by in-process ``inject``).
+FAULT_ENV = "REPRO_FAULT"
+
+
+def arm_from_env(environ=None) -> FaultPlan | None:
+    """Arm a plan from ``REPRO_FAULT=site[:at[:times]]``, if set.
+
+    The cluster recovery tests and the CI fault-injected smoke use this to
+    plant deterministic failures inside worker *subprocesses*; an in-process
+    plan must not already be armed.  Returns the armed plan (or None when
+    the variable is unset/empty)."""
+    global ACTIVE
+    if environ is None:
+        import os
+
+        environ = os.environ
+    spec = environ.get(FAULT_ENV, "").strip()
+    if not spec:
+        return None
+    parts = spec.split(":")
+    site = parts[0]
+    at = int(parts[1]) if len(parts) > 1 else 1
+    times = int(parts[2]) if len(parts) > 2 else 1
+    if ACTIVE is not None:
+        raise RuntimeError("a fault plan is already active; plans do not nest")
+    ACTIVE = FaultPlan(site, at=at, times=times)
+    return ACTIVE
 
 
 @contextmanager

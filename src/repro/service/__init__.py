@@ -22,29 +22,43 @@ Layers (each its own module, composable without the ones above it):
   ``restore``/``stats``/``close``) over a session manager.
 * :mod:`~repro.service.server` — stdio and TCP front ends plus graceful
   signal-driven shutdown, surfaced as the ``repro serve`` subcommand.
+* :mod:`~repro.service.router` / :mod:`~repro.service.cluster` /
+  :mod:`~repro.service.worker` — the fault-tolerant multi-process tier:
+  consistent-hash sharding of sessions onto supervised worker processes,
+  heartbeat liveness, crash recovery from periodic checkpoints plus a
+  bounded op journal, request retry/timeout/backoff, and typed overload
+  rejection (``repro serve --workers N``).
 
 See docs/SERVICE.md for the protocol reference and semantics.
 """
 
 from ..datalog.errors import ServiceError, ShutdownRequested
+from .cluster import ClusterConfig, ClusterService, WorkerClient
 from .protocol import PROTOCOL_VERSION, ServiceProtocol, SessionManager
 from .queue import CoalescingQueue, UpdateBatch
+from .router import HashRing, Router, SessionRecord
 from .server import ServiceServer, install_signal_handlers, serve_stdio
 from .session import Session, SessionConfig
 from .snapshot import Snapshot, take_snapshot
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "ClusterConfig",
+    "ClusterService",
     "CoalescingQueue",
+    "HashRing",
+    "Router",
     "ServiceError",
     "ServiceProtocol",
     "ServiceServer",
     "Session",
     "SessionConfig",
     "SessionManager",
+    "SessionRecord",
     "ShutdownRequested",
     "Snapshot",
     "UpdateBatch",
+    "WorkerClient",
     "install_signal_handlers",
     "serve_stdio",
     "take_snapshot",

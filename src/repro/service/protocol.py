@@ -9,19 +9,25 @@ example transcript lives in docs/SERVICE.md.
 Operations::
 
     open     {session?, analysis, subject, engine?, scale?, seed?, ...}
-    update   {session?, insert?, delete?, flush?}
+    update   {session?, insert?, delete?, flush?, seq?}
     flush    {session?}
     query    {session?, predicate, limit?, flush?}
     snapshot {session?, views?}
     save     {session?, path}
     restore  {session?, path}
     stats    {session?}           # no session -> server-wide listing
+    ping     {}                   # liveness probe (cluster heartbeats)
     close    {session?}
     shutdown {}                   # stop the server after responding
 
 The protocol object is shared by every transport (stdio, every TCP
 connection) and is thread-safe: the manager locks its session table, and
 sessions serialize their own state.
+
+Malformed input — bad JSON, invalid UTF-8, oversized lines, wrong field
+types — always yields a structured error *response*, never an unhandled
+exception: a fuzzing client must not be able to kill a connection thread
+or a cluster worker (tests/unit/service/test_protocol_fuzz.py).
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import json
 import threading
 
 from ..datalog.errors import DatalogError, ServiceError
+from ..robustness import faults as _faults
 from .session import Session, SessionConfig
 
 #: Protocol schema version, echoed by ``open`` and ``stats``.
@@ -48,7 +55,15 @@ _CONFIG_FIELDS = (
     "deadline",
     "self_check",
     "profile",
+    "checkpoint_every",
+    "checkpoint_path",
+    "restore_from",
 )
+
+#: Hard cap on one request line; beyond it the line is rejected with a
+#: structured error before any parsing (a malicious or broken client must
+#: not make the server buffer or parse an unbounded payload).
+MAX_LINE_BYTES = 8 * 1024 * 1024
 
 
 class SessionManager:
@@ -117,6 +132,17 @@ def _rows_mapping(raw, what: str) -> dict[str, list[tuple]] | None:
                 raise ServiceError(
                     f"{what}[{pred!r}] rows must be arrays, got {row!r}"
                 )
+            for value in row:
+                # Only JSON scalars are valid fact constants; nested
+                # arrays/objects would be unhashable downstream, and the
+                # queue must never see a partially enqueued request.
+                if value is not None and not isinstance(
+                    value, (str, int, float, bool)
+                ):
+                    raise ServiceError(
+                        f"{what}[{pred!r}] row values must be scalars, "
+                        f"got {value!r}"
+                    )
             bucket.append(tuple(row))
         mapping[pred] = bucket
     return mapping
@@ -134,6 +160,14 @@ class ServiceProtocol:
 
     def handle_line(self, line: str) -> str | None:
         """One request line in, one response line out (None for blanks)."""
+        if len(line) > MAX_LINE_BYTES:
+            return json.dumps(
+                _error_response(
+                    None,
+                    "ParseError",
+                    f"request line exceeds {MAX_LINE_BYTES} bytes",
+                )
+            )
         line = line.strip()
         if not line:
             return None
@@ -163,7 +197,9 @@ class ServiceProtocol:
             result = handler(request)
         except DatalogError as exc:
             return _error_response(request_id, type(exc).__name__, str(exc))
-        except (TypeError, ValueError, OSError) as exc:
+        except Exception as exc:  # noqa: BLE001 - a request must never
+            # kill its connection thread / worker lane; anything the
+            # handlers did not anticipate becomes a structured error too.
             return _error_response(request_id, type(exc).__name__, str(exc))
         response = {"id": request_id, "ok": True}
         response.update(result)
@@ -193,9 +229,13 @@ class ServiceProtocol:
 
     def _op_update(self, request) -> dict:
         session = self._session(request)
+        seq = request.get("seq")
+        if seq is not None and not isinstance(seq, int):
+            raise ServiceError("update 'seq' must be an integer")
         result = session.update(
             insertions=_rows_mapping(request.get("insert"), "insert"),
             deletions=_rows_mapping(request.get("delete"), "delete"),
+            seq=seq,
         )
         if request.get("flush"):
             result["flush"] = session.flush()
@@ -238,12 +278,28 @@ class ServiceProtocol:
             "sessions": self.manager.names(),
         }
 
+    def _op_ping(self, request) -> dict:
+        """Liveness probe (the cluster supervisor's heartbeat).
+
+        The ``worker.heartbeat`` fault site lives here: an armed plan
+        turns the pong into an error response, which the supervisor
+        counts as a heartbeat miss — the deterministic way to drive the
+        liveness-deadline recovery path in tests."""
+        if _faults.ACTIVE is not None:
+            _faults.fire("worker.heartbeat")
+        return {"pong": True, "sessions": self.manager.names()}
+
     def _op_close(self, request) -> dict:
         return self.manager.close(request.get("session", "default"))
 
     def _op_shutdown(self, request) -> dict:
         self.shutdown_requested = True
         return {"closing": True}
+
+    def close(self) -> None:
+        """Drain and close every session (transport teardown hook; the
+        cluster front end overrides this to tear down its workers)."""
+        self.manager.close_all()
 
 
 def _error_response(request_id, error_type: str, message: str) -> dict:

@@ -17,6 +17,7 @@ accepted is silently dropped, and no traceback is printed
 from __future__ import annotations
 
 import contextlib
+import json
 import signal
 import socketserver
 import threading
@@ -70,7 +71,7 @@ def serve_stdio(protocol: ServiceProtocol, stdin, stdout) -> int:
             if protocol.shutdown_requested:
                 break
     finally:
-        protocol.manager.close_all()
+        protocol.close()
     return handled
 
 
@@ -82,9 +83,22 @@ class _LineHandler(socketserver.StreamRequestHandler):
         for raw in self.rfile:
             try:
                 line = raw.decode("utf-8")
-            except UnicodeDecodeError:
-                line = raw.decode("utf-8", errors="replace")
-            response = protocol.handle_line(line)
+            except UnicodeDecodeError as exc:
+                # Mojibake must not be silently patched into a parseable
+                # request (``errors="replace"`` once corrupted payloads
+                # here): reject the line with a structured error instead.
+                response = json.dumps(
+                    {
+                        "id": None,
+                        "ok": False,
+                        "error": {
+                            "type": "ParseError",
+                            "message": f"request line is not valid UTF-8: {exc}",
+                        },
+                    }
+                )
+            else:
+                response = protocol.handle_line(line)
             if response is None:
                 continue
             try:
@@ -132,4 +146,4 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         finally:
             with contextlib.suppress(Exception):
                 self.server_close()
-            self.protocol.manager.close_all()
+            self.protocol.close()

@@ -30,6 +30,8 @@ state as a fresh snapshot version.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -76,6 +78,14 @@ class SessionConfig:
     self_check: bool = False
     #: Enabled-mode metrics (per-stratum/per-rule tables; costs timers).
     profile: bool = False
+    #: Checkpoint the solver every N successfully applied batches ...
+    checkpoint_every: int | None = None
+    #: ... into this file (atomic tmp+rename; a ``.meta`` JSON sidecar
+    #: records the covered op sequence number for journal replay).
+    checkpoint_path: str | None = None
+    #: Build the session from a checkpoint instead of an initial solve
+    #: (cluster crash recovery: checkpoint load is the cheap path).
+    restore_from: str | None = None
 
     def validate(self) -> None:
         if self.analysis not in ANALYSES:
@@ -93,6 +103,13 @@ class SessionConfig:
                 f"unknown engine {self.engine!r}; "
                 f"choose from {', '.join(sorted(ENGINES))}"
             )
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 1:
+                raise ServiceError("checkpoint_every must be >= 1")
+            if not self.checkpoint_path:
+                raise ServiceError(
+                    "checkpoint_every requires a checkpoint_path"
+                )
 
 
 class Session:
@@ -109,13 +126,27 @@ class Session:
         subject = load_subject(config.subject, scale=config.scale, seed=config.seed)
         self.instance = ANALYSES[config.analysis](subject)
         self.metrics = SolverMetrics(enabled=config.profile)
-        inner = self.instance.make_solver(
-            self.engine_cls, solve=False, metrics=self.metrics
-        )
-        self._setup(inner)
-        self.solver = GuardedSolver(inner, fallback=config.fallback)
         t0 = time.perf_counter()
-        self.solver.solve()
+        if config.restore_from is not None:
+            # Crash recovery / warm start: the checkpoint supplies the
+            # fixpoint, so construction costs a load instead of a solve.
+            inner = load_checkpoint(
+                self.engine_cls,
+                self.instance.program,
+                config.restore_from,
+                metrics=self.metrics,
+            )
+            self._setup(inner)
+            self.solver = GuardedSolver(inner, fallback=config.fallback)
+            self.restored_from = str(config.restore_from)
+        else:
+            inner = self.instance.make_solver(
+                self.engine_cls, solve=False, metrics=self.metrics
+            )
+            self._setup(inner)
+            self.solver = GuardedSolver(inner, fallback=config.fallback)
+            self.solver.solve()
+            self.restored_from = None
         self.init_seconds = time.perf_counter() - t0
 
         #: Guards the queue, flush bookkeeping, and lifecycle flags.
@@ -132,6 +163,16 @@ class Session:
         self._closed = False
         self.failed_batches = 0
         self.last_error: str | None = None
+        #: Router-assigned op sequence tracking (cluster journal replay):
+        #: highest seq enqueued, and highest seq covered by an applied
+        #: batch (written under ``_solver_lock``, read by the checkpointer).
+        self._enqueued_seq = 0
+        self._applied_seq = 0
+        self._batches_since_checkpoint = 0
+        self._checkpoint_thread: threading.Thread | None = None
+        self.checkpoints_written = 0
+        self.checkpoint_errors = 0
+        self.last_checkpoint_error: str | None = None
         self._snapshot = take_snapshot(self.solver, 1)
         self.metrics.snapshots_published += 1
         self._worker = threading.Thread(
@@ -174,12 +215,17 @@ class Session:
         self,
         insertions: dict[str, list] | None = None,
         deletions: dict[str, list] | None = None,
+        seq: int | None = None,
     ) -> dict:
         """Enqueue one update request; returns queue accounting, not the
         applied result — apply happens on the worker (use :meth:`flush` to
-        wait for it)."""
+        wait for it).  ``seq`` is the cluster router's per-session op
+        sequence number; checkpoints record the highest applied one so
+        recovery knows where journal replay must start."""
         with self._cond:
             self._require_open()
+            if seq is not None and seq > self._enqueued_seq:
+                self._enqueued_seq = seq
             ops, coalesced = self._queue.put(insertions, deletions)
             pending = len(self._queue)
             self.metrics.updates_enqueued += ops
@@ -222,6 +268,9 @@ class Session:
                         or self._queue.ready()
                     ):
                         batch = self._queue.drain()
+                        # The batch covers every op enqueued so far, so a
+                        # successful apply advances the covered seq here.
+                        seq_at_drain = self._enqueued_seq
                         self._in_flight = True
                         continue
                     if self._queue.empty:
@@ -233,7 +282,9 @@ class Session:
                         if self._closed:
                             return
                     self._cond.wait(self._queue.seconds_until_ready())
-            outcome = self._apply(batch)
+            outcome = self._apply(batch, seq_at_drain)
+            if outcome.get("ok"):
+                self._maybe_checkpoint()
             with self._cond:
                 self._applied_generation = batch.generation
                 self._last_outcome = outcome
@@ -242,7 +293,7 @@ class Session:
                     self._flush_requested = False
                 self._cond.notify_all()
 
-    def _apply(self, batch: UpdateBatch) -> dict:
+    def _apply(self, batch: UpdateBatch, seq_at_drain: int = 0) -> dict:
         """Apply one coalesced batch as a single guarded transaction and
         publish the post-batch snapshot; a failed batch publishes nothing."""
         t0 = time.perf_counter()
@@ -255,6 +306,10 @@ class Session:
                     insertions=batch.insertions, deletions=batch.deletions
                 )
                 snapshot = take_snapshot(self.solver, self._snapshot.version + 1)
+                # Under the solver lock so the checkpointer reads a seq
+                # consistent with the solver state it serializes.
+                if seq_at_drain > self._applied_seq:
+                    self._applied_seq = seq_at_drain
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"
         seconds = time.perf_counter() - t0
@@ -314,6 +369,62 @@ class Session:
         return info
 
     # -- persistence -------------------------------------------------------
+
+    def _maybe_checkpoint(self) -> None:
+        """Kick the async checkpointer every ``checkpoint_every`` applied
+        batches (called from the worker loop after a successful apply).
+
+        The write happens on its own thread so the next batch is not
+        blocked behind serialization; the solver lock serializes the two.
+        If the previous checkpoint is still writing, this interval is
+        skipped rather than queued — the next one catches up."""
+        config = self.config
+        if not config.checkpoint_every or not config.checkpoint_path:
+            return
+        self._batches_since_checkpoint += 1
+        if self._batches_since_checkpoint < config.checkpoint_every:
+            return
+        thread = self._checkpoint_thread
+        if thread is not None and thread.is_alive():
+            return
+        self._batches_since_checkpoint = 0
+        self._checkpoint_thread = threading.Thread(
+            target=self._write_checkpoint,
+            name=f"repro-ckpt-{self.name}",
+            daemon=True,
+        )
+        self._checkpoint_thread.start()
+
+    def checkpoint_meta_path(self) -> str:
+        return f"{self.config.checkpoint_path}.meta"
+
+    def _write_checkpoint(self) -> None:
+        """One atomic checkpoint + sidecar write; errors are recorded, not
+        raised (a failed periodic checkpoint must not kill the session —
+        the previous checkpoint file stays intact and recovery just
+        replays a longer journal tail)."""
+        try:
+            with self._solver_lock:
+                seq = self._applied_seq
+                version = self._snapshot.version
+                size = save_checkpoint(
+                    self.solver.solver, self.config.checkpoint_path
+                )
+            meta = {
+                "session": self.name,
+                "seq": seq,
+                "version": version,
+                "bytes": size,
+            }
+            meta_path = self.checkpoint_meta_path()
+            tmp = meta_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(meta, handle)
+            os.replace(tmp, meta_path)
+            self.checkpoints_written += 1
+        except Exception as exc:  # noqa: BLE001 - recorded for stats
+            self.checkpoint_errors += 1
+            self.last_checkpoint_error = f"{type(exc).__name__}: {exc}"
 
     def save(self, path) -> dict:
         """Flush pending updates, then checkpoint the inner solver (v2
@@ -376,6 +487,16 @@ class Session:
             "applied_generation": applied,
             "failed_batches": self.failed_batches,
             "last_error": self.last_error,
+            "applied_seq": self._applied_seq,
+            "enqueued_seq": self._enqueued_seq,
+            "restored_from": self.restored_from,
+            "checkpoint": {
+                "path": self.config.checkpoint_path,
+                "every": self.config.checkpoint_every,
+                "written": self.checkpoints_written,
+                "errors": self.checkpoint_errors,
+                "last_error": self.last_checkpoint_error,
+            },
             "queue": {
                 "flush_size": self.config.flush_size,
                 "flush_latency": self.config.flush_latency,
@@ -391,6 +512,9 @@ class Session:
             self._closed = True
             self._cond.notify_all()
         self._worker.join(timeout=self.CLOSE_TIMEOUT)
+        thread = self._checkpoint_thread
+        if thread is not None:
+            thread.join(timeout=self.CLOSE_TIMEOUT)
         if self._worker.is_alive():  # pragma: no cover - defensive
             raise ServiceError(
                 f"session {self.name!r} worker failed to drain within "

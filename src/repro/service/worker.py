@@ -1,0 +1,163 @@
+"""Cluster worker process: one supervised shard of the session table.
+
+Run as ``python -m repro.service.worker`` with JSON lines on stdin/stdout
+(the cluster front end owns the pipe; see :mod:`repro.service.cluster`).
+Each worker hosts a :class:`~repro.service.protocol.ServiceProtocol` — the
+same dispatcher ``repro serve`` uses single-process — so the whole op set
+works unchanged; the cluster merely routes sessions here.
+
+Concurrency model: the stdio loop must never block behind a slow request,
+or the supervisor's heartbeats would time out during every long ``flush``
+and misread a busy worker as a dead one.  Requests are therefore fanned
+out to **per-session lanes** (one ordered dispatch thread per session):
+
+* Ops on the same session execute in arrival order — which the front end
+  makes equal to journal sequence order — so replay is deterministic.
+* Ops on different sessions run concurrently (a worker hosts every
+  session the ring assigns it).
+* ``ping``, ``shutdown``, and server-wide ``stats`` answer inline from
+  the read loop, so liveness probes return promptly no matter how busy
+  the lanes are.
+
+Responses are written whenever their lane finishes, serialized by a write
+lock — **out of order across sessions**.  The front end correlates by
+request id, never by position.
+
+Shutdown: stdin EOF (the front end closed the pipe), a ``shutdown``
+request, or SIGTERM/SIGINT all drain every session before the process
+exits — the same guarantee the single-process transports give.
+
+Fault injection: ``REPRO_FAULT=site[:at[:times]]`` arms a deterministic
+fault plan at startup (:func:`repro.robustness.faults.arm_from_env`), the
+only way tests can plant failures inside a worker subprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from queue import SimpleQueue
+
+from ..datalog.errors import ShutdownRequested
+from ..robustness import faults as _faults
+from .protocol import MAX_LINE_BYTES, ServiceProtocol
+from .server import install_signal_handlers
+
+#: Ops answered inline by the read loop (must stay cheap and non-blocking).
+_INLINE_OPS = frozenset({"ping", "shutdown"})
+
+
+class _Lane:
+    """One session's ordered dispatch queue and thread."""
+
+    def __init__(self, name: str, protocol: ServiceProtocol, emit):
+        self.protocol = protocol
+        self.emit = emit
+        self.queue: SimpleQueue = SimpleQueue()
+        self.thread = threading.Thread(
+            target=self._run, name=f"repro-lane-{name}", daemon=True
+        )
+        self.thread.start()
+
+    def submit(self, request: dict) -> None:
+        self.queue.put(request)
+
+    def _run(self) -> None:
+        while True:
+            request = self.queue.get()
+            if request is None:
+                return
+            try:
+                response = self.protocol.handle(request)
+            except BaseException as exc:  # noqa: BLE001 - lane must survive
+                response = {
+                    "id": request.get("id"),
+                    "ok": False,
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                }
+            self.emit(json.dumps(response, sort_keys=True))
+
+    def close(self, timeout: float = 60.0) -> None:
+        self.queue.put(None)
+        self.thread.join(timeout=timeout)
+
+
+def serve_worker(protocol: ServiceProtocol, stdin, stdout) -> int:
+    """The worker read loop; returns the number of requests accepted."""
+    write_lock = threading.Lock()
+
+    def emit(text: str) -> None:
+        with write_lock:
+            stdout.write(text + "\n")
+            stdout.flush()
+
+    lanes: dict[str, _Lane] = {}
+    accepted = 0
+    try:
+        for line in stdin:
+            if len(line) > MAX_LINE_BYTES:
+                emit(protocol.handle_line(line))
+                continue
+            stripped = line.strip()
+            if not stripped:
+                continue
+            accepted += 1
+            try:
+                request = json.loads(stripped)
+            except ValueError:
+                emit(protocol.handle_line(stripped))
+                continue
+            if not isinstance(request, dict):
+                emit(json.dumps(protocol.handle(request), sort_keys=True))
+                continue
+            op = request.get("op")
+            session = request.get("session", "default")
+            inline = (
+                op in _INLINE_OPS
+                or (op == "stats" and "session" not in request)
+                or not isinstance(session, str)
+            )
+            if inline:
+                emit(json.dumps(protocol.handle(request), sort_keys=True))
+                if protocol.shutdown_requested:
+                    break
+                continue
+            lane = lanes.get(session)
+            if lane is None:
+                lane = lanes[session] = _Lane(session, protocol, emit)
+            lane.submit(request)
+    except ShutdownRequested:
+        pass
+    finally:
+        for lane in lanes.values():
+            lane.close()
+        protocol.close()
+    return accepted
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.worker", description=__doc__
+    )
+    parser.add_argument(
+        "--label",
+        default="worker",
+        help="slot label (shows up in tracebacks and process listings)",
+    )
+    args = parser.parse_args(argv)
+    _faults.arm_from_env()
+    restore = install_signal_handlers()
+    protocol = ServiceProtocol()
+    try:
+        serve_worker(protocol, sys.stdin, sys.stdout)
+    except ShutdownRequested:
+        print(f"{args.label}: interrupted; sessions drained", file=sys.stderr)
+    finally:
+        restore()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,3 +80,37 @@ class TestInjectContext:
         assert "timeline.append" in FAULT_SITES
         assert "checkpoint.write" in FAULT_SITES
         assert "compile.build" in FAULT_SITES
+        assert "cluster.dispatch" in FAULT_SITES
+        assert "worker.heartbeat" in FAULT_SITES
+
+
+class TestArmFromEnv:
+    def test_unset_is_a_noop(self):
+        assert faults.arm_from_env({}) is None
+        assert faults.ACTIVE is None
+
+    def test_arms_site_at_times(self):
+        plan = faults.arm_from_env({faults.FAULT_ENV: "kernel.emit:3:2"})
+        try:
+            assert plan is faults.ACTIVE
+            assert plan.site == "kernel.emit"
+            assert plan.at == 3 and plan.times == 2
+        finally:
+            faults.ACTIVE = None
+
+    def test_defaults_at_1_times_1(self):
+        plan = faults.arm_from_env({faults.FAULT_ENV: "worker.heartbeat"})
+        try:
+            assert (plan.at, plan.times) == (1, 1)
+        finally:
+            faults.ACTIVE = None
+
+    def test_refuses_to_stack_plans(self):
+        with inject("kernel.emit"):
+            with pytest.raises(RuntimeError, match="already active"):
+                faults.arm_from_env({faults.FAULT_ENV: "kernel.emit"})
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            faults.arm_from_env({faults.FAULT_ENV: "no.such.site"})
+        assert faults.ACTIVE is None

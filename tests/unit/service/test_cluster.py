@@ -1,0 +1,366 @@
+"""Unit tests for the cluster building blocks: ring, journal, dispatch.
+
+The expensive end-to-end paths (kill -9 a live worker mid-edit-stream,
+SIGTERM tree shutdown) live in tests/integration/test_cluster_recovery.py;
+this file covers the pure routing state and the dispatch policies —
+overload rejection, backoff arithmetic, retry exhaustion, crash dedup —
+against stub workers, plus one real two-worker cluster smoke.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.datalog.errors import (
+    OverloadedError,
+    RetryExhaustedError,
+    WorkerCrashError,
+)
+from repro.service import ClusterConfig, ClusterService, HashRing, Router
+from repro.service.router import SessionRecord
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w0", "w1", "w2"])
+        keys = [f"session-{i}" for i in range(200)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_spreads_sessions_across_slots(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        owners = {ring.lookup(f"s{i}") for i in range(200)}
+        assert owners == {"w0", "w1", "w2", "w3"}
+
+    def test_lookup_is_stable_for_a_key(self):
+        ring = HashRing(["w0", "w1"])
+        assert ring.lookup("alpha") == ring.lookup("alpha")
+
+    def test_single_slot_owns_everything(self):
+        ring = HashRing(["only"])
+        assert ring.lookup("anything") == "only"
+
+    def test_rejects_empty_and_bad_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["w0"], vnodes=0)
+
+
+class TestSessionRecord:
+    def record(self, journal_limit=4, dedup_limit=2):
+        return SessionRecord("s", "w0", journal_limit, dedup_limit)
+
+    def test_seq_is_monotonic(self):
+        record = self.record()
+        assert [record.next_seq() for _ in range(3)] == [1, 2, 3]
+
+    def test_prune_drops_checkpoint_covered_prefix(self):
+        record = self.record()
+        for seq in (1, 2, 3):
+            record.journal_op(seq, {"seq": seq})
+        assert record.prune_journal(2) == 2
+        assert [s for s, _ in record.journal_snapshot()] == [3]
+        assert record.truncated_before == 0  # covered drops are not blind
+
+    def test_prune_blind_drop_records_the_gap(self):
+        record = self.record(journal_limit=2)
+        for seq in range(1, 6):
+            record.journal_op(seq, {"seq": seq})
+        record.prune_journal(None)
+        assert [s for s, _ in record.journal_snapshot()] == [4, 5]
+        assert record.truncated_before == 4  # seqs 1..3 are unrecoverable
+
+    def test_dedup_window_is_bounded_fifo(self):
+        record = self.record(dedup_limit=2)
+        record.cache_response("a", {"id": "a"})
+        record.cache_response("b", {"id": "b"})
+        record.cache_response("c", {"id": "c"})
+        assert record.cached_response("a") is None  # aged out
+        assert record.cached_response("b") == {"id": "b"}
+        assert record.cached_response(None) is None  # no id -> no dedup
+
+
+class TestRouter:
+    def test_record_is_get_or_create(self):
+        router = Router(["w0", "w1"])
+        assert router.record("s") is router.record("s")
+
+    def test_names_lists_only_open_sessions(self):
+        router = Router(["w0"])
+        router.record("closedish")
+        opened = router.record("open")
+        opened.open_request = {"op": "open"}
+        assert router.names() == ["open"]
+
+    def test_sessions_on_filters_by_slot_in_name_order(self):
+        router = Router(["w0", "w1"])
+        names = [f"s{i}" for i in range(40)]
+        for name in names:
+            record = router.record(name)
+            record.open_request = {"op": "open"}
+        for slot in ("w0", "w1"):
+            on_slot = router.sessions_on(slot)
+            assert all(r.slot == slot for r in on_slot)
+            assert [r.name for r in on_slot] == sorted(r.name for r in on_slot)
+        total = len(router.sessions_on("w0")) + len(router.sessions_on("w1"))
+        assert total == len(names)
+
+    def test_drop_forgets_the_record(self):
+        router = Router(["w0"])
+        router.record("s").open_request = {"op": "open"}
+        router.drop("s")
+        assert router.names() == []
+
+
+class _StubClient:
+    """A WorkerClient double with scriptable behavior."""
+
+    def __init__(self, script=None, inflight=0, alive=True):
+        self.script = list(script or [])
+        self.inflight = inflight
+        self.alive = alive
+        self.generation = 1
+        self.pid = 4242
+        self.calls = []
+
+    def call(self, request, timeout):
+        self.calls.append(dict(request))
+        if self.script:
+            action = self.script.pop(0)
+            if isinstance(action, Exception):
+                raise action
+            return action
+        return {"ok": True, "echo": request.get("op")}
+
+    def kill(self):
+        self.alive = False
+
+
+def stub_cluster(client: _StubClient, **overrides) -> ClusterService:
+    """A ClusterService whose single slot is backed by ``client`` — no
+    subprocesses, no supervisor heartbeats, instant backoff."""
+    config = ClusterConfig(
+        workers=1,
+        checkpoint_every=None,
+        heartbeat_interval=3600.0,
+        backoff_base=0.0,
+        backoff_cap=0.0,
+        **overrides,
+    )
+    service = ClusterService.__new__(ClusterService)
+    service.config = config
+    config.validate()
+    import tempfile
+
+    config.spool = tempfile.mkdtemp(prefix="repro-stub-spool-")
+    service.router = Router(
+        ["w0"], journal_limit=config.journal_limit, dedup_limit=config.dedup_limit
+    )
+    service._slots_cond = threading.Condition()
+    from repro.service.cluster import _Slot
+
+    service._slots = {"w0": _Slot("w0", client)}
+    service.shutdown_requested = False
+    service._closed = False
+    service.counters = {
+        "worker_restarts": 0,
+        "sessions_recovered": 0,
+        "replayed_ops": 0,
+        "retries": 0,
+        "heartbeat_misses": 0,
+        "overloads": 0,
+        "journal_truncations": 0,
+    }
+    service._counters_lock = threading.Lock()
+    service._stop = threading.Event()
+    service._stop.set()  # no supervisor thread in stub mode
+    # Recovery must not fork real subprocesses in stub mode: "replace" the
+    # crashed worker with the same stub so scripted failures keep failing.
+    service._spawn = lambda name: client
+    return service
+
+
+class TestDispatchPolicies:
+    def test_overload_is_a_typed_immediate_rejection(self):
+        client = _StubClient(inflight=128)
+        service = stub_cluster(client, queue_limit=128)
+        response = service.handle({"op": "flush", "session": "s", "id": 9})
+        assert response["ok"] is False
+        assert response["error"]["type"] == "OverloadedError"
+        assert client.calls == []  # rejected before dispatch
+        assert service.counters["overloads"] == 1
+
+    def test_retry_exhaustion_chains_last_failure(self):
+        client = _StubClient(
+            script=[WorkerCrashError("boom")] * 10, alive=True
+        )
+        service = stub_cluster(client, retries=2)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            service._route({"op": "flush", "session": "s", "id": 1})
+        assert isinstance(excinfo.value.__cause__, WorkerCrashError)
+        assert service.counters["retries"] == 2  # retries, not attempts
+
+    def test_transient_crash_then_success_retries_through(self):
+        client = _StubClient(
+            script=[WorkerCrashError("blip"), {"ok": True, "echo": "flush"}]
+        )
+        service = stub_cluster(client, retries=2)
+        response = service.handle({"op": "flush", "session": "s", "id": 2})
+        assert response["ok"] is True
+        assert service.counters["retries"] == 1
+
+    def test_handle_converts_typed_errors_to_responses(self):
+        client = _StubClient(inflight=999)
+        service = stub_cluster(client, queue_limit=1)
+        response = service.handle({"op": "query", "session": "s", "id": 3})
+        assert response == {
+            "id": 3,
+            "ok": False,
+            "error": {
+                "type": "OverloadedError",
+                "message": response["error"]["message"],
+            },
+        }
+
+    def test_mutating_ops_journal_before_dispatch(self):
+        client = _StubClient()
+        service = stub_cluster(client)
+        record = service.router.record("s")
+        response = service.handle(
+            {"op": "update", "session": "s", "id": "u1", "insert": {}}
+        )
+        assert response["ok"] and response["seq"] == 1
+        entries = record.journal_snapshot()
+        assert [seq for seq, _ in entries] == [1]
+        assert entries[0][1]["seq"] == 1
+        assert client.calls[-1]["seq"] == 1
+
+    def test_duplicate_request_id_returns_cached_response(self):
+        client = _StubClient()
+        service = stub_cluster(client)
+        first = service.handle(
+            {"op": "update", "session": "s", "id": "dup", "insert": {}}
+        )
+        again = service.handle(
+            {"op": "update", "session": "s", "id": "dup", "insert": {}}
+        )
+        assert again == first
+        assert len(client.calls) == 1  # the worker saw the op exactly once
+
+    def test_replayed_outcome_short_circuits_redispatch(self):
+        client = _StubClient()
+        service = stub_cluster(client)
+        record = service.router.record("s")
+        record.replayed_through = 1
+        record.outcomes[1] = {"ok": True, "replayed_by_recovery": True}
+        outcome = service._dispatch(
+            record, {"op": "update", "session": "s", "seq": 1}, seq=1,
+            mutating=True,
+        )
+        assert outcome["replayed_by_recovery"] is True
+        assert client.calls == []
+
+    def test_backoff_delays_are_capped_exponential(self):
+        client = _StubClient(script=[WorkerCrashError("x")] * 4)
+        service = stub_cluster(client, retries=3)
+        service.config.backoff_base = 0.01
+        service.config.backoff_cap = 0.02
+        slept = []
+        import repro.service.cluster as cluster_mod
+
+        original = cluster_mod.time.sleep
+        cluster_mod.time.sleep = lambda s: slept.append(s)
+        try:
+            with pytest.raises(RetryExhaustedError):
+                service._route({"op": "flush", "session": "s"})
+        finally:
+            cluster_mod.time.sleep = original
+        assert slept == [0.01, 0.02, 0.02]  # base, x2, capped
+
+
+class TestFrontendOps:
+    def test_ping_and_shutdown_answered_without_workers(self):
+        service = stub_cluster(_StubClient())
+        pong = service.handle({"op": "ping", "id": 1})
+        assert pong == {"id": 1, "ok": True, "pong": True, "sessions": []}
+        closing = service.handle({"op": "shutdown", "id": 2})
+        assert closing["closing"] is True
+        assert service.shutdown_requested is True
+
+    def test_handle_line_round_trips_json(self):
+        service = stub_cluster(_StubClient())
+        out = service.handle_line('{"op": "ping", "id": 7}\n')
+        assert json.loads(out)["pong"] is True
+        assert service.handle_line("   \n") is None
+        bad = json.loads(service.handle_line('{"op":'))
+        assert bad["error"]["type"] == "ParseError"
+
+    def test_malformed_requests_get_structured_errors(self):
+        service = stub_cluster(_StubClient())
+        assert service.handle([1, 2])["ok"] is False
+        assert service.handle({"op": 7})["ok"] is False
+        assert service.handle({"op": "flush", "session": 9})["ok"] is False
+
+
+@pytest.mark.slow
+class TestRealWorkerSmoke:
+    def test_two_workers_serve_and_close(self):
+        config = ClusterConfig(
+            workers=2, checkpoint_every=None, heartbeat_interval=0.5
+        )
+        with ClusterService(config) as service:
+            pids = service.worker_pids()
+            assert len(pids) == 2
+            pong = service.handle({"op": "ping", "id": 1})
+            assert pong["ok"] and pong["pong"]
+            opened = service.handle(
+                {
+                    "op": "open",
+                    "session": "smoke",
+                    "analysis": "constprop",
+                    "subject": "minijavac",
+                    "seed": 3,
+                }
+            )
+            assert opened["ok"], opened
+            updated = service.handle(
+                {
+                    "op": "update",
+                    "session": "smoke",
+                    "insert": {"assign_lit": [["sx", "sm", 1]]},
+                    "flush": True,
+                    "id": "u",
+                }
+            )
+            assert updated["ok"] and updated["seq"] == 1
+            stats = service.handle({"op": "stats", "id": 2})
+            assert stats["sessions"] == ["smoke"]
+            assert stats["cluster"]["counters"]["worker_restarts"] == 0
+            closed = service.handle({"op": "close", "session": "smoke"})
+            assert closed["ok"]
+
+    def test_heartbeat_miss_triggers_recovery(self):
+        # Arm worker.heartbeat inside the worker subprocesses: every ping
+        # from the supervisor comes back as an error response, which after
+        # `heartbeat_misses` consecutive misses must kill + replace the
+        # worker.  REPRO_FAULT with a huge `times` keeps every generation
+        # of worker failing, so we only assert the restart counter moved.
+        config = ClusterConfig(
+            workers=1,
+            checkpoint_every=None,
+            heartbeat_interval=0.1,
+            heartbeat_misses=2,
+            heartbeat_timeout=5.0,
+            worker_env={"REPRO_FAULT": "worker.heartbeat:1:1000000"},
+        )
+        with ClusterService(config) as service:
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if service.counters["worker_restarts"] >= 1:
+                    break
+                time.sleep(0.1)
+            assert service.counters["worker_restarts"] >= 1
+            assert service.counters["heartbeat_misses"] >= 2

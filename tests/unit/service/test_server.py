@@ -32,6 +32,33 @@ class TestSignals:
         install_signal_handlers()()
         assert signal.getsignal(signal.SIGINT) is before
 
+    def test_restore_reinstates_custom_prior_handlers(self):
+        # restore() must put back whatever was installed *before*, not
+        # blindly reset to the defaults.
+        sentinel = lambda signum, frame: None  # noqa: E731
+        old_int = signal.signal(signal.SIGINT, sentinel)
+        old_term = signal.signal(signal.SIGTERM, sentinel)
+        try:
+            restore = install_signal_handlers()
+            assert signal.getsignal(signal.SIGINT) is not sentinel
+            restore()
+            assert signal.getsignal(signal.SIGINT) is sentinel
+            assert signal.getsignal(signal.SIGTERM) is sentinel
+        finally:
+            signal.signal(signal.SIGINT, old_int)
+            signal.signal(signal.SIGTERM, old_term)
+
+    def test_second_install_restore_cycle_is_idempotent(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        for _ in range(2):
+            restore = install_signal_handlers()
+            restore()
+            # restoring twice must not corrupt the chain either
+            restore()
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+
     def test_install_from_worker_thread_is_a_noop(self):
         outcome = {}
 
