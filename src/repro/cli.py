@@ -369,7 +369,9 @@ def _check_one_target(target: str, args, subjects: dict):
         if subject is None:
             subject = subjects[args.subject] = load_subject(args.subject)
         program = ANALYSES[target](subject).program
-        return target, check_program(program, normalize_first=True, deep=deep)
+        return target, check_program(
+            program, normalize_first=True, deep=deep, impact=args.impact
+        )
 
     try:
         with open(target) as handle:
@@ -402,7 +404,9 @@ def _check_one_target(target: str, args, subjects: dict):
         return target, result
     if args.registry:
         _load_registry_hook(args.registry)(program)
-    return target, check_program(program, normalize_first=True, deep=deep)
+    return target, check_program(
+        program, normalize_first=True, deep=deep, impact=args.impact
+    )
 
 
 def cmd_check(args) -> int:
@@ -429,7 +433,7 @@ def cmd_check(args) -> int:
     worst = max(result.exit_code() for _, result in checked)
     if args.json:
         payload = {
-            "version": 1,
+            "version": 2,
             "exit_code": worst,
             "targets": [
                 {"name": name, **result.to_dict()} for name, result in checked
@@ -463,6 +467,22 @@ def cmd_check(args) -> int:
                 preds = ", ".join(entry["predicates"])
                 print(f"  stratum {entry['component']} [{preds}]: {engines}"
                       + (f" — {entry['note']}" if entry["note"] else ""))
+        if args.impact and result.impact:
+            total = result.impact["strata_total"]
+            for pred, entry in sorted(result.impact["edb"].items()):
+                strata = entry["strata"]
+                merges = entry["lattice_merges"]
+                line = (
+                    f"  impact {pred}: {len(entry['predicates'])} preds, "
+                    f"{entry['rules']} rules, "
+                    f"{len(strata)}/{total} strata"
+                )
+                if merges:
+                    line += f", merges through {', '.join(merges)}"
+                print(line)
+            unreachable = result.impact["unreachable_rules"]
+            if unreachable:
+                print(f"  impact: {unreachable} delta-unreachable rule(s)")
     return worst
 
 
@@ -550,6 +570,9 @@ def make_parser() -> argparse.ArgumentParser:
                                 "json; use - for stdout)")
     check_cmd.add_argument("--fast", action="store_true",
                            help="skip the sampled aggregator-law checks")
+    check_cmd.add_argument("--impact", action="store_true",
+                           help="attach the per-EDB-predicate change-impact "
+                                "report (affected predicates/rules/strata)")
     check_cmd.add_argument("--report", action="store_true",
                            help="print the per-stratum incrementalizability "
                                 "report")

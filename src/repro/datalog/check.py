@@ -62,6 +62,43 @@ SEVERITIES = ("error", "warning", "info")
 #: Cap on sampled lattice elements for the O(n^3) ASM2 law checks.
 MAX_LAW_SAMPLES = 6
 
+#: Which pass produced each diagnostic code (reported as ``"pass"`` in the
+#: JSON schema; docs/check_schema.json).  ``parse``/``io`` cover the CLI's
+#: pre-check failures (DLC001/DLC002), which never reach the passes below.
+PASS_BY_CODE = {
+    "DLC001": "parse",
+    "DLC002": "io",
+    "DLC101": "arity",
+    "DLC102": "names",
+    "DLC103": "names",
+    "DLC104": "names",
+    "DLC201": "safety",
+    "DLC202": "safety",
+    "DLC203": "safety",
+    "DLC204": "safety",
+    "DLC205": "safety",
+    "DLC301": "strata",
+    "DLC302": "strata",
+    "DLC303": "strata",
+    "DLC304": "shape",
+    "DLC305": "shape",
+    "DLC306": "shape",
+    "DLC307": "shape",
+    "DLC401": "sorts",
+    "DLC402": "sorts",
+    "DLC501": "laws",
+    "DLC502": "laws",
+    "DLC503": "laws",
+    "DLC504": "laws",
+    "DLC601": "reachability",
+    "DLC602": "reachability",
+    "DLC603": "reachability",
+    "DLC701": "perf",
+    "DLC702": "perf",
+    "DLC703": "perf",
+    "DLC704": "perf",
+}
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -79,6 +116,8 @@ class Diagnostic:
     span: Span
     hint: str | None = None
     pred: str | None = None
+    #: The pass that produced this finding (see :data:`PASS_BY_CODE`).
+    pass_name: str | None = None
 
     @property
     def is_error(self) -> bool:
@@ -114,6 +153,7 @@ class Diagnostic:
             },
             "hint": self.hint,
             "pred": self.pred,
+            "pass": self.pass_name or PASS_BY_CODE.get(self.code),
         }
 
 
@@ -131,6 +171,9 @@ class CheckResult:
     live_predicates: set[str] = field(default_factory=set)
     #: Per-component incrementalizability summary (Section 3).
     report: list[dict] = field(default_factory=list)
+    #: Per-EDB-predicate impact report (``check_program(..., impact=True)``
+    #: / ``repro check --impact``); None when not requested.
+    impact: dict | None = None
     seconds: float = 0.0
 
     @property
@@ -154,7 +197,7 @@ class CheckResult:
         return 0
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "diagnostics": [d.to_dict() for d in sorted(
                 self.diagnostics, key=Diagnostic.sort_key
             )],
@@ -168,6 +211,9 @@ class CheckResult:
             "report": self.report,
             "seconds": self.seconds,
         }
+        if self.impact is not None:
+            out["impact"] = self.impact
+        return out
 
 
 def _diag(
@@ -187,6 +233,7 @@ def _diag(
             span=node if isinstance(node, Span) else span_of(node),
             hint=hint,
             pred=pred,
+            pass_name=PASS_BY_CODE.get(code),
         )
     )
 
@@ -700,7 +747,192 @@ def _check_reachability(
         )
 
 
-# -- pass 8 (deep): aggregator laws + ASM1.3 audit (DLC501-504) ---------------
+# -- pass 8: perf lints over the impact graph (DLC701-704) --------------------
+
+
+def _check_perf(
+    program: Program,
+    components: list[Component],
+    diags: list[Diagnostic],
+) -> None:
+    """Performance lints (all ``info``: they never fail a run) built on the
+    static change-impact graph (:mod:`repro.datalog.impact`):
+
+    * DLC701 — cross-product join: a body whose positive literals fall into
+      two or more variable-sharing islands enumerates their product.
+    * DLC702 — delta-unreachable rule: no EDB delta can ever re-fire it, so
+      it only costs during from-scratch solves yet its delta machinery
+      would be compiled and consulted every epoch (the engines skip it; see
+      docs/PERFORMANCE.md).
+    * DLC703 — singleton variable: bound once, never used; a wildcard
+      avoids carrying the binding through the join.
+    * DLC704 — self-widening recursion: a recursive component aggregates
+      toward an extremum its lattice does not have, so the inflationary
+      climb is not statically bounded (only the ascending-chain watchdog
+      catches divergence).
+    """
+    from .impact import ImpactIndex
+
+    impact = ImpactIndex(program, components)
+
+    for rule in program.rules:
+        named = [
+            lit
+            for lit in rule.positive_literals()
+            if any(
+                isinstance(a, Variable) and not a.is_wildcard
+                for a in lit.atom.args
+            )
+        ]
+        if len(named) >= 2:
+            uf = _UnionFind()
+
+            def connect(names: list[str]) -> None:
+                for other in names[1:]:
+                    uf.union(names[0], other)
+
+            groups: list[list[str]] = []
+            for lit in rule.positive_literals():
+                groups.append(
+                    [
+                        a.name
+                        for a in lit.atom.args
+                        if isinstance(a, Variable) and not a.is_wildcard
+                    ]
+                )
+            for item in rule.body:
+                if isinstance(item, Eval):
+                    groups.append(
+                        [a.name for a in item.args if isinstance(a, Variable)]
+                        + [item.var.name]
+                    )
+                elif isinstance(item, Test):
+                    groups.append(
+                        [a.name for a in item.args if isinstance(a, Variable)]
+                    )
+            for names in groups:
+                connect(names)
+            islands = {
+                uf.find(
+                    next(
+                        a.name
+                        for a in lit.atom.args
+                        if isinstance(a, Variable) and not a.is_wildcard
+                    )
+                )
+                for lit in named
+            }
+            if len(islands) > 1:
+                _diag(
+                    diags,
+                    "DLC701",
+                    "info",
+                    f"{rule!r}: body literals share no variables across "
+                    f"{len(islands)} islands; the join enumerates their "
+                    f"cross product",
+                    rule,
+                    hint="link the literals through a shared variable or "
+                         "split the rule",
+                    pred=rule.head.pred,
+                )
+
+        body = rule.body_literals()
+        if body and not any(
+            lit.pred in impact.delta_reachable for lit in body
+        ):
+            _diag(
+                diags,
+                "DLC702",
+                "info",
+                f"{rule!r}: no input (EDB) delta can reach this rule; it "
+                f"only fires during from-scratch solves",
+                rule,
+                hint="expected for static configuration chains; the engines "
+                     "skip its delta machinery (docs/PERFORMANCE.md)",
+                pred=rule.head.pred,
+            )
+
+        # A variable used in the head is output, not a join artifact (a
+        # head-only singleton is DLC201 unsafety, not a perf smell); only
+        # flag variables bound and then dropped entirely within the body.
+        counts: dict[str, int] = {}
+        head_vars: set[str] = set()
+
+        def see(variable) -> None:
+            if isinstance(variable, Variable) and not variable.is_wildcard:
+                counts[variable.name] = counts.get(variable.name, 0) + 1
+
+        for arg in rule.head.args:
+            if isinstance(arg, Variable):
+                head_vars.add(arg.name)
+        agg = rule.head.agg_term
+        if agg is not None:
+            head_vars.add(agg.var.name)
+        for item in rule.body:
+            if isinstance(item, Literal):
+                for arg in item.atom.args:
+                    see(arg)
+            elif isinstance(item, Eval):
+                for arg in item.args:
+                    see(arg)
+                see(item.var)
+            elif isinstance(item, Test):
+                for arg in item.args:
+                    see(arg)
+        for name in sorted(
+            n for n, c in counts.items() if c == 1 and n not in head_vars
+        ):
+            _diag(
+                diags,
+                "DLC703",
+                "info",
+                f"variable {name} of {rule!r} occurs exactly once; the "
+                f"binding is carried through the join but never used",
+                rule,
+                hint=f"rename {name} to _ so the planner can drop it",
+                pred=rule.head.pred,
+            )
+
+    for component in components:
+        if not (component.recursive and component.aggregated):
+            continue
+        seen_preds: set[str] = set()
+        for rule in component.rules:
+            agg = rule.head.agg_term
+            if (
+                agg is None
+                or agg.op not in program.aggregators
+                or rule.head.pred in seen_preds
+            ):
+                continue
+            seen_preds.add(rule.head.pred)
+            aggregator = program.aggregators[agg.op]
+            lattice = aggregator.lattice
+            extremum = "top" if aggregator.direction == "up" else "bottom"
+            try:
+                if aggregator.direction == "up":
+                    lattice.top()
+                else:
+                    lattice.bottom()
+            except LatticeError:
+                _diag(
+                    diags,
+                    "DLC704",
+                    "info",
+                    f"recursive aggregation {rule.head.pred} climbs "
+                    f"{aggregator.direction} through lattice "
+                    f"{lattice.name}, which has no {extremum} element; a "
+                    f"self-widening loop is not statically bounded "
+                    f"(non-Noetherian chain)",
+                    rule,
+                    hint="add a widening or bound the lattice; at runtime "
+                         "only the ascending-chain watchdog stops a "
+                         "divergent climb (docs/ROBUSTNESS.md)",
+                    pred=rule.head.pred,
+                )
+
+
+# -- pass 9 (deep): aggregator laws + ASM1.3 audit (DLC501-504) ---------------
 
 
 def _aggregated_inputs(rule: Rule, aggregated: set[str]) -> list[str]:
@@ -857,7 +1089,7 @@ def _audit_monotone_paths(
                     )
 
 
-# -- pass 9: incrementalizability report --------------------------------------
+# -- pass 10: incrementalizability report -------------------------------------
 
 
 def _incrementalizability(
@@ -920,6 +1152,7 @@ def check_program(
     *,
     normalize_first: bool = False,
     deep: bool = False,
+    impact: bool = False,
 ) -> CheckResult:
     """Run the static passes over ``program`` and collect every finding.
 
@@ -928,6 +1161,8 @@ def check_program(
     exceptions — the mode the CLI uses on freshly parsed sources.  Without
     it, the program is checked as given (the :func:`validate` contract).
     ``deep`` adds the sampled ASM2 law checks and the ASM1.3 audit.
+    ``impact`` attaches the per-EDB-predicate change-impact report
+    (:meth:`repro.datalog.impact.ImpactIndex.report`) to the result.
     """
     started = time.perf_counter()
     result = CheckResult()
@@ -956,12 +1191,18 @@ def check_program(
     result.components = _check_strata(program, diags)
     result.sorts = _infer_sorts(program, diags)
     _check_reachability(program, diags, result)
+    if result.components is not None:
+        _check_perf(program, result.components, diags)
     if deep:
         _check_aggregator_laws(program, diags)
         if result.components is not None:
             _audit_monotone_paths(program, result.components, diags)
     if result.components is not None:
         result.report = _incrementalizability(program, result.components)
+        if impact:
+            from .impact import ImpactIndex
+
+            result.impact = ImpactIndex(program, result.components).report()
 
     result.seconds = time.perf_counter() - started
     return result

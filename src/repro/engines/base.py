@@ -27,16 +27,16 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from ..datalog.check import check_program
 from ..datalog.errors import BudgetExceededError, SolverError, ValidationError
+from ..datalog.impact import Footprint
 from ..datalog.normalize import normalize
 from ..datalog.program import Program
-from ..datalog.stratify import Component, stratify
-from ..datalog.validate import raise_on_error
+from ..datalog.stratify import Component
 from ..metrics import SolverMetrics
 from ..robustness.watchdog import Budget
 from .compile import KernelCache
 from .intern import InternTable, intern_program, program_hash
+from .prepare import prepare
 from .relation import resolve_backend
 
 FactChanges = Mapping[str, Iterable[tuple]]
@@ -78,21 +78,24 @@ class Solver(ABC):
         #: hot path only pays when the caller opts in (docs/OBSERVABILITY.md).
         self.metrics = metrics if metrics is not None else SolverMetrics(enabled=False)
         self.metrics.engine = type(self).__name__
-        # Static checks (repro.datalog.check) replace the old monolithic
-        # validate(): same first-error contract, plus a live slice.  Rules
-        # that cannot reach an exported predicate are pruned before planning
-        # and kernel compilation — opt out with REPRO_NO_PRUNE=1
-        # (docs/STATIC_CHECKS.md).  Exported views are unaffected either way.
-        t0 = time.perf_counter()
-        checked = check_program(self.program)
-        raise_on_error(checked)
-        self.components: list[Component] = checked.components or []
-        if checked.dead_rules and not os.environ.get("REPRO_NO_PRUNE"):
-            self.program.rules = list(checked.live_rules)
-            self.components = stratify(self.program)
-            self.metrics.dead_rules_pruned += len(checked.dead_rules)
-        self.metrics.check_seconds += time.perf_counter() - t0
-        self.metrics.diagnostics_emitted += len(checked.diagnostics)
+        # Shared pre-planning pass (repro.engines.prepare): static checks
+        # with the validate() first-error contract, dead-rule pruning
+        # (opt out with REPRO_NO_PRUNE=1; docs/STATIC_CHECKS.md), and the
+        # static change-impact index that update scheduling and kernel
+        # binding consult (opt out with REPRO_NO_IMPACT=1;
+        # docs/PERFORMANCE.md).  Exported views are unaffected either way.
+        prepared = prepare(self.program)
+        self.components: list[Component] = prepared.components
+        #: Static change-impact index, or None under REPRO_NO_IMPACT=1.
+        self.impact = prepared.impact
+        #: Footprint of the most recent update() batch (None before the
+        #: first update, or while impact scheduling is disabled); the
+        #: service layer surfaces this in its stats op.
+        self.last_footprint: Footprint | None = None
+        self.metrics.dead_rules_pruned += prepared.dead_rules_pruned
+        self.metrics.check_seconds += prepared.check_seconds
+        self.metrics.impact_seconds += prepared.impact_seconds
+        self.metrics.diagnostics_emitted += len(prepared.checked.diagnostics)
         self.arities = self.program.arities()
         self.edb = self.program.edb_predicates()
         self.idb = self.program.idb_predicates()
@@ -121,6 +124,15 @@ class Solver(ABC):
         self.kernels = KernelCache(
             self.program, metrics=self.metrics, backend=self.backend
         )
+        #: Rules no registered delta source can feed — some positive body
+        #: literal reads a forever-empty predicate, so their kernels are
+        #: never requested from the cache (engines filter at bind time).
+        if self.impact is not None:
+            self.metrics.rules_skipped_by_impact += sum(
+                1
+                for rule in self.program.rules
+                if not self.impact.rule_viable(rule)
+            )
         #: Fixpoint watchdog budgets (docs/ROBUSTNESS.md): iteration
         #: ceilings, wall-clock deadline, ascending-chain counter.  Defaults
         #: come from REPRO_MAX_ITERS / REPRO_MAX_CHAIN; mutate in place
@@ -253,6 +265,27 @@ class Solver(ABC):
             if undo is not None:
                 undo.append((self._facts.pop, pred, None))
         return bucket
+
+    # -- impact-guided scheduling --------------------------------------------
+
+    def _impact_footprint(
+        self,
+        ins: Mapping[str, set[tuple]],
+        dels: Mapping[str, set[tuple]],
+    ) -> Footprint | None:
+        """The static footprint of one effective batch diff, or None when
+        impact scheduling is off (``REPRO_NO_IMPACT=1``).  Records the
+        derivation time into ``metrics.impact_seconds`` and publishes the
+        result on :attr:`last_footprint` for the service stats op."""
+        index = self.impact
+        if index is None:
+            self.last_footprint = None
+            return None
+        t0 = time.perf_counter()
+        footprint = index.footprint(set(ins) | set(dels))
+        self.metrics.impact_seconds += time.perf_counter() - t0
+        self.last_footprint = footprint
+        return footprint
 
     # -- solving -------------------------------------------------------------
 

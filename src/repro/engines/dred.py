@@ -224,6 +224,7 @@ class DRedLSolver(Solver):
         started = perf_counter() if active else 0.0
         self.budget.begin()
         ins, dels = self._normalize_changes(insertions, deletions)
+        footprint = self._impact_footprint(ins, dels)
         pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
         for pred, rows in ins.items():
             pending.setdefault(pred, (set(), set()))[0].update(rows)
@@ -238,6 +239,12 @@ class DRedLSolver(Solver):
 
         stats = UpdateStats()
         for index, state in enumerate(self._states):
+            if footprint is not None and index not in footprint.strata:
+                # Statically outside the batch's impact set: no delta can
+                # have reached this stratum (footprints are component-
+                # closed), so skip even the seed-intersection work.
+                self.metrics.strata_skipped += 1
+                continue
             seeds_ins: set[tuple[str, tuple]] = set()
             seeds_del: set[tuple[str, tuple]] = set()
             for pred in state.upstream_reads & pending.keys():
@@ -328,12 +335,30 @@ class DRedLSolver(Solver):
             state.replan_guard = kernels.replan_guard(state.component.rules)
             return
         state.kernels_bound = True
+        impact = self.impact
+        # Impact-guided kernel pruning: occurrences pinned on a forever-
+        # empty predicate never see a delta, and re-derivation kernels for
+        # heads no EDB delta can reach are never consulted (over-deletion
+        # only propagates through the delta-reachable closure) — neither is
+        # worth compiling.  Non-viable rules join an empty relation and
+        # enumerate nothing either way.  Ross–Sagiv mode's cleanup sweep
+        # can over-delete along static-rule-fed chains no EDB delta
+        # reaches, so there the re-derivation filter widens to every
+        # possibly-nonempty predicate.
+        if impact is not None:
+            rederive_keep = (
+                impact.delta_reachable
+                if self.inflationary
+                else impact.possibly_nonempty_preds
+            )
         state.occ_kernels = {
             pred: [
                 (rule, literal, kernels.kernel(rule, pinned=occ, oracle=oracle).fn)
                 for rule, literal, occ in entries
+                if impact is None or impact.rule_viable(rule)
             ]
             for pred, entries in state.occurrences.items()
+            if impact is None or impact.possibly_nonempty(pred)
         }
         state.rederive_kernels = {
             pred: [
@@ -344,8 +369,10 @@ class DRedLSolver(Solver):
                     ).fn,
                 )
                 for rule, bound in entries
+                if impact is None or impact.rule_viable(rule)
             ]
             for pred, entries in state.rederive_rules.items()
+            if impact is None or pred in rederive_keep
         }
         state.recompute_kernels = {}
         state.extractors = {}

@@ -296,6 +296,7 @@ class LaddderSolver(Solver):
         self.budget.begin()
         self.metrics.epochs += 1
         ins, dels = self._normalize_changes(insertions, deletions)
+        footprint = self._impact_footprint(ins, dels)
         pending: dict[str, tuple[set[tuple], set[tuple]]] = {}
         for pred, rows in ins.items():
             pending.setdefault(pred, (set(), set()))[0].update(rows)
@@ -310,6 +311,12 @@ class LaddderSolver(Solver):
 
         stats = UpdateStats()
         for index, state in enumerate(self._states):
+            if footprint is not None and index not in footprint.strata:
+                # Statically outside the batch's impact set: no delta can
+                # have reached this stratum (footprints are component-
+                # closed), so skip even the seed-intersection work.
+                self.metrics.strata_skipped += 1
+                continue
             deltas = []
             for pred in sorted(state.upstream_reads & pending.keys()):
                 added, removed = pending[pred]
@@ -427,6 +434,11 @@ class LaddderSolver(Solver):
             state.replan_guard = kernels.replan_guard(state.component.rules)
             return
         state.kernels_bound = True
+        impact = self.impact
+        # Impact-guided kernel pruning: occurrences pinned on a forever-
+        # empty predicate never see an existence change, and a rule joining
+        # a forever-empty relation never grounds a substitution — neither
+        # is worth compiling.
         state.occ_kernels = {
             pred: [
                 (
@@ -437,8 +449,10 @@ class LaddderSolver(Solver):
                     ).fn,
                 )
                 for rule, _literal, occ in entries
+                if impact is None or impact.rule_viable(rule)
             ]
             for pred, entries in state.occurrences.items()
+            if impact is None or impact.possibly_nonempty(pred)
         }
         state.extractors = {
             spec.pred: kernels.extractor(spec) for spec in state.specs.values()

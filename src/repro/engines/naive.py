@@ -64,14 +64,45 @@ class NaiveSolver(Solver):
         before = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
-        self._normalize_changes(insertions, deletions)
-        self.solve()
+        ins, dels = self._normalize_changes(insertions, deletions)
+        footprint = self._impact_footprint(ins, dels)
+        if footprint is None:
+            self.solve()
+        else:
+            self._partial_solve(ins, dels, footprint)
         after = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
         if active:
             self.metrics.update_seconds += perf_counter() - started
         return self._exported_diff(before, after)
+
+    def _partial_solve(self, ins, dels, footprint) -> None:
+        """Re-solve only the strata inside the batch's static footprint.
+
+        Mirrors :meth:`SemiNaiveSolver._partial_solve`: the EDB diff lands
+        in the retained exported store, affected components are re-solved
+        from scratch against current upstream state, and components outside
+        the (component-closed) footprint keep their retained fixpoint —
+        which is exactly what a full solve() would recompute for them.
+        """
+        self.budget.begin()
+        for pred, rows in ins.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.add(row)
+        for pred, rows in dels.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.discard(row)
+        for index, component in enumerate(self.components):
+            if index not in footprint.strata:
+                self.metrics.strata_skipped += 1
+                continue
+            for pred in component.predicates:
+                self._raw.get(pred).clear()
+            self._solve_component(component, index)
+            self._run_self_check(index)
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
@@ -116,6 +147,9 @@ class NaiveSolver(Solver):
             (rule, self.kernels.kernel(rule, oracle=oracle).fn)
             for rule in component.rules
             if not rule.is_aggregation
+            # Rules joining a forever-empty relation enumerate nothing;
+            # don't compile (or fire) their kernels at all.
+            and (self.impact is None or self.impact.rule_viable(rule))
         ]
         agg_kernels = {
             spec.pred: self.kernels.kernel(

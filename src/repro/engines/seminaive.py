@@ -98,14 +98,49 @@ class SemiNaiveSolver(Solver):
         before = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
-        self._normalize_changes(insertions, deletions)
-        self.solve()
+        ins, dels = self._normalize_changes(insertions, deletions)
+        footprint = self._impact_footprint(ins, dels)
+        if footprint is None:
+            self.solve()
+        else:
+            self._partial_solve(ins, dels, footprint)
         after = {
             pred: self.relation(pred) for pred in self.program.exported_predicates()
         }
         if active:
             self.metrics.update_seconds += perf_counter() - started
         return self._exported_diff(before, after)
+
+    def _partial_solve(self, ins, dels, footprint) -> None:
+        """Re-solve only the strata inside the batch's static footprint.
+
+        The EDB diff is applied to the retained exported store in place and
+        each affected component is re-solved from scratch against current
+        upstream state; components outside the footprint receive no upstream
+        change by construction (footprints are component-closed), so their
+        retained fixpoint is exactly what a full solve() would recompute.
+        """
+        self.budget.begin()
+        for pred, rows in ins.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.add(row)
+        for pred, rows in dels.items():
+            relation = self._exported.get(pred)
+            for row in rows:
+                relation.discard(row)
+        for index, component in enumerate(self.components):
+            if index not in footprint.strata:
+                self.metrics.strata_skipped += 1
+                continue
+            # Forget the component's previous fixpoint — raw accretions and
+            # running totals are only valid for the inputs they were
+            # computed from — then recompute it against current upstream.
+            for pred in component.predicates:
+                self._raw.get(pred).clear()
+                self._totals.pop(pred, None)
+            self._solve_component(component, index)
+            self._run_self_check(index)
 
     def relation(self, pred: str) -> frozenset[tuple]:
         self._require_solved()
@@ -134,6 +169,10 @@ class SemiNaiveSolver(Solver):
         )
         specs = compile_agg_specs(component.rules, self.program)
         plain_rules = [r for r in component.rules if not r.is_aggregation]
+        if self.impact is not None:
+            # Rules joining a forever-empty relation enumerate nothing;
+            # don't compile (or fire) their kernels at all.
+            plain_rules = [r for r in plain_rules if self.impact.rule_viable(r)]
 
         # Relation resolution is on every kernel's path, several probes per
         # call; once resolved, the relation object is stable for the rest of

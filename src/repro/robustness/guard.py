@@ -75,14 +75,28 @@ class UpdateGuard:
         # restored in place; the dict itself only ever *gains* entries (a
         # new fact predicate fixes its arity in _check_row).
         self._dict_restores.append((solver.arities, dict(solver.arities)))
-        for attr in ("_exported", "_raw", "_totals", "last_stats"):
+        for attr in ("_exported", "_raw", "last_stats"):
             if hasattr(solver, attr):
                 self._attr_restores.append((solver, attr, getattr(solver, attr)))
+        # Semi-naive running totals: a full solve() rebinds the dict (the
+        # attribute restore would suffice), but the impact-guided partial
+        # path pops entries from the live one — snapshot by value.
+        totals = getattr(solver, "_totals", None)
+        if totals is not None:
+            self._attr_restores.append(
+                (solver, "_totals", {pred: dict(g) for pred, g in totals.items()})
+            )
 
         # The exported store is mutated in place by the incremental engines
         # (and merely replaced — old object untouched — by the re-solving
-        # ones, for which the attribute restore above suffices).
+        # ones, for which the attribute restore above suffices).  The
+        # re-solving engines' raw store is likewise rebound by a full
+        # solve() but cleared per-predicate in place by the impact-guided
+        # partial path, so it journals too.
         self._journal_store(solver._exported)
+        raw = getattr(solver, "_raw", None)
+        if raw is not None:
+            self._journal_store(raw)
 
         # Per-component deep state of the incremental engines.
         for comp in getattr(solver, "_states", ()):

@@ -56,6 +56,12 @@ class UpdateBatch:
     def empty(self) -> bool:
         return self.size == 0
 
+    @property
+    def touched(self) -> list[str]:
+        """The EDB predicates this batch edits — the input the engines feed
+        to the static change-impact index (docs/PERFORMANCE.md)."""
+        return sorted(set(self.insertions) | set(self.deletions))
+
 
 class CoalescingQueue:
     """Pending fact edits, one operation per ``(pred, row)`` key.

@@ -160,6 +160,9 @@ class Session:
         )
         self._flush_requested = False
         self._last_outcome: dict | None = None
+        #: Static impact footprint of the last applied batch (None until one
+        #: lands, or when impact scheduling is disabled via REPRO_NO_IMPACT).
+        self._last_footprint: dict | None = None
         self._closed = False
         self.failed_batches = 0
         self.last_error: str | None = None
@@ -317,13 +320,23 @@ class Session:
         outcome = {
             "size": batch.size,
             "enqueued": batch.enqueued,
+            "touched": batch.touched,
             "seconds": seconds,
         }
         if error is None:
             self._snapshot = snapshot  # publish: a single atomic store
             self.metrics.batches_applied += 1
             self.metrics.snapshots_published += 1
-            outcome.update(ok=True, version=snapshot.version, impact=stats.impact)
+            footprint = getattr(self.solver.solver, "last_footprint", None)
+            self._last_footprint = (
+                footprint.to_dict() if footprint is not None else None
+            )
+            outcome.update(
+                ok=True,
+                version=snapshot.version,
+                impact=stats.impact,
+                footprint=self._last_footprint,
+            )
         else:
             self.failed_batches += 1
             self.last_error = error
@@ -490,6 +503,7 @@ class Session:
             "applied_seq": self._applied_seq,
             "enqueued_seq": self._enqueued_seq,
             "restored_from": self.restored_from,
+            "last_footprint": self._last_footprint,
             "checkpoint": {
                 "path": self.config.checkpoint_path,
                 "every": self.config.checkpoint_every,

@@ -6,13 +6,16 @@ file-based ``repro check`` targets register them through
 fixtures: registering an operator no rule uses has no effect.
 """
 
-from repro.lattices import ConstantLattice, SignLattice, lub
+from repro.lattices import ConstantLattice, PowersetLattice, SignLattice, lub
 from repro.lattices.aggregator import Aggregator
 
 
 def register(program):
     program.register_aggregator("lubc", lub(ConstantLattice()))
     program.register_aggregator("lubs", lub(SignLattice()))
+    # Well-behaved but non-Noetherian: the powerset lattice has no top, so
+    # a recursive climb through it is unbounded (DLC704's target).
+    program.register_aggregator("lubp", lub(PowersetLattice()))
     # Deliberately ill-behaved: "keep the right operand" is associative but
     # neither commutative nor dominating, so the sampled ASM2 law check
     # (DLC501) must reject it.

@@ -65,6 +65,11 @@ class TestCheckCLI:
             ("dead_rule.dl", 1, "DLC601", "dead rule"),
             ("lattice_mismatch.dl", 2, "DLC401", "lattice sort mismatch"),
             ("nonmono_agg.dl", 2, "DLC501", "well-behaving"),
+            # Perf lints are info: the exit code stays 0.
+            ("crossproduct.dl", 0, "DLC701", "cross product"),
+            ("delta_unreachable.dl", 0, "DLC702", "no input (EDB) delta"),
+            ("singleton.dl", 0, "DLC703", "occurs exactly once"),
+            ("nonnoetherian.dl", 0, "DLC704", "non-Noetherian"),
         ],
     )
     def test_seeded_defects_report_documented_codes(
@@ -96,6 +101,46 @@ class TestCheckCLI:
         code, out = run_check(capsys, "no_such_file.dl")
         assert code == 2
         assert "DLC002" in out
+
+    def test_diagnostics_name_their_producing_pass(self, capsys):
+        code, out = run_check(
+            capsys,
+            str(FIXTURES / "unsafe_rule.dl"),
+            str(FIXTURES / "singleton.dl"),
+            "--registry", REGISTRY,
+            "--json", "-",
+        )
+        assert code == 2
+        report = json.loads(out)
+        assert report["version"] == 2
+        passes = {
+            d["code"]: d["pass"]
+            for t in report["targets"]
+            for d in t["diagnostics"]
+        }
+        assert passes["DLC201"] == "safety"
+        assert passes["DLC703"] == "perf"
+
+    def test_impact_report_in_json(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        code, out = run_check(
+            capsys, "constprop", "--impact", "--json", "-"
+        )
+        assert code == 0
+        report = json.loads(out)
+        schema = json.loads((REPO / "docs" / "check_schema.json").read_text())
+        jsonschema.validate(report, schema)
+        [target] = report["targets"]
+        impact = target["impact"]
+        assert impact["strata_total"] >= 2
+        # Sparse control-flow edits stay inside the value stratum: the
+        # footprint of `flow` must exclude at least the candidate stratum.
+        flow = impact["edb"]["flow"]
+        assert len(flow["strata"]) < impact["strata_total"]
+        assert "val" in flow["lattice_merges"]
+        # Without --impact the key is absent entirely.
+        code, out = run_check(capsys, "constprop", "--json", "-")
+        assert "impact" not in json.loads(out)["targets"][0]
 
 
 DEAD_RULE_SOURCE = """

@@ -1,0 +1,127 @@
+"""Unit tests for the static change-impact index (repro.datalog.impact)."""
+
+import pytest
+
+from repro.datalog import parse
+from repro.datalog.impact import ImpactIndex
+
+#: Three strata: base reachability, a negation consumer, and a static
+#: configuration chain fed by a fact rule (no EDB ancestor).
+SOURCE = """
+.export reach.
+.export lonely.
+.export mode.
+
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).
+lonely(X)   :- node(X), !reach(X, X).
+config(1).
+mode(X)     :- config(X).
+"""
+
+
+@pytest.fixture()
+def index():
+    return ImpactIndex(parse(SOURCE))
+
+
+class TestClosure:
+    def test_edb_and_idb_partition(self, index):
+        assert index.edb == {"edge", "node"}
+        assert index.idb == {"reach", "lonely", "config", "mode"}
+
+    def test_forward_closure_follows_negation(self, index):
+        # edge feeds reach positively and lonely through !reach; the source
+        # itself is excluded (it is not on a cycle).
+        assert index.affected_predicates("edge") == {"reach", "lonely"}
+        assert index.affected_predicates("node") == {"lonely"}
+
+    def test_static_chain_is_not_edb_reachable(self, index):
+        assert "mode" not in index.delta_reachable
+        assert "config" not in index.delta_reachable
+        assert "reach" in index.delta_reachable
+
+    def test_closures_are_component_closed(self, index):
+        for pred in index.edb:
+            footprint = index.footprint({pred})
+            for stratum in footprint.strata:
+                component = index.components[stratum]
+                if component.predicates & footprint.predicates:
+                    assert component.predicates <= (
+                        footprint.predicates | index.edb
+                    )
+
+
+class TestViability:
+    def test_fact_rules_are_viable(self, index):
+        by_head = {
+            rule.head.pred: rule
+            for rules in index._rules_by_head.values()
+            for rule in rules
+        }
+        assert index.rule_viable(by_head["config"])
+        assert index.rule_viable(by_head["mode"])
+        assert index.rule_viable(by_head["lonely"])
+
+    def test_rule_on_forever_empty_pred_is_not_viable(self):
+        program = parse("""
+        .export out.
+        out(X) :- ghost(X), ghost2(X, X).
+        ghost2(X, X) :- never(X).
+        never(X) :- ghost2(X, X).
+        """)
+        index = ImpactIndex(program)
+        # ghost is EDB (possibly nonempty); never/ghost2 are a cycle with
+        # no base case, so the out rule can never fire.
+        by_head = {rule.head.pred: rule for rule in program.rules}
+        assert not index.rule_viable(by_head["out"])
+        assert index.possibly_nonempty("ghost")
+        assert not index.possibly_nonempty("never")
+
+
+class TestFootprint:
+    def test_footprint_unions_touched_preds(self, index):
+        alone = index.footprint({"edge"})
+        both = index.footprint({"edge", "node"})
+        assert alone.predicates <= both.predicates
+        assert alone.strata <= both.strata
+        assert both.touched == frozenset({"edge", "node"})
+
+    def test_unknown_pred_footprint_is_empty(self, index):
+        footprint = index.footprint({"no_such_pred"})
+        assert footprint.strata == frozenset()
+        assert footprint.strata_skipped == footprint.strata_total
+
+    def test_covers_and_to_dict(self, index):
+        footprint = index.footprint({"edge"})
+        assert footprint.covers("reach")
+        assert not footprint.covers("mode")
+        payload = footprint.to_dict()
+        assert payload["touched"] == ["edge"]
+        assert payload["strata_skipped"] == footprint.strata_skipped
+        assert set(payload) == {
+            "touched", "predicates", "strata", "lattice_merges",
+            "strata_total", "strata_skipped",
+        }
+
+
+class TestReport:
+    def test_report_shape(self, index):
+        report = index.report()
+        assert set(report["edb"]) == {"edge", "node"}
+        assert report["strata_total"] == len(index.components)
+        # The mode rule is the one no delta can reach.
+        assert report["unreachable_rules"] == 1
+        negated = [e for e in report["edges"] if e["negated"]]
+        assert [(e["src"], e["dst"]) for e in negated] == [("reach", "lonely")]
+
+    def test_lattice_merges_tracked(self):
+        from repro.analyses import constant_propagation
+        from repro.corpus import load_subject
+
+        instance = constant_propagation(load_subject("minijavac", scale=0.2))
+        index = ImpactIndex(instance.program)
+        report = index.report()
+        assert "val" in report["edb"]["assignlit"]["lattice_merges"]
+        merge_edges = [e for e in report["edges"] if e["merge"]]
+        assert any(e["dst"] == "val" for e in merge_edges)

@@ -150,7 +150,7 @@ class TestExport:
         d = m.to_dict()
         assert set(d) == {
             "engine", "totals", "laddder", "storage", "compile", "check",
-            "strata", "rules", "robustness", "service",
+            "impact", "strata", "rules", "robustness", "service",
         }
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10
@@ -176,6 +176,11 @@ class TestExport:
             "check_seconds",
             "diagnostics_emitted",
             "dead_rules_pruned",
+        }
+        assert set(d["impact"]) == {
+            "impact_seconds",
+            "strata_skipped",
+            "rules_skipped_by_impact",
         }
         assert d["strata"][0]["delta_sizes"] == [1]
         assert d["rules"]["r"]["derived"] == 1

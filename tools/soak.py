@@ -52,6 +52,11 @@ def parse_args(argv=None):
         "(object, columnar, auto; default: inherit REPRO_BACKEND)",
     )
     parser.add_argument(
+        "--impact", default=None,
+        help="comma-separated impact-scheduling modes to matrix over "
+        "(on, off; default: inherit REPRO_NO_IMPACT)",
+    )
+    parser.add_argument(
         "--self-check", action="store_true",
         help="run the guarded solver's invariant self-checks every epoch",
     )
@@ -74,7 +79,8 @@ def summarize(record: dict) -> str:
     )
     return (
         f"{record['subject']}/{record['analysis']}/{record['engine']}"
-        f"[{record.get('backend', 'object')}]: "
+        f"[{record.get('backend', 'object')},"
+        f"impact={record.get('impact', 'on')}]: "
         f"{'ok' if record['ok'] else 'FAIL'}  "
         f"steps={record['steps']} seed={record['seed']} "
         f"p50={latency['p50'] * 1e3:.1f}ms p95={latency['p95'] * 1e3:.1f}ms "
@@ -89,27 +95,43 @@ def main(argv=None) -> int:
         backends = [b.strip() for b in args.backend.split(",") if b.strip()]
     else:
         backends = [None]  # inherit whatever REPRO_BACKEND says
+    if args.impact:
+        impact_modes = [m.strip() for m in args.impact.split(",") if m.strip()]
+        for mode in impact_modes:
+            if mode not in ("on", "off"):
+                raise SystemExit(f"--impact modes are on/off, got {mode!r}")
+    else:
+        impact_modes = [None]  # inherit whatever REPRO_NO_IMPACT says
     records = []
     for backend in backends:
         if backend is not None:
             os.environ["REPRO_BACKEND"] = backend
         label = backend or os.environ.get("REPRO_BACKEND") or "object"
-        for analysis in args.analyses.split(","):
-            for engine in args.engines.split(","):
-                record = soak(
-                    args.subject,
-                    analysis.strip(),
-                    engine=engine.strip(),
-                    steps=args.steps,
-                    seed=args.seed,
-                    checkpoint_every=args.checkpoint_every,
-                    scale=args.scale,
-                    self_check=args.self_check,
-                    drive_session=args.session,
-                )
-                record["backend"] = label
-                records.append(record)
-                print(summarize(record), flush=True)
+        for impact_mode in impact_modes:
+            if impact_mode == "on":
+                os.environ.pop("REPRO_NO_IMPACT", None)
+            elif impact_mode == "off":
+                os.environ["REPRO_NO_IMPACT"] = "1"
+            impact_label = impact_mode or (
+                "off" if os.environ.get("REPRO_NO_IMPACT") else "on"
+            )
+            for analysis in args.analyses.split(","):
+                for engine in args.engines.split(","):
+                    record = soak(
+                        args.subject,
+                        analysis.strip(),
+                        engine=engine.strip(),
+                        steps=args.steps,
+                        seed=args.seed,
+                        checkpoint_every=args.checkpoint_every,
+                        scale=args.scale,
+                        self_check=args.self_check,
+                        drive_session=args.session,
+                    )
+                    record["backend"] = label
+                    record["impact"] = impact_label
+                    records.append(record)
+                    print(summarize(record), flush=True)
     if args.json:
         print(json.dumps(records, indent=2, default=str))
     failures = [r for r in records if not r["ok"]]
