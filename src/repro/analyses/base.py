@@ -38,10 +38,13 @@ class AnalysisInstance:
         engine_cls: Type[Solver],
         solve: bool = True,
         metrics: SolverMetrics | None = None,
+        provenance: bool | None = None,
     ) -> Solver:
         """Instantiate ``engine_cls`` on this analysis and optionally run the
-        initial (from-scratch) evaluation."""
-        solver = engine_cls(self.program, metrics=metrics)
+        initial (from-scratch) evaluation.  ``provenance`` opts the solver
+        into per-tuple annotation capture (docs/PROVENANCE.md); ``None``
+        defers to the ``REPRO_PROVENANCE`` environment default."""
+        solver = engine_cls(self.program, metrics=metrics, provenance=provenance)
         for pred, rows in self.facts.items():
             if rows and pred in solver.idb:
                 continue  # extractor emitted a relation the rules derive

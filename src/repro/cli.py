@@ -239,27 +239,106 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def cmd_explain(args) -> int:
-    """``explain``: print one derivation of a selected result tuple."""
-    _subject, instance = _build(args)
-    solver = instance.make_solver(ENGINES["laddder"])
-    pred = args.predicate or instance.primary
+def _write_explain_json(args, payload: dict) -> int:
+    """Emit the ``--json`` artifact (schema: docs/explain_schema.json)."""
+    if not args.json:
+        return 0
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+        return 0
     try:
-        rows = sorted(solver.relation(pred), key=repr)
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+    except OSError as exc:
+        print(f"error: cannot write report: {exc}", file=sys.stderr)
+        return 1
+    print(f"report written to {args.json}")
+    return 0
+
+
+def _parse_cli_row(args) -> tuple | None:
+    """``--row`` as a JSON array of scalars, or None when not given."""
+    if args.row is None:
+        return None
+    try:
+        row = json.loads(args.row)
+    except ValueError as exc:
+        raise SolverError(f"--row must be a JSON array: {exc}") from exc
+    if not isinstance(row, list):
+        raise SolverError(f"--row must be a JSON array, got {row!r}")
+    return tuple(row)
+
+
+def cmd_explain(args) -> int:
+    """``explain``: derivations, why-not frontiers, rollback suggestions.
+
+    Default mode prints one derivation of a selected result tuple, using
+    the height-guided provenance fast path (docs/PROVENANCE.md).
+    ``--whynot`` explains an *absent* tuple instead; ``--rollback`` adds
+    verified input-edit suggestions that remove the selected tuple.
+    """
+    from .provenance import suggest_rollbacks, whynot
+    from .service.snapshot import stable_repr
+
+    _subject, instance = _build(args)
+    try:
+        solver = instance.make_solver(ENGINES[args.engine], provenance=True)
+        row = _parse_cli_row(args)
+
+        if args.whynot:
+            if row is None:
+                print("error: --whynot requires --row", file=sys.stderr)
+                return 1
+            report = whynot(solver, args.predicate or instance.primary, row)
+            print(report.format())
+            return _write_explain_json(args, {"whynot": report.to_dict()})
+
+        pred = args.predicate or instance.primary
+        rows = sorted(solver.relation(pred), key=stable_repr)
+        if row is not None:
+            rendered = [
+                v if isinstance(v, str) else stable_repr(v) for v in row
+            ]
+            rows = [
+                cand for cand in rows
+                if cand == row
+                or [stable_repr(v) for v in cand] == rendered
+            ]
+            if not rows:
+                print(
+                    f"{pred}{row} is not derived; try --whynot",
+                    file=sys.stderr,
+                )
+                return 1
+        if args.match:
+            rows = [r for r in rows if args.match in repr(r)]
+        if not rows:
+            print(f"no tuples in {pred} matching {args.match!r}")
+            return 1
+
+        target = rows[0]
+        derivation = explain(solver, pred, target, max_depth=args.depth)
+        print(f"why {pred}{target}:")
+        print(derivation.format(indent=1))
+        if len(rows) > 1:
+            print(f"({len(rows) - 1} more matching tuples; narrow with --match)")
+        payload = {"explain": derivation.to_dict()}
+
+        if args.rollback:
+            suggestions = suggest_rollbacks(solver, pred, target)
+            if suggestions:
+                print("rollback suggestions:")
+                for suggestion in suggestions:
+                    print(f"  - {suggestion.format()}")
+            else:
+                print("no verified rollback suggestions "
+                      "(no deletable input support)")
+            payload["rollback"] = [s.to_dict() for s in suggestions]
+        return _write_explain_json(args, payload)
     except SolverError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    if args.match:
-        rows = [row for row in rows if args.match in repr(row)]
-    if not rows:
-        print(f"no tuples in {pred} matching {args.match!r}")
-        return 1
-    derivation = explain(solver, pred, rows[0])
-    print(f"why {pred}{rows[0]}:")
-    print(derivation.format(indent=1))
-    if len(rows) > 1:
-        print(f"({len(rows) - 1} more matching tuples; narrow with --match)")
-    return 0
 
 
 def cmd_serve(args) -> int:
@@ -546,13 +625,27 @@ def make_parser() -> argparse.ArgumentParser:
     bench.set_defaults(fn=cmd_bench)
 
     explain_cmd = sub.add_parser(
-        "explain", help="show one derivation of an analysis result"
+        "explain", help="derivations, why-not frontiers, rollback hints"
     )
     common(explain_cmd)
+    explain_cmd.add_argument("--engine", choices=sorted(ENGINES),
+                             default="laddder")
     explain_cmd.add_argument("--predicate", default=None,
                              help="relation to explain (default: primary)")
     explain_cmd.add_argument("--match", default=None,
                              help="substring selecting the tuple")
+    explain_cmd.add_argument("--row", metavar="JSON", default=None,
+                             help="exact tuple as a JSON array of scalars")
+    explain_cmd.add_argument("--depth", type=int, default=12,
+                             help="max derivation depth")
+    explain_cmd.add_argument("--whynot", action="store_true",
+                             help="explain why --row is NOT derived")
+    explain_cmd.add_argument("--rollback", action="store_true",
+                             help="suggest verified input-fact deletions "
+                                  "removing the selected tuple")
+    explain_cmd.add_argument("--json", metavar="FILE", default=None,
+                             help="write the report as JSON (docs/"
+                                  "explain_schema.json; use - for stdout)")
     explain_cmd.set_defaults(fn=cmd_explain)
 
     check_cmd = sub.add_parser(

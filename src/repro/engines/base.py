@@ -67,7 +67,12 @@ class Solver(ABC):
     #: Fixpoint guard: iterations per component before declaring divergence.
     MAX_ITERATIONS = 100_000
 
-    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
+    def __init__(
+        self,
+        program: Program,
+        metrics: SolverMetrics | None = None,
+        provenance: bool | None = None,
+    ):
         #: The caller's program as handed in, before normalization — the
         #: guard's graceful-degradation path rebuilds a reference solver
         #: from it (re-normalizing a normalized program is not idempotent).
@@ -145,6 +150,17 @@ class Solver(ABC):
         #: Active undo log installed by repro.robustness.guard.UpdateGuard;
         #: None outside a guarded update.
         self._undo: list | None = None
+        #: Opt-in per-tuple provenance annotations (docs/PROVENANCE.md):
+        #: every engine records (rule_id, height) per derived tuple at emit
+        #: time, and repro.engines.explain reconstructs proof trees from
+        #: them on demand.  ``Solver(provenance=True)`` or REPRO_PROVENANCE=1.
+        if provenance is None:
+            provenance = bool(os.environ.get("REPRO_PROVENANCE"))
+        self.provenance = None
+        if provenance:
+            from ..provenance.store import ProvenanceStore
+
+            self.provenance = ProvenanceStore(self.program, metrics=self.metrics)
 
     def _store_metrics(self) -> SolverMetrics | None:
         """The metrics object relation stores should count probes into, or

@@ -49,7 +49,13 @@ MAGIC = b"REPROCKPT"
 #: Current checkpoint format version.  v3: aggregation group state is
 #: pickled without its combine callable (rebound on restore) and the
 #: payload records the storage backend plus the intern-table value list.
-VERSION = 3
+#: v4: an optional ``"provenance"`` payload key carries the per-tuple
+#: annotation map of provenance-enabled solvers (docs/PROVENANCE.md).
+VERSION = 4
+#: Older format versions this build can still read.  v3 payloads simply
+#: lack the provenance key: they restore with empty annotations, and
+#: ``explain`` falls back to full proof search.
+READ_VERSIONS = frozenset({3, VERSION})
 _HEADER = struct.Struct(f">{len(MAGIC)}sH32s")
 
 #: Attributes captured per solver class (data only — no compiled plans,
@@ -97,6 +103,9 @@ def save_checkpoint(solver: Solver, path: str | Path) -> int:
         "intern": solver.intern.dump() if solver.intern is not None else None,
         "attrs": {name: getattr(solver, name) for name in _STATE_ATTRS[cls_name]},
         "components": _component_state(solver),
+        "provenance": (
+            solver.provenance.dump() if solver.provenance is not None else None
+        ),
     }
     buffer = io.BytesIO()
     pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
@@ -125,10 +134,11 @@ def _read_body(path: Path) -> bytes:
     if len(data) < _HEADER.size or not data.startswith(MAGIC):
         raise CheckpointError(f"{path} is not a repro checkpoint")
     _, version, digest = _HEADER.unpack_from(data)
-    if version != VERSION:
+    if version not in READ_VERSIONS:
         raise CheckpointError(
             f"{path} has checkpoint format version {version}, "
-            f"but this build reads version {VERSION}; re-run the initial "
+            f"but this build reads versions "
+            f"{sorted(READ_VERSIONS)}; re-run the initial "
             f"analysis to regenerate it"
         )
     body = data[_HEADER.size:]
@@ -223,4 +233,16 @@ def load_checkpoint(
                         group.rebind(combine)
             if "totals" in entry:
                 state.totals = entry["totals"]
+    annotations = payload.get("provenance")
+    if annotations is not None:
+        # A provenance-enabled checkpoint restores its annotations even if
+        # the restoring process did not opt in — the capture cost is
+        # already paid, and explain works immediately.
+        if solver.provenance is None:
+            from ..provenance.store import ProvenanceStore
+
+            solver.provenance = ProvenanceStore(
+                solver.program, metrics=solver.metrics
+            )
+        solver.provenance.restore(annotations)
     return solver

@@ -155,6 +155,7 @@ class DRedLSolver(Solver):
         program: Program,
         aggregation: str = "inflationary",
         metrics: SolverMetrics | None = None,
+        provenance: bool | None = None,
     ):
         """``aggregation`` selects the aggregate-maintenance mode:
 
@@ -170,7 +171,7 @@ class DRedLSolver(Solver):
           oscillate and trip the divergence guard — the behaviour the paper
           reports for IncA.
         """
-        super().__init__(program, metrics=metrics)
+        super().__init__(program, metrics=metrics, provenance=provenance)
         if aggregation not in ("inflationary", "rosssagiv"):
             raise ValueError(f"unknown aggregation mode {aggregation!r}")
         self.inflationary = aggregation == "inflationary"
@@ -196,6 +197,9 @@ class DRedLSolver(Solver):
         for state in self._states:
             state.metrics = self._store_metrics()
             state.reset()
+        prov = self.provenance
+        if prov is not None:
+            prov.clear_all()
         for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
@@ -208,6 +212,8 @@ class DRedLSolver(Solver):
             for rule in state.static_rules:
                 for head_row in self.kernels.kernel(rule).fn(state.rel):
                     insertions.add((rule.head.pred, head_row))
+                    if prov is not None:
+                        prov.hint(rule.head.pred, head_row, rule)
             self._run_component(state, insertions, set(), index)
             self._run_self_check(index)
         self._solved = True
@@ -483,6 +489,8 @@ class DRedLSolver(Solver):
                     row = spec.tuple_for(key, exact)
                     if row not in state.rel(spec_pred):
                         to_insert.add((spec_pred, row))
+                        if self.provenance is not None:
+                            self.provenance.hint(spec_pred, row, spec.rule)
                 if not to_insert:
                     break
                 work += self._insertion_sweep(
@@ -531,6 +539,8 @@ class DRedLSolver(Solver):
                             row = spec.tuple_for(key, stored)
                             if row not in state.rel(spec_pred):
                                 pending_ins.add((spec_pred, row))
+                                if self.provenance is not None:
+                                    self.provenance.hint(spec_pred, row, spec.rule)
                         continue
                     if stored is not None:
                         old_row = spec.tuple_for(key, stored)
@@ -540,7 +550,10 @@ class DRedLSolver(Solver):
                         totals.pop(key, None)
                     else:
                         totals[key] = recomputed
-                        pending_ins.add((spec_pred, spec.tuple_for(key, recomputed)))
+                        new_row = spec.tuple_for(key, recomputed)
+                        pending_ins.add((spec_pred, new_row))
+                        if self.provenance is not None:
+                            self.provenance.hint(spec_pred, new_row, spec.rule)
         else:
             raise self._budget_exceeded(
                 f"DRedL exceeded {max_rounds} delete/re-derive rounds in "
@@ -650,6 +663,7 @@ class DRedLSolver(Solver):
         # are restored when alternative support survives.  Upstream rows are
         # inputs (never derived) and aggregates are restored by group
         # reconciliation.
+        prov = self.provenance
         overdeleted_local: list[tuple[str, tuple]] = []
         for pred, row in removed:
             relation = state.rel(pred)
@@ -657,12 +671,17 @@ class DRedLSolver(Solver):
                 if stratum is not None:
                     metrics.tuples_retracted += 1
                 record_remove(pred, row)
+                if prov is not None and pred in state.component.predicates:
+                    prov.forget(pred, row)
                 if pred in state.component.predicates and pred not in state.specs:
                     overdeleted_local.append((pred, row))
 
         for pred, row in sorted(overdeleted_local, key=repr):
-            if self._rederivable(state, pred, row):
+            supporting = self._rederivable(state, pred, row)
+            if supporting is not None:
                 pending_ins.add((pred, row))
+                if prov is not None:
+                    prov.hint(pred, row, supporting)
             work += 1
 
         for pred, row in negation_reinserts:
@@ -671,6 +690,8 @@ class DRedLSolver(Solver):
                     continue
                 for head_row in kernel(state.rel, row):
                     pending_ins.add((rule.head.pred, head_row))
+                    if prov is not None:
+                        prov.hint(rule.head.pred, head_row, rule)
                     work += 1
         return work
 
@@ -685,6 +706,7 @@ class DRedLSolver(Solver):
         being rebuilt is never torn down mid-flight.  Insertions into
         negated atoms seed the next round's deletions."""
         metrics = self.metrics
+        prov = self.provenance
         work = 0
         worklist = list(seeds)
         while worklist:
@@ -698,10 +720,14 @@ class DRedLSolver(Solver):
                 self._poll_budget("DRedL insertion sweep")
             relation = state.rel(pred)
             if not relation.add(row):
+                if prov is not None:
+                    prov.drop_hint(pred, row)
                 if stratum is not None:
                     metrics.derivations(stratum, 0, 1)
                 continue
             work += 1
+            if prov is not None and pred in state.component.predicates:
+                prov.annotate(pred, row)
             if stratum is not None:
                 metrics.derivations(stratum, 1)
             record_add(pred, row)
@@ -718,6 +744,8 @@ class DRedLSolver(Solver):
                     enumerated += 1
                     if head_row not in state.rel(head_pred):
                         worklist.append((head_pred, head_row))
+                        if prov is not None:
+                            prov.hint(head_pred, head_row, rule)
                 if stratum is not None:
                     metrics.rule_fired(
                         repr(rule), 0, 0, perf_counter() - t0,
@@ -748,6 +776,8 @@ class DRedLSolver(Solver):
                     total_row = spec.tuple_for(key, new_total)
                     if total_row not in state.rel(spec.pred):
                         worklist.append((spec.pred, total_row))
+                        if prov is not None:
+                            prov.hint(spec.pred, total_row, spec.rule)
                     continue
                 totals[key] = new_total
                 # The one loop in DRedL with no round guard: a strictly
@@ -755,18 +785,22 @@ class DRedLSolver(Solver):
                 # so a non-Noetherian lattice diverges *here* — tick the
                 # ascending-chain watchdog.
                 self._chain_advance(spec.pred, key)
-                worklist.append((spec.pred, spec.tuple_for(key, new_total)))
+                advanced_row = spec.tuple_for(key, new_total)
+                worklist.append((spec.pred, advanced_row))
+                if prov is not None:
+                    prov.hint(spec.pred, advanced_row, spec.rule)
         return work
 
-    def _rederivable(self, state, pred: str, row: tuple) -> bool:
-        """Does ``row`` still have a derivation in the current state?"""
+    def _rederivable(self, state, pred: str, row: tuple) -> "Rule | None":
+        """The first rule still deriving ``row`` in the current state, or
+        None when no alternative support survives."""
         for rule, kernel in state.rederive_kernels.get(pred, ()):
             binding = self._bind_head(rule, row)
             if binding is None:
                 continue
             for _ in kernel(state.rel, binding):
-                return True
-        return False
+                return rule
+        return None
 
     @staticmethod
     def _bind_head(rule: Rule, row: tuple) -> dict | None:

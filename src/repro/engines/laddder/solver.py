@@ -231,8 +231,13 @@ class LaddderSolver(Solver):
     #: below this; exceeding it indicates divergence (see Section 4.3).
     MAX_TIMESTAMP = 100_000
 
-    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
-        super().__init__(program, metrics=metrics)
+    def __init__(
+        self,
+        program: Program,
+        metrics: SolverMetrics | None = None,
+        provenance: bool | None = None,
+    ):
+        super().__init__(program, metrics=metrics, provenance=provenance)
         self._states = [
             _ComponentState(
                 c, self.program, self.arities, self._store_metrics(),
@@ -264,6 +269,9 @@ class LaddderSolver(Solver):
         for state in self._states:
             state.metrics = self._store_metrics()
             state.reset()
+        prov = self.provenance
+        if prov is not None:
+            prov.clear_all()
         for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
@@ -278,6 +286,8 @@ class LaddderSolver(Solver):
                     state.relations.__getitem__
                 ):
                     deltas.append((rule.head.pred, head_row, 0, 1))
+                    if prov is not None:
+                        prov.hint(rule.head.pred, head_row, rule)
             self._compensate(state, deltas, index)
             self._run_self_check(index)
         self._solved = True
@@ -483,6 +493,7 @@ class LaddderSolver(Solver):
         """
         self._bind_kernels(state)
         metrics = self.metrics
+        prov = self.provenance
         stratum = (
             metrics.stratum(index, state.component.predicates)
             if metrics.active
@@ -539,6 +550,14 @@ class LaddderSolver(Solver):
                 if fold:
                     touched.add((pred, row))
                 new_first = relation._first[row]
+                if prov is not None and pred in state.component.predicates:
+                    # First-existence transitions are the insert/retract
+                    # events of this engine: annotate on birth (the push-time
+                    # hint carries the rule), forget on collapse to NEVER.
+                    if old_first == NEVER and new_first != NEVER:
+                        prov.annotate(pred, row)
+                    elif old_first != NEVER and new_first == NEVER:
+                        prov.forget(pred, row)
                 if stratum is not None:
                     metrics.compensation(pred, row, t, delta)
                     if delta > 0:
@@ -585,6 +604,7 @@ class LaddderSolver(Solver):
         if not entries:
             return
         metrics = self.metrics
+        prov = self.provenance
         by_rule: dict[int, set] = {}
         neg_skip = (pred, row)
         lookup = state.relations.__getitem__
@@ -616,6 +636,8 @@ class LaddderSolver(Solver):
                         (int(t_old), next(counter), head_pred, head_row, -1),
                     )
                 if t_new != NEVER:
+                    if prov is not None:
+                        prov.hint(head_pred, head_row, rule)
                     heapq.heappush(
                         queue,
                         (int(t_new), next(counter), head_pred, head_row, 1),
@@ -685,6 +707,7 @@ class LaddderSolver(Solver):
         """Route a collecting tuple's existence change into the sequential
         aggregator architecture and queue the resulting output-run diffs."""
         undo = self._undo
+        prov = self.provenance
         for spec in state.specs_by_collecting.get(pred, ()):
             if _faults.ACTIVE is not None:
                 _faults.fire("aggregate.combine")
@@ -719,6 +742,8 @@ class LaddderSolver(Solver):
                         queue, (int(t_out_old), next(counter), spec.pred, out_row, -1)
                     )
                 if t_out_new != NEVER:
+                    if prov is not None:
+                        prov.hint(spec.pred, out_row, spec.rule)
                     heapq.heappush(
                         queue, (int(t_out_new), next(counter), spec.pred, out_row, 1)
                     )

@@ -27,8 +27,13 @@ from .relation import IndexedRelation, RelationStore
 class NaiveSolver(Solver):
     """Iterate ``T̂`` to fixpoint on full relations; prune; export."""
 
-    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
-        super().__init__(program, metrics=metrics)
+    def __init__(
+        self,
+        program: Program,
+        metrics: SolverMetrics | None = None,
+        provenance: bool | None = None,
+    ):
+        super().__init__(program, metrics=metrics, provenance=provenance)
         self._exported = RelationStore(self.arities, backend=self.backend)
         self._raw = RelationStore(self.arities, backend=self.backend)
 
@@ -42,6 +47,8 @@ class NaiveSolver(Solver):
             self.arities, metrics=self._store_metrics(), backend=self.backend
         )
         self._raw = RelationStore(self.arities, backend=self.backend)
+        if self.provenance is not None:
+            self.provenance.clear_all()
         for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
@@ -101,6 +108,8 @@ class NaiveSolver(Solver):
                 continue
             for pred in component.predicates:
                 self._raw.get(pred).clear()
+            if self.provenance is not None:
+                self.provenance.clear_preds(component.predicates)
             self._solve_component(component, index)
             self._run_self_check(index)
 
@@ -158,6 +167,7 @@ class NaiveSolver(Solver):
             for spec in specs.values()
         }
 
+        prov = self.provenance
         max_iterations = self.budget.iterations(self.MAX_ITERATIONS)
         for iteration in range(max_iterations):
             self._poll_budget(f"naive fixpoint, component {index}")
@@ -171,12 +181,16 @@ class NaiveSolver(Solver):
                     for head_row in kernel(lookup):
                         if target.add(head_row):
                             changed = True
+                            if prov is not None:
+                                prov.annotate(rule.head.pred, head_row, rule)
                 else:
                     t0 = perf_counter()
                     derived = dedup = 0
                     for head_row in kernel(lookup):
                         if target.add(head_row):
                             derived += 1
+                            if prov is not None:
+                                prov.annotate(rule.head.pred, head_row, rule)
                         else:
                             dedup += 1
                     metrics.rule_fired(
@@ -225,10 +239,14 @@ class NaiveSolver(Solver):
             else:
                 groups[key] = value
         target = local.get(spec.pred)
+        prov = self.provenance
         advanced = 0
         for key, total in groups.items():
-            if target.add(spec.tuple_for(key, total)):
+            row = spec.tuple_for(key, total)
+            if target.add(row):
                 advanced += 1
+                if prov is not None:
+                    prov.annotate(spec.pred, row, spec.rule)
         return advanced
 
     def _export_component(

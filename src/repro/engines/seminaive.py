@@ -58,8 +58,13 @@ class _ResolvedRelations(dict):
 class SemiNaiveSolver(Solver):
     """Delta-driven from-scratch evaluation with running aggregation totals."""
 
-    def __init__(self, program: Program, metrics: SolverMetrics | None = None):
-        super().__init__(program, metrics=metrics)
+    def __init__(
+        self,
+        program: Program,
+        metrics: SolverMetrics | None = None,
+        provenance: bool | None = None,
+    ):
+        super().__init__(program, metrics=metrics, provenance=provenance)
         self._exported = RelationStore(self.arities, backend=self.backend)
         self._raw = RelationStore(self.arities, backend=self.backend)
         #: aggregated pred -> group key -> running total (valid per solve()).
@@ -76,6 +81,8 @@ class SemiNaiveSolver(Solver):
         )
         self._raw = RelationStore(self.arities, backend=self.backend)
         self._totals = {}
+        if self.provenance is not None:
+            self.provenance.clear_all()
         for pred, rows in self._fact_items():
             relation = self._exported.get(pred)
             for row in rows:
@@ -139,6 +146,8 @@ class SemiNaiveSolver(Solver):
             for pred in component.predicates:
                 self._raw.get(pred).clear()
                 self._totals.pop(pred, None)
+            if self.provenance is not None:
+                self.provenance.clear_preds(component.predicates)
             self._solve_component(component, index)
             self._run_self_check(index)
 
@@ -212,10 +221,14 @@ class SemiNaiveSolver(Solver):
         #: increments); folded into ``metrics`` only when collection is on.
         counts = [0, 0]
 
-        def derive(pred: str, row: tuple, next_delta: dict) -> None:
+        prov = self.provenance
+
+        def derive(pred: str, row: tuple, next_delta: dict, rule=None) -> None:
             if lookup(pred).add(row):
                 next_delta.setdefault(pred, set()).add(row)
                 counts[0] += 1
+                if prov is not None:
+                    prov.annotate(pred, row, rule)
             else:
                 counts[1] += 1
 
@@ -235,7 +248,7 @@ class SemiNaiveSolver(Solver):
                 _faults.fire("kernel.emit")
             t0, before = (perf_counter(), tuple(counts)) if stratum else (0.0, (0, 0))
             for head_row in kernel(lookup):
-                derive(rule.head.pred, head_row, delta)
+                derive(rule.head.pred, head_row, delta, rule)
             if stratum is not None:
                 fold_rule(rule, t0, before)
         for spec in specs.values():
@@ -265,7 +278,7 @@ class SemiNaiveSolver(Solver):
                     head_pred = rule.head.pred
                     for row in rows:
                         for head_row in kernel(lookup, row):
-                            derive(head_pred, head_row, next_delta)
+                            derive(head_pred, head_row, next_delta, rule)
                     if stratum is not None:
                         fold_rule(rule, t0, before)
                 for spec in specs.values():
@@ -302,7 +315,7 @@ class SemiNaiveSolver(Solver):
             else:
                 totals[key] = value
         for key, total in totals.items():
-            derive(spec.pred, spec.tuple_for(key, total), delta)
+            derive(spec.pred, spec.tuple_for(key, total), delta, spec.rule)
 
     def _advance_aggregation(self, spec, collect_rows, derive, next_delta) -> None:
         """Fold newly collected aggregands into running group totals; emit a
@@ -327,7 +340,7 @@ class SemiNaiveSolver(Solver):
                 touched.add(key)
                 self._chain_advance(spec.pred, key)
         for key in touched:
-            derive(spec.pred, spec.tuple_for(key, totals[key]), next_delta)
+            derive(spec.pred, spec.tuple_for(key, totals[key]), next_delta, spec.rule)
 
     def _export_component(
         self, component: Component, local: RelationStore, specs: dict[str, AggSpec]

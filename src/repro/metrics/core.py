@@ -190,6 +190,12 @@ class SolverMetrics:
         "query_seconds",
         "snapshots_published",
         "max_pending",
+        "provenance_annotations",
+        "provenance_hits",
+        "provenance_fallbacks",
+        "provenance_explains",
+        "provenance_whynots",
+        "provenance_seconds",
         "strata",
         "rules",
     )
@@ -272,6 +278,16 @@ class SolverMetrics:
         self.query_seconds = 0.0
         self.snapshots_published = 0
         self.max_pending = 0
+        # Provenance counters (see repro.provenance / docs/PROVENANCE.md).
+        # Annotation writes are one dict store per derived tuple — cheap
+        # enough to count unconditionally in the opt-in mode — and
+        # explain/whynot reconstructions are interactive-rate events.
+        self.provenance_annotations = 0
+        self.provenance_hits = 0
+        self.provenance_fallbacks = 0
+        self.provenance_explains = 0
+        self.provenance_whynots = 0
+        self.provenance_seconds = 0.0
         self.strata: dict[int, StratumStats] = {}
         self.rules: dict[str, RuleStats] = {}
 
@@ -434,6 +450,14 @@ class SolverMetrics:
                 "query_seconds": self.query_seconds,
                 "snapshots_published": self.snapshots_published,
                 "max_pending": self.max_pending,
+            },
+            "provenance": {
+                "provenance_annotations": self.provenance_annotations,
+                "provenance_hits": self.provenance_hits,
+                "provenance_fallbacks": self.provenance_fallbacks,
+                "provenance_explains": self.provenance_explains,
+                "provenance_whynots": self.provenance_whynots,
+                "provenance_seconds": self.provenance_seconds,
             },
             "strata": [
                 self.strata[i].to_dict() for i in sorted(self.strata)

@@ -1,0 +1,170 @@
+"""Provenance-guided rollback suggestions.
+
+An analysis alarm (say ``sink_alert(h)`` from the taint analysis) is
+usually *fixed in the program*, but the first question a user asks is
+"which of my inputs caused this?".  :func:`suggest_rollbacks` answers it
+operationally: it enumerates small sets of **input-fact deletions** that
+make the undesired derived tuple disappear, and verifies each candidate
+by actually applying it as an incremental :meth:`~Solver.update` and
+checking the tuple is gone — then restores the facts, leaving the solver
+bit-equal to its starting state (set semantics make delete-then-reinsert
+an exact inverse).
+
+The candidate search is a greedy hitting set over derivation trees: a
+tuple disappears iff every derivation is cut, and every derivation is
+rooted in ``"fact"`` leaves of its :func:`~repro.engines.explain.explain`
+tree.  Starting from each distinct leaf of one derivation, the loop
+deletes the current edit set, re-explains the tuple if it survived (some
+*other* derivation exists), adds one of the new tree's fact leaves, and
+repeats up to ``max_edits``.  Each verified suggestion reports the edit
+set plus the height of the derivation it cut, and results are ranked
+smallest-edit-set, shallowest-proof first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datalog.errors import SolverError
+from ..engines.explain import Derivation, explain
+
+__all__ = ["RollbackSuggestion", "suggest_rollbacks"]
+
+
+@dataclass
+class RollbackSuggestion:
+    """One verified way to make the target tuple disappear."""
+
+    pred: str
+    row: tuple
+    #: Input facts to delete, as ``(pred, row)`` pairs in caller space.
+    edits: list[tuple] = field(default_factory=list)
+    #: Height of the derivation tree this edit set was seeded from.
+    height: int = 0
+    #: Always True for returned suggestions: the edit set was applied as
+    #: an incremental update and the target observed absent.
+    verified: bool = True
+
+    def deletions(self) -> dict[str, list[tuple]]:
+        """The edit set in :meth:`Solver.update` ``deletions=`` form."""
+        grouped: dict[str, list[tuple]] = {}
+        for pred, row in self.edits:
+            grouped.setdefault(pred, []).append(row)
+        return grouped
+
+    def format(self) -> str:
+        facts = ", ".join(f"{pred}{row}" for pred, row in self.edits)
+        return (
+            f"delete {facts} -> {self.pred}{self.row} disappears "
+            f"(verified; proof height {self.height})"
+        )
+
+    def to_dict(self) -> dict:
+        from ..service.snapshot import stable_repr
+
+        def wire(value):
+            # Edits are EDB facts; keep JSON scalars raw so the payload
+            # feeds straight back into the ``update`` op's ``delete``.
+            if value is None or isinstance(value, (str, int, float, bool)):
+                return value
+            return stable_repr(value)
+
+        return {
+            "pred": self.pred,
+            "row": [stable_repr(v) for v in self.row],
+            "edits": [
+                {"pred": pred, "row": [wire(v) for v in row]}
+                for pred, row in self.edits
+            ],
+            "height": self.height,
+            "verified": self.verified,
+        }
+
+
+def _fact_leaves(tree: Derivation) -> list[tuple]:
+    """Distinct ``(pred, row)`` input-fact leaves, pre-order."""
+    leaves: list[tuple] = []
+    seen: set[tuple] = set()
+
+    def walk(node: Derivation) -> None:
+        if node.kind == "fact":
+            key = (node.pred, node.row)
+            if key not in seen:
+                seen.add(key)
+                leaves.append(key)
+        for premise in node.premises:
+            walk(premise)
+
+    walk(tree)
+    return leaves
+
+
+def _grouped(edits) -> dict[str, list[tuple]]:
+    grouped: dict[str, list[tuple]] = {}
+    for pred, row in edits:
+        grouped.setdefault(pred, []).append(row)
+    return grouped
+
+
+def suggest_rollbacks(
+    solver,
+    pred: str,
+    row: tuple,
+    max_suggestions: int = 3,
+    max_edits: int = 4,
+    max_depth: int = 12,
+) -> list[RollbackSuggestion]:
+    """Verified input-edit sets that remove ``row`` from ``pred``.
+
+    The solver is mutated *during* the search (each candidate is applied
+    as a real incremental update) but every candidate is undone before
+    the next is tried and before returning — on exit the solver holds
+    exactly its original facts and exported relations.  Raises
+    :class:`SolverError` if the tuple is not derived in the first place.
+    """
+    row = tuple(row)
+    if row not in solver.relation(pred):
+        raise SolverError(f"{pred}{row} is not derived; nothing to roll back")
+    tree = explain(solver, pred, row, max_depth=max_depth)
+    seeds = _fact_leaves(tree)
+
+    suggestions: list[RollbackSuggestion] = []
+    seen_edit_sets: set[frozenset] = set()
+    for seed in seeds:
+        if len(suggestions) >= max_suggestions:
+            break
+        edits = [seed]
+        applied: list[tuple] = []
+        try:
+            gone = False
+            while len(edits) <= max_edits:
+                pending = [e for e in edits if e not in applied]
+                solver.update(deletions=_grouped(pending))
+                applied.extend(pending)
+                if row not in solver.relation(pred):
+                    gone = True
+                    break
+                # The tuple survived: some other derivation exists.  Cut
+                # it too, preferring a leaf not already being deleted.
+                survivor = explain(solver, pred, row, max_depth=max_depth)
+                fresh = [
+                    leaf for leaf in _fact_leaves(survivor)
+                    if leaf not in edits
+                ]
+                if not fresh:
+                    break  # derivation without deletable input support
+                edits.append(fresh[0])
+        finally:
+            if applied:
+                solver.update(insertions=_grouped(applied))
+        if gone:
+            edit_key = frozenset(edits)
+            if edit_key in seen_edit_sets:
+                continue
+            seen_edit_sets.add(edit_key)
+            suggestions.append(RollbackSuggestion(
+                pred=pred, row=row, edits=list(edits),
+                height=tree.height(),
+            ))
+    suggestions.sort(key=lambda s: (len(s.edits), s.height))
+    return suggestions[:max_suggestions]

@@ -98,6 +98,12 @@ class UpdateGuard:
         if raw is not None:
             self._journal_store(raw)
 
+        # Provenance annotations (docs/PROVENANCE.md) roll back alongside
+        # the tuples they describe.
+        provenance = getattr(solver, "provenance", None)
+        if provenance is not None:
+            self._attach(provenance)
+
         # Per-component deep state of the incremental engines.
         for comp in getattr(solver, "_states", ()):
             self._attach(comp)
@@ -248,7 +254,11 @@ class GuardedSolver:
         from ..engines.seminaive import SemiNaiveSolver
 
         solver = self.solver
-        reference = SemiNaiveSolver(solver.source_program, metrics=solver.metrics)
+        reference = SemiNaiveSolver(
+            solver.source_program,
+            metrics=solver.metrics,
+            provenance=solver.provenance is not None,
+        )
         reference.budget = solver.budget
         reference.self_check = solver.self_check
         # Staged rows live in the donor's intern-handle space (columnar

@@ -12,6 +12,9 @@ Operations::
     update   {session?, insert?, delete?, flush?, seq?}
     flush    {session?}
     query    {session?, predicate, limit?, flush?}
+    explain  {session?, predicate, row, depth?, max_nodes?, flush?}
+    whynot   {session?, predicate, row, max_rules?, flush?}
+    rollback {session?, predicate, row, max_suggestions?, max_edits?}
     snapshot {session?, views?}
     save     {session?, path}
     restore  {session?, path}
@@ -55,6 +58,7 @@ _CONFIG_FIELDS = (
     "deadline",
     "self_check",
     "profile",
+    "provenance",
     "checkpoint_every",
     "checkpoint_path",
     "restore_from",
@@ -146,6 +150,36 @@ def _rows_mapping(raw, what: str) -> dict[str, list[tuple]] | None:
             bucket.append(tuple(row))
         mapping[pred] = bucket
     return mapping
+
+
+def _pred_and_row(request, op: str) -> tuple[str, tuple]:
+    """Validate the ``predicate``/``row`` pair of the provenance ops."""
+    pred = request.get("predicate")
+    if not isinstance(pred, str):
+        raise ServiceError(f"{op} requires a 'predicate' string")
+    row = request.get("row")
+    if not isinstance(row, list):
+        raise ServiceError(f"{op} requires a 'row' array")
+    for value in row:
+        # Same scalar discipline as update bodies; None additionally
+        # serves whynot as an "any value here" placeholder.
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise ServiceError(
+                f"{op} row values must be scalars, got {value!r}"
+            )
+    return pred, tuple(row)
+
+
+def _bounded_int(request, key: str, default: int, lo: int, hi: int) -> int:
+    """An optional integer request field, range-clamped by validation."""
+    value = request.get(key)
+    if value is None:
+        return default
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ServiceError(f"'{key}' must be an integer")
+    if not lo <= value <= hi:
+        raise ServiceError(f"'{key}' must be between {lo} and {hi}")
+    return value
 
 
 class ServiceProtocol:
@@ -252,6 +286,42 @@ class ServiceProtocol:
         if request.get("flush"):
             session.flush()
         return session.query(pred, limit=request.get("limit"))
+
+    def _op_explain(self, request) -> dict:
+        pred, row = _pred_and_row(request, "explain")
+        session = self._session(request)
+        if request.get("flush"):
+            session.flush()
+        return session.explain(
+            pred,
+            row,
+            max_depth=_bounded_int(request, "depth", default=12, lo=1, hi=64),
+            max_nodes=_bounded_int(
+                request, "max_nodes", default=256, lo=1, hi=10_000
+            ),
+        )
+
+    def _op_whynot(self, request) -> dict:
+        pred, row = _pred_and_row(request, "whynot")
+        session = self._session(request)
+        if request.get("flush"):
+            session.flush()
+        return session.whynot(
+            pred,
+            row,
+            max_rules=_bounded_int(request, "max_rules", default=8, lo=1, hi=64),
+        )
+
+    def _op_rollback(self, request) -> dict:
+        pred, row = _pred_and_row(request, "rollback")
+        return self._session(request).rollback_suggestions(
+            pred,
+            row,
+            max_suggestions=_bounded_int(
+                request, "max_suggestions", default=3, lo=1, hi=16
+            ),
+            max_edits=_bounded_int(request, "max_edits", default=4, lo=1, hi=16),
+        )
 
     def _op_snapshot(self, request) -> dict:
         return self._session(request).snapshot_info(

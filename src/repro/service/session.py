@@ -44,7 +44,7 @@ from ..engines.checkpoint import load_checkpoint, save_checkpoint
 from ..metrics import SolverMetrics
 from ..robustness import GuardedSolver
 from .queue import CoalescingQueue, UpdateBatch
-from .snapshot import Snapshot, take_snapshot
+from .snapshot import Snapshot, render_row, stable_repr, take_snapshot
 
 #: Engine registry shared with the CLI (name -> solver class).
 ENGINES = {
@@ -78,6 +78,10 @@ class SessionConfig:
     self_check: bool = False
     #: Enabled-mode metrics (per-stratum/per-rule tables; costs timers).
     profile: bool = False
+    #: Per-tuple provenance capture (docs/PROVENANCE.md): enables the
+    #: height-guided ``explain`` fast path and annotation checkpointing.
+    #: False still defers to the ``REPRO_PROVENANCE`` environment opt-in.
+    provenance: bool = False
     #: Checkpoint the solver every N successfully applied batches ...
     checkpoint_every: int | None = None
     #: ... into this file (atomic tmp+rename; a ``.meta`` JSON sidecar
@@ -141,7 +145,11 @@ class Session:
             self.restored_from = str(config.restore_from)
         else:
             inner = self.instance.make_solver(
-                self.engine_cls, solve=False, metrics=self.metrics
+                self.engine_cls,
+                solve=False,
+                metrics=self.metrics,
+                # False defers to the REPRO_PROVENANCE environment opt-in.
+                provenance=config.provenance or None,
             )
             self._setup(inner)
             self.solver = GuardedSolver(inner, fallback=config.fallback)
@@ -188,6 +196,15 @@ class Session:
             solver.budget.deadline = self.config.deadline
         if self.config.self_check:
             solver.self_check = True
+        if self.config.provenance and solver.provenance is None:
+            # Restore path from a checkpoint without annotations: start
+            # capturing from here on (pre-existing tuples reconstruct via
+            # the full-search fallback).
+            from ..provenance.store import ProvenanceStore
+
+            solver.provenance = ProvenanceStore(
+                solver.program, metrics=solver.metrics
+            )
 
     # -- the write path ----------------------------------------------------
 
@@ -365,6 +382,111 @@ class Session:
             "version": snap.version,
             "count": len(rows),
             "rows": rendered,
+        }
+
+    # -- provenance (docs/PROVENANCE.md) -----------------------------------
+
+    def _resolve_row(self, solver, pred: str, row: tuple) -> tuple | None:
+        """Map a wire-form row onto a stored tuple of ``pred``.
+
+        Clients hold rows in two forms: raw scalars (what they inserted)
+        and the rendered strings the ``query`` op returns.  Try a direct
+        match first, then compare against each stored row's rendering —
+        so any row a client read back can be fed to ``explain`` verbatim.
+        """
+        relation = solver.relation(pred)
+        if row in relation:
+            return row
+        rendered = [
+            value if isinstance(value, str) else stable_repr(value)
+            for value in row
+        ]
+        for candidate in relation:
+            if render_row(candidate) == rendered:
+                return candidate
+        return None
+
+    def explain(
+        self,
+        pred: str,
+        row: tuple,
+        max_depth: int = 12,
+        max_nodes: int = 256,
+    ) -> dict:
+        """One derivation tree for a present tuple, against a consistent
+        solver state (serialized with batch applies via the solver lock)."""
+        self._require_open()
+        from ..engines.explain import explain as reconstruct
+
+        with self._solver_lock:
+            solver = self.solver.solver
+            resolved = self._resolve_row(solver, pred, tuple(row))
+            if resolved is None:
+                raise ServiceError(
+                    f"{pred}{tuple(row)!r} is not present at version "
+                    f"{self._snapshot.version}; use whynot for absent tuples"
+                )
+            tree = reconstruct(solver, pred, resolved, max_depth=max_depth)
+            version = self._snapshot.version
+        return {
+            "predicate": pred,
+            "version": version,
+            "size": tree.size(),
+            "height": tree.height(),
+            "derivation": tree.to_dict(max_nodes=max_nodes),
+        }
+
+    def whynot(self, pred: str, row: tuple, max_rules: int = 8) -> dict:
+        """The failed-derivation frontier of an absent tuple.  The row is
+        taken as raw scalars (there is no stored tuple to resolve against)."""
+        self._require_open()
+        from ..provenance.whynot import whynot as frontier
+
+        with self._solver_lock:
+            report = frontier(
+                self.solver.solver, pred, tuple(row), max_rules=max_rules
+            )
+            version = self._snapshot.version
+        return {
+            "predicate": pred,
+            "version": version,
+            "report": report.to_dict(),
+        }
+
+    def rollback_suggestions(
+        self,
+        pred: str,
+        row: tuple,
+        max_suggestions: int = 3,
+        max_edits: int = 4,
+    ) -> dict:
+        """Verified input-edit sets removing an undesired derived tuple.
+
+        Candidate verification applies real updates through the session's
+        :class:`GuardedSolver` and undoes them before returning, all under
+        the solver lock — queued batches wait, published snapshots never
+        observe the probing, and the solver ends bit-equal to its start.
+        """
+        self._require_open()
+        from ..provenance.rollback import suggest_rollbacks
+
+        with self._solver_lock:
+            solver = self.solver
+            resolved = self._resolve_row(solver, pred, tuple(row))
+            if resolved is None:
+                raise ServiceError(
+                    f"{pred}{tuple(row)!r} is not present at version "
+                    f"{self._snapshot.version}; nothing to roll back"
+                )
+            suggestions = suggest_rollbacks(
+                solver, pred, resolved,
+                max_suggestions=max_suggestions, max_edits=max_edits,
+            )
+            version = self._snapshot.version
+        return {
+            "predicate": pred,
+            "version": version,
+            "suggestions": [s.to_dict() for s in suggestions],
         }
 
     def snapshot_info(self, views: bool = False) -> dict:

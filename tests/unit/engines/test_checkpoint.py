@@ -171,6 +171,94 @@ class TestEnvelopeHardening:
         assert restored.relation("tc") == frozenset({(1, 2), (2, 3), (1, 3)})
 
 
+class TestProvenancePayload:
+    """Format v4: the optional provenance annotation payload."""
+
+    def test_annotations_roundtrip(self, tmp_path):
+        solver = LaddderSolver(tc_program(), provenance=True)
+        solver.add_facts("edge", {(1, 2), (2, 3)})
+        solver.solve()
+        path = tmp_path / "tc.ckpt"
+        save_checkpoint(solver, path)
+        restored = load_checkpoint(LaddderSolver, tc_program(), path)
+        # The restoring process did not opt in, but the paid-for
+        # annotations come back anyway.
+        assert restored.provenance is not None
+        assert restored.provenance.annotations == solver.provenance.annotations
+        assert restored.provenance.clock == solver.provenance.clock
+
+    def test_unannotated_checkpoint_restores_without_store(
+        self, tmp_path, monkeypatch
+    ):
+        # Neither process opts in: no annotations saved, none restored.
+        monkeypatch.delenv("REPRO_PROVENANCE", raising=False)
+        solver = LaddderSolver(tc_program(), provenance=False)
+        solver.add_facts("edge", {(1, 2)})
+        solver.solve()
+        path = tmp_path / "tc.ckpt"
+        save_checkpoint(solver, path)
+        restored = load_checkpoint(LaddderSolver, tc_program(), path)
+        assert restored.provenance is None
+
+    def test_v3_file_still_reads(self, tmp_path, monkeypatch):
+        """A hand-built v3 envelope (no provenance key) must load: v4 is
+        read-compatible with the previous release's files."""
+        import hashlib
+        import io
+        import pickle
+        import struct
+
+        monkeypatch.delenv("REPRO_PROVENANCE", raising=False)
+
+        from repro.engines.checkpoint import (
+            _HEADER,
+            _STATE_ATTRS,
+            _component_state,
+        )
+
+        solver = load(LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 3)}))
+        payload = {
+            "solver": "LaddderSolver",
+            "program": solver._program_hash,
+            "backend": solver.backend,
+            "intern": None if solver.intern is None else solver.intern.dump(),
+            "attrs": {
+                name: getattr(solver, name)
+                for name in _STATE_ATTRS["LaddderSolver"]
+            },
+            "components": _component_state(solver),
+            # v3 payloads have no "provenance" key at all.
+        }
+        buffer = io.BytesIO()
+        pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        body = buffer.getvalue()
+        path = tmp_path / "v3.ckpt"
+        path.write_bytes(
+            _HEADER.pack(MAGIC, 3, hashlib.sha256(body).digest()) + body
+        )
+        restored = load_checkpoint(LaddderSolver, tc_program(), path)
+        assert restored.relations() == solver.relations()
+        assert restored.provenance is None
+        # And it keeps updating incrementally after the restore.
+        restored.update(insertions={"edge": {(3, 4)}})
+        assert (1, 4) in restored.relation("tc")
+
+    def test_provenance_enabled_restore_continues_capture(self, tmp_path):
+        donor = LaddderSolver(tc_program(), provenance=True)
+        donor.add_facts("edge", {(1, 2)})
+        donor.solve()
+        path = tmp_path / "tc.ckpt"
+        save_checkpoint(donor, path)
+        restored = load_checkpoint(LaddderSolver, tc_program(), path)
+        restored.update(insertions={"edge": {(2, 3)}})
+        prov = restored.provenance
+        key = (
+            (1, 3) if restored.intern is None
+            else restored.intern.lookup_row((1, 3))
+        )
+        assert prov.get("tc", key) is not None
+
+
 def test_checkpoint_beats_reinit_on_corpus(tmp_path):
     """The precomputation story: restoring is much faster than re-solving."""
     import time

@@ -83,6 +83,9 @@ class TestPlainExplanations:
         d = explain(solver, "isolated", (1,))
         preds = [x.pred for x in d.premises]
         assert "node" in preds and "!linked" in preds
+        negated = next(x for x in d.premises if x.pred == "!linked")
+        assert negated.kind == "negation"
+        assert "[absent, as required]" in d.format()
 
 
 class TestLatticeExplanations:
@@ -136,3 +139,94 @@ class TestLatticeExplanations:
         d = explain(solver, "ptlub", ("f", O("F1")))
         assert d.kind == "aggregate"
         assert leaf_kinds(d) <= {"fact", "depth"}
+
+
+class TestHeightGuidedProvenance:
+    def test_annotated_solver_takes_fast_path(self):
+        solver = LaddderSolver(tc_program(), provenance=True)
+        solver.add_facts("edge", {(i, i + 1) for i in range(10)})
+        solver.solve()
+        d = explain(solver, "tc", (0, 10))
+        assert leaf_kinds(d) == {"fact"}
+        assert solver.metrics.provenance_hits > 0
+
+    def test_tree_identical_with_and_without_annotations(self):
+        facts = tc_facts({(1, 2), (2, 3), (3, 4)})
+        plain = load(LaddderSolver, tc_program(), facts)
+        annotated = LaddderSolver(tc_program(), provenance=True)
+        annotated.add_facts("edge", facts["edge"])
+        annotated.solve()
+        for row in plain.relation("tc"):
+            a = explain(plain, "tc", row)
+            b = explain(annotated, "tc", row)
+            # Both are fact-rooted, verifiable trees of the same tuple;
+            # shapes may differ, roots and leaf kinds may not.
+            assert (a.pred, a.row) == (b.pred, b.row)
+            assert leaf_kinds(a) == leaf_kinds(b) == {"fact"}
+
+    def test_fast_path_after_incremental_update(self):
+        solver = LaddderSolver(tc_program(), provenance=True)
+        solver.add_facts("edge", {(1, 2)})
+        solver.solve()
+        solver.update(insertions={"edge": {(2, 3), (3, 4)}})
+        d = explain(solver, "tc", (1, 4))
+        assert leaf_kinds(d) == {"fact"}
+
+
+class TestColumnarAndSchema:
+    def test_columnar_round_trip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "columnar")
+        solver = LaddderSolver(tc_program(), provenance=True)
+        solver.add_facts("edge", {(1, 2), (2, 3)})
+        solver.solve()
+        assert solver.intern is not None
+        d = explain(solver, "tc", (1, 3))
+        # The finished tree is externalized: caller-space values.
+        assert d.row == (1, 3)
+        assert leaf_kinds(d) == {"fact"}
+        assert "edge(1, 2)" in d.format()
+
+    def test_columnar_aggregate_explanation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "columnar")
+        facts = {"lit": {("x", 1), ("y", 2)}, "copy": {("z", "x"), ("z", "y")}}
+        solver = load(LaddderSolver, const_prop_program(), facts)
+        d = explain(solver, "val", ("z", CONST.top()))
+        assert d.kind == "aggregate"
+        assert len(d.premises) == 2
+        assert leaf_kinds(d) == {"fact"}
+
+    def test_to_dict_schema(self):
+        solver = load(
+            LaddderSolver, tc_program(), tc_facts({(1, 2), (2, 3)})
+        )
+        payload = explain(solver, "tc", (1, 3)).to_dict()
+        assert payload["pred"] == "tc"
+        assert payload["row"] == ["1", "3"]
+        assert payload["kind"] == "rule"
+        assert "rule" in payload
+        assert all("kind" in p for p in payload["premises"])
+
+    def test_to_dict_max_nodes_bound(self):
+        solver = load(
+            LaddderSolver, tc_program(),
+            tc_facts({(i, i + 1) for i in range(12)}),
+        )
+        payload = explain(solver, "tc", (0, 12)).to_dict(max_nodes=4)
+
+        def count(node):
+            return 1 + sum(count(p) for p in node["premises"])
+
+        assert count(payload) <= 4
+
+        def omitted(node):
+            return node.get("premises_omitted", 0) + sum(
+                omitted(p) for p in node["premises"]
+            )
+
+        assert omitted(payload) > 0
+
+    def test_explain_metrics_counted(self):
+        solver = load(LaddderSolver, tc_program(), tc_facts({(1, 2)}))
+        explain(solver, "tc", (1, 2))
+        assert solver.metrics.provenance_explains == 1
+        assert solver.metrics.provenance_seconds >= 0.0

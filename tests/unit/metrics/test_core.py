@@ -151,6 +151,7 @@ class TestExport:
         assert set(d) == {
             "engine", "totals", "laddder", "storage", "compile", "check",
             "impact", "strata", "rules", "robustness", "service",
+            "provenance",
         }
         assert d["engine"] == "TestSolver"
         assert d["totals"]["join_probes"] == 10
@@ -181,6 +182,14 @@ class TestExport:
             "impact_seconds",
             "strata_skipped",
             "rules_skipped_by_impact",
+        }
+        assert set(d["provenance"]) == {
+            "provenance_annotations",
+            "provenance_hits",
+            "provenance_fallbacks",
+            "provenance_explains",
+            "provenance_whynots",
+            "provenance_seconds",
         }
         assert d["strata"][0]["delta_sizes"] == [1]
         assert d["rules"]["r"]["derived"] == 1

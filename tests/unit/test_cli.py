@@ -193,6 +193,83 @@ class TestExplainCommand:
         ) == 1
         assert "unknown predicate 'nosuchpred'" in capsys.readouterr().err
 
+    def test_explain_row_selection_round_trips_json(self, capsys, tmp_path):
+        # First run writes the JSON artifact; its rendered row feeds back
+        # through --row and selects exactly that tuple.
+        path = tmp_path / "explain.json"
+        assert main(
+            ["explain", "constprop", "minijavac", "--json", str(path)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        row = payload["explain"]["row"]
+        assert main(
+            ["explain", "constprop", "minijavac", "--row", json.dumps(row)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "why val" in out
+        assert "more matching tuples" not in out
+
+    def test_explain_row_not_derived_points_at_whynot(self, capsys):
+        assert main(
+            ["explain", "constprop", "minijavac",
+             "--row", '["ghost", "vg", "Bot"]']
+        ) == 1
+        assert "try --whynot" in capsys.readouterr().err
+
+    def test_explain_bad_row_json(self, capsys):
+        assert main(
+            ["explain", "constprop", "minijavac", "--row", "{not json"]
+        ) == 1
+        assert "--row must be a JSON array" in capsys.readouterr().err
+
+    def test_whynot_mode(self, capsys):
+        assert main(
+            ["explain", "constprop", "minijavac", "--whynot",
+             "--row", '["ghost", "vg", null]', "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "val" in out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["whynot"]["pred"] == "val"
+
+    def test_whynot_requires_row(self, capsys):
+        assert main(["explain", "constprop", "minijavac", "--whynot"]) == 1
+        assert "--whynot requires --row" in capsys.readouterr().err
+
+    def test_json_artifacts_match_schema(self, capsys, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        from pathlib import Path
+
+        schema = json.loads(
+            (Path(__file__).resolve().parents[2] / "docs"
+             / "explain_schema.json").read_text()
+        )
+        path = tmp_path / "report.json"
+        assert main(
+            ["explain", "constprop", "minijavac", "--scale", "0.3",
+             "--rollback", "--json", str(path)]
+        ) == 0
+        jsonschema.validate(json.loads(path.read_text()), schema)
+        assert main(
+            ["explain", "constprop", "minijavac", "--whynot",
+             "--row", '["ghost", "vg", null]', "--json", str(path)]
+        ) == 0
+        jsonschema.validate(json.loads(path.read_text()), schema)
+        capsys.readouterr()
+
+    def test_rollback_mode(self, capsys):
+        assert main(
+            ["explain", "constprop", "minijavac", "--scale", "0.3",
+             "--rollback", "--json", "-"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rollback" in out
+        payload = json.loads(out[out.index("{"):])
+        assert "rollback" in payload
+        for suggestion in payload["rollback"]:
+            assert suggestion["verified"] is True
+
 
 class TestServeCommand:
     def test_serve_flags_parse(self):
